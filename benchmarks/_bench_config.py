@@ -1,0 +1,62 @@
+"""Environment-driven configuration shared by all benchmark modules.
+
+The benchmark harness is scaled down by default so the full reproduction runs
+in minutes; set these environment variables for larger runs:
+
+``OPERA_BENCH_NODE_COUNTS``  comma-separated grid sizes  (default ``600,1200,2500``)
+``OPERA_BENCH_MC_SAMPLES``   Monte Carlo samples          (default ``60``; paper: 1000)
+``OPERA_BENCH_STEPS``        transient steps              (default ``12``)
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List
+
+from repro.sim import TransientConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+def bench_node_counts() -> List[int]:
+    """Approximate node counts of the benchmark grids."""
+    raw = os.environ.get("OPERA_BENCH_NODE_COUNTS", "600,1200,2500")
+    counts = []
+    for token in raw.split(","):
+        token = token.strip()
+        if token:
+            counts.append(int(token))
+    return counts or [600, 1200, 2500]
+
+
+def bench_mc_samples() -> int:
+    """Monte Carlo sample count used by the reproduction benches."""
+    return max(_env_int("OPERA_BENCH_MC_SAMPLES", 60), 4)
+
+
+def bench_num_steps() -> int:
+    """Number of fixed transient steps."""
+    return max(_env_int("OPERA_BENCH_STEPS", 12), 4)
+
+
+def bench_transient() -> TransientConfig:
+    """The shared transient configuration of all benches."""
+    steps = bench_num_steps()
+    dt = 0.2e-9
+    return TransientConfig(t_stop=steps * dt, dt=dt)
+
+
+def write_result(path: Path, name: str, text: str) -> Path:
+    """Write a benchmark artifact and return its path."""
+    path.mkdir(parents=True, exist_ok=True)
+    out = path / name
+    out.write_text(text, encoding="utf-8")
+    return out

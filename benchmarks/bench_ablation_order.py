@@ -1,0 +1,120 @@
+"""Ablation: chaos expansion order and germ-count trade-offs.
+
+The paper states that order-2 or order-3 expansions are sufficient for
+realistic variation magnitudes and that the augmented system size grows as
+O(r^p).  This bench quantifies both statements on a mid-size benchmark grid:
+
+* accuracy of order 1/2/3 relative to an order-4 reference,
+* wall time of each order (the cost of the extra accuracy),
+* cost of the combined two-germ model (xi_G, xi_L) versus the separate
+  three-germ model (xi_W, xi_T, xi_L) that spans a larger basis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.opera import OperaConfig, run_opera_transient
+from repro.variation import VariationSpec, build_stochastic_system
+
+from _bench_config import bench_node_counts, bench_transient, write_result
+
+ORDERS = (1, 2, 3)
+
+
+@pytest.fixture(scope="module")
+def ablation_grid(grid_cache):
+    target = sorted(bench_node_counts())[0]
+    return grid_cache.get(target)
+
+
+@pytest.fixture(scope="module")
+def order_reference(ablation_grid):
+    """Order-4 result used as the truncation-error reference."""
+    _, _, _, system = ablation_grid
+    return run_opera_transient(
+        system, OperaConfig(transient=bench_transient(), order=4)
+    )
+
+
+@pytest.fixture(scope="module")
+def order_results(ablation_grid):
+    return {}
+
+
+@pytest.mark.parametrize("order", ORDERS)
+def test_expansion_order_cost_and_accuracy(
+    benchmark, ablation_grid, order_reference, order_results, results_dir, order
+):
+    _, _, _, system = ablation_grid
+    config = OperaConfig(transient=bench_transient(), order=order)
+    result = benchmark.pedantic(
+        run_opera_transient, args=(system, config), rounds=1, iterations=1
+    )
+
+    hot = order_reference.std_drop > 0.25 * order_reference.std_drop.max()
+    sigma_error = (
+        100.0
+        * np.abs(result.std_drop - order_reference.std_drop)[hot]
+        / order_reference.std_drop[hot]
+    )
+    mean_error = (
+        100.0
+        * np.max(np.abs(result.mean_voltage - order_reference.mean_voltage))
+        / system.vdd
+    )
+    order_results[order] = (
+        result.basis.size,
+        result.wall_time,
+        float(np.mean(sigma_error)),
+        float(np.max(sigma_error)),
+        mean_error,
+    )
+
+    # Order 2 must already be within a couple of percent of the reference.
+    if order >= 2:
+        assert np.mean(sigma_error) < 2.0
+
+    lines = [
+        "Ablation: expansion order (reference = order 4)",
+        "order  terms  wall_time_s  avg_sigma_err_%  max_sigma_err_%  mean_err_%vdd",
+    ]
+    for key in sorted(order_results):
+        size, wall, avg_err, max_err, mean_err = order_results[key]
+        lines.append(
+            f"{key:>5}  {size:>5}  {wall:>11.3f}  {avg_err:>15.3f}  {max_err:>15.3f}  {mean_err:>13.5f}"
+        )
+    write_result(results_dir, "ablation_order.txt", "\n".join(lines) + "\n")
+
+
+def test_combined_versus_separate_germs(benchmark, ablation_grid, results_dir):
+    """Eq. (14) ablation: 2-germ combined model vs 3-germ separate model."""
+    _, _, stamped, _ = ablation_grid
+    transient = bench_transient()
+
+    combined_system = build_stochastic_system(stamped, VariationSpec(combine_wt=True))
+    separate_system = build_stochastic_system(stamped, VariationSpec(combine_wt=False))
+
+    combined = benchmark.pedantic(
+        run_opera_transient,
+        args=(combined_system, OperaConfig(transient=transient, order=2)),
+        rounds=1,
+        iterations=1,
+    )
+    separate = run_opera_transient(
+        separate_system, OperaConfig(transient=transient, order=2)
+    )
+
+    hot = separate.std_drop > 0.25 * separate.std_drop.max()
+    sigma_gap = np.abs(combined.std_drop - separate.std_drop)[hot] / separate.std_drop[hot]
+    assert np.max(sigma_gap) < 0.03
+    assert combined.basis.size < separate.basis.size
+
+    text = (
+        "Ablation: combined xi_G (2 germs) vs separate xi_W, xi_T (3 germs), order 2\n"
+        f"combined terms = {combined.basis.size}, wall time = {combined.wall_time:.3f} s\n"
+        f"separate terms = {separate.basis.size}, wall time = {separate.wall_time:.3f} s\n"
+        f"max relative sigma difference on loaded nodes = {100 * np.max(sigma_gap):.2f} %\n"
+    )
+    write_result(results_dir, "ablation_germs.txt", text)

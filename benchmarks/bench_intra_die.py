@@ -1,0 +1,111 @@
+"""Extension bench: intra-die (spatially correlated) variation.
+
+Not part of the paper's evaluation (which is inter-die only), but the natural
+next experiment its framework enables: how does the drop variability change
+as the variation decorrelates across the die, and what does the multi-germ
+expansion cost?  The bench also validates the spatial OPERA run against a
+Monte Carlo sweep at one correlation length.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import compare_to_monte_carlo
+from repro.montecarlo import MonteCarloConfig, run_monte_carlo_transient
+from repro.opera import OperaConfig, run_opera_transient
+from repro.variation import RegionPartition, SpatialVariationSpec, build_spatial_stochastic_system
+
+from _bench_config import bench_mc_samples, bench_node_counts, bench_transient, write_result
+
+CORRELATION_LENGTHS = (1.0e9, 150.0, 10.0)
+
+
+@pytest.fixture(scope="module")
+def spatial_grid(grid_cache):
+    target = sorted(bench_node_counts())[0]
+    spec, netlist, stamped, _ = grid_cache.get(target)
+    partition = RegionPartition(nx=spec.nx, ny=spec.ny, region_rows=3, region_cols=3)
+    return spec, netlist, stamped, partition
+
+
+@pytest.fixture(scope="module")
+def sweep_rows():
+    return {}
+
+
+@pytest.mark.parametrize("correlation_length", CORRELATION_LENGTHS)
+def test_correlation_length_sweep(
+    benchmark, spatial_grid, sweep_rows, results_dir, correlation_length
+):
+    _, netlist, stamped, partition = spatial_grid
+    system = build_spatial_stochastic_system(
+        netlist,
+        partition,
+        SpatialVariationSpec(correlation_length=correlation_length, energy_fraction=0.98),
+        stamped=stamped,
+    )
+    config = OperaConfig(transient=bench_transient(), order=2)
+    result = benchmark.pedantic(
+        run_opera_transient, args=(system, config), rounds=1, iterations=1
+    )
+    worst = result.worst_node()
+    step = result.peak_time_index(worst)
+    sweep_rows[correlation_length] = (
+        system.num_variables,
+        result.basis.size,
+        float(result.std_drop[step, worst]),
+        result.wall_time,
+    )
+
+    lines = [
+        "Extension: intra-die spatial variation, correlation-length sweep",
+        "corr_length_um  germs  basis_terms  worst_node_sigma_mV  wall_time_s",
+    ]
+    for length in sorted(sweep_rows, reverse=True):
+        germs, terms, sigma, wall = sweep_rows[length]
+        label = "inf" if length >= 1e8 else f"{length:g}"
+        lines.append(
+            f"{label:>14}  {germs:5d}  {terms:11d}  {1e3 * sigma:19.3f}  {wall:11.3f}"
+        )
+    write_result(results_dir, "intra_die_sweep.txt", "\n".join(lines) + "\n")
+
+    # Local variation must not produce more variability than fully correlated.
+    if len(sweep_rows) == len(CORRELATION_LENGTHS):
+        sigmas = [sweep_rows[length][2] for length in sorted(sweep_rows, reverse=True)]
+        assert sigmas[-1] <= sigmas[0] * 1.05
+
+
+def test_spatial_accuracy_vs_monte_carlo(benchmark, spatial_grid, results_dir):
+    _, netlist, stamped, partition = spatial_grid
+    system = build_spatial_stochastic_system(
+        netlist,
+        partition,
+        SpatialVariationSpec(correlation_length=150.0, max_components=3),
+        stamped=stamped,
+    )
+    transient = bench_transient()
+    opera_result = benchmark.pedantic(
+        run_opera_transient,
+        args=(system, OperaConfig(transient=transient, order=2)),
+        rounds=1,
+        iterations=1,
+    )
+    mc_result = run_monte_carlo_transient(
+        system,
+        MonteCarloConfig(
+            transient=transient, num_samples=bench_mc_samples(), seed=53, antithetic=True
+        ),
+    )
+    metrics = compare_to_monte_carlo(opera_result, mc_result)
+    assert metrics.average_mean_error_percent < 1.0
+
+    text = (
+        "Extension: intra-die spatial variation vs Monte Carlo\n"
+        f"germs: {system.num_variables}, basis terms: {opera_result.basis.size}\n"
+        f"{metrics}\n"
+        f"OPERA wall time (s): {opera_result.wall_time:.3f}\n"
+        f"MC wall time (s)   : {mc_result.wall_time:.3f}\n"
+    )
+    write_result(results_dir, "intra_die_accuracy.txt", text)

@@ -1,0 +1,96 @@
+"""Table 1 reproduction: OPERA vs Monte Carlo over several grid sizes.
+
+For every benchmark grid this harness
+
+* times the OPERA order-2 stochastic transient (the ``benchmark`` fixture
+  measures exactly the paper's "CPU time OPERA" column),
+* runs the Monte Carlo reference once and records its wall time ("CPU time
+  Monte"),
+* computes the average/maximum percentage errors of mu and sigma and the
+  average +/-3-sigma spread as a percentage of the nominal drop,
+* appends the row to ``benchmarks/results/table1.txt`` next to the paper's
+  original Table 1 for shape comparison.
+
+Scale is controlled by the environment variables documented in
+``benchmarks/conftest.py``; absolute times differ from the 2005 testbed, but
+the shape (mu errors << sigma errors, spreads around +/-30-45 %, OPERA much
+faster than Monte Carlo) is what the reproduction checks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    PAPER_TABLE1,
+    Table1Row,
+    compare_to_monte_carlo,
+    format_table1,
+    three_sigma_spread_percent,
+)
+from repro.montecarlo import MonteCarloConfig, run_monte_carlo_transient
+from repro.opera import OperaConfig, run_opera_transient
+from repro.sim import transient_analysis
+
+from _bench_config import (
+    bench_mc_samples,
+    bench_node_counts,
+    bench_transient,
+    write_result,
+)
+
+
+@pytest.mark.parametrize("target_nodes", bench_node_counts())
+def test_table1_row(benchmark, grid_cache, table1_rows, results_dir, target_nodes):
+    """One row of Table 1: accuracy and speed-up for a single grid."""
+    _, netlist, stamped, system = grid_cache.get(target_nodes)
+    transient = bench_transient()
+    opera_config = OperaConfig(transient=transient, order=2)
+
+    opera_result = benchmark.pedantic(
+        run_opera_transient, args=(system, opera_config), rounds=1, iterations=1
+    )
+
+    mc_config = MonteCarloConfig(
+        transient=transient,
+        num_samples=bench_mc_samples(),
+        seed=7,
+        antithetic=True,
+    )
+    mc_result = run_monte_carlo_transient(system, mc_config)
+
+    metrics = compare_to_monte_carlo(opera_result, mc_result)
+    nominal = transient_analysis(stamped, transient)
+    spread = three_sigma_spread_percent(opera_result, nominal)
+
+    row = Table1Row.from_metrics(
+        name=f"synthetic-{stamped.num_nodes}",
+        num_nodes=stamped.num_nodes,
+        metrics=metrics,
+        three_sigma_spread=spread,
+        monte_carlo_seconds=mc_result.wall_time or 0.0,
+        opera_seconds=opera_result.wall_time or 0.0,
+    )
+    table1_rows[stamped.num_nodes] = row
+
+    # Shape assertions mirroring the paper's findings.
+    assert metrics.average_mean_error_percent < 1.0
+    assert metrics.average_sigma_error_percent < 25.0
+    assert 20.0 < spread < 60.0
+    assert row.speedup > 3.0
+
+    rows = [table1_rows[key] for key in sorted(table1_rows)]
+    text = "\n\n".join(
+        [
+            format_table1(
+                rows,
+                title=(
+                    "Table 1 (reproduced on synthetic grids; "
+                    f"MC samples = {mc_config.num_samples}, "
+                    f"steps = {transient.num_steps}, order-2 expansion)"
+                ),
+            ),
+            format_table1(PAPER_TABLE1, title="Table 1 (paper, for shape comparison)"),
+        ]
+    )
+    write_result(results_dir, "table1.txt", text + "\n")

@@ -1,0 +1,58 @@
+"""Shared fixtures for the benchmark / reproduction harness.
+
+See ``_bench_config`` for the environment variables that control the scale
+of the benchmark grids and the Monte Carlo sample count.  Artifacts (the
+reproduced Table 1 and the Figure 1/2 series) are written to
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.grid import generate_power_grid, spec_for_node_count, stamp
+from repro.variation import VariationSpec, build_stochastic_system
+
+from _bench_config import RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+class GridCache:
+    """Builds and caches the benchmark grids and their stochastic systems."""
+
+    def __init__(self):
+        self._cache: Dict[int, Tuple] = {}
+
+    def get(self, target_nodes: int):
+        if target_nodes not in self._cache:
+            spec = spec_for_node_count(
+                target_nodes,
+                num_layers=2,
+                num_blocks=9,
+                pad_spacing=2,
+                seed=100 + target_nodes % 97,
+            )
+            netlist = generate_power_grid(spec)
+            stamped = stamp(netlist)
+            system = build_stochastic_system(stamped, VariationSpec.paper_defaults())
+            self._cache[target_nodes] = (spec, netlist, stamped, system)
+        return self._cache[target_nodes]
+
+
+@pytest.fixture(scope="session")
+def grid_cache() -> GridCache:
+    return GridCache()
+
+
+@pytest.fixture(scope="session")
+def table1_rows() -> dict:
+    """Session-wide accumulator for Table-1 rows (filled by bench_table1)."""
+    return {}

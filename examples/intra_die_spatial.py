@@ -1,0 +1,80 @@
+"""Intra-die (spatially correlated) variation and variance attribution.
+
+The paper's experiments use inter-die variation (one germ for the whole die),
+but its framework extends directly to intra-die variation: model each
+parameter as a spatial random field over chip regions, decorrelate the field
+with PCA, and run the same Galerkin projection with the resulting multi-germ
+basis.  This example
+
+1. builds the same grid under three correlation lengths (fully correlated,
+   chip-scale, and nearly local variation),
+2. shows how the voltage-drop sigma shrinks as the variation decorrelates
+   (local variations average out across the grid),
+3. uses the Sobol' variance decomposition that the chaos expansion provides
+   for free to attribute the worst node's variability to metal (W/T) versus
+   channel-length (Leff) variation.
+
+Run with:  python examples/intra_die_spatial.py
+"""
+
+import numpy as np
+
+from repro import (
+    GridSpec,
+    OperaConfig,
+    RegionPartition,
+    SpatialVariationSpec,
+    TransientConfig,
+    VariationSpec,
+    build_spatial_stochastic_system,
+    build_stochastic_system,
+    generate_power_grid,
+    run_opera_transient,
+    stamp,
+    transient_total_indices,
+)
+
+
+def main() -> None:
+    spec = GridSpec(nx=16, ny=16, num_layers=2, num_blocks=6, pad_spacing=2, seed=17)
+    netlist = generate_power_grid(spec)
+    stamped = stamp(netlist)
+    partition = RegionPartition(nx=spec.nx, ny=spec.ny, region_rows=3, region_cols=3)
+    transient = TransientConfig(t_stop=3.0e-9, dt=0.2e-9)
+    print(f"grid: {netlist.stats()}, {partition.num_regions} chip regions")
+
+    # --- correlation-length sweep -------------------------------------------
+    print("\nvoltage-drop sigma vs spatial correlation length")
+    print("  correlation length (um)   germs   basis terms   worst-node sigma (mV)")
+    for label, length in (("inter-die (infinite)", 1e9), ("chip-scale", 150.0), ("local", 10.0)):
+        system = build_spatial_stochastic_system(
+            netlist,
+            partition,
+            SpatialVariationSpec(correlation_length=length, energy_fraction=0.98),
+            stamped=stamped,
+        )
+        result = run_opera_transient(system, OperaConfig(transient=transient, order=2))
+        worst = result.worst_node()
+        step = result.peak_time_index(worst)
+        print(
+            f"  {label:>22}   {system.num_variables:5d}   {result.basis.size:11d}   "
+            f"{1e3 * result.std_drop[step, worst]:20.3f}"
+        )
+
+    # --- variance attribution at the worst node ------------------------------
+    print("\nvariance attribution (inter-die model, order 2)")
+    inter = build_stochastic_system(stamped, VariationSpec.paper_defaults())
+    result = run_opera_transient(inter, OperaConfig(transient=transient, order=2))
+    worst = result.worst_node()
+    indices = transient_total_indices(
+        result, worst, variable_names=inter.variable_names()
+    )
+    name = result.node_names[worst] if result.node_names else worst
+    print(f"  worst node {name}: total-effect Sobol' indices")
+    for germ, value in sorted(indices.items(), key=lambda item: -item[1]):
+        meaning = "metal W/T (conductance)" if "G" in germ else "channel length Leff"
+        print(f"    {germ:6s} ({meaning:<24s}): {100 * value:5.1f}% of the drop variance")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Quickstart: stochastic IR-drop analysis of a synthetic power grid.
+
+This is the 60-second tour of the library:
+
+1. synthesise a two-layer power grid with functional-block loads,
+2. attach the paper's inter-die process variation model
+   (3-sigma: 20 % W, 15 % T, 20 % Leff),
+3. run the OPERA order-2 stochastic transient analysis,
+4. print the variation report (worst node, +/-3-sigma spread).
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    GridSpec,
+    OperaConfig,
+    TransientConfig,
+    VariationSpec,
+    build_stochastic_system,
+    generate_power_grid,
+    run_opera_transient,
+    stamp,
+    summarize,
+    transient_analysis,
+)
+
+
+def main() -> None:
+    # 1. A small synthetic grid (use spec_for_node_count for bigger ones).
+    spec = GridSpec(nx=20, ny=20, num_layers=2, num_blocks=6, pad_spacing=2, seed=1)
+    netlist = generate_power_grid(spec)
+    print(f"generated grid: {netlist.stats()}")
+
+    # 2. Stamp the MNA matrices and attach the paper's variation model.
+    stamped = stamp(netlist)
+    system = build_stochastic_system(stamped, VariationSpec.paper_defaults())
+    print(f"random variables: {system.variable_names()}")
+
+    # 3. OPERA stochastic transient analysis (order-2 Hermite chaos).
+    transient = TransientConfig(t_stop=4.0e-9, dt=0.2e-9)
+    result = run_opera_transient(system, OperaConfig(transient=transient, order=2))
+
+    # 4. Report: the paper's headline is the ~+/-35 % 3-sigma spread.
+    nominal = transient_analysis(stamped, transient)
+    report = summarize(result, nominal)
+    print()
+    print(report)
+    print()
+    print("worst nodes:")
+    for node_summary in report.node_summaries[:5]:
+        print(f"  {node_summary}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,152 @@
+"""OPERA reproduction: stochastic power-grid analysis under process variations.
+
+This package reproduces "Stochastic Power Grid Analysis Considering Process
+Variations" (Ghanta, Vrudhula, Panda, Wang -- DATE 2005).  It contains:
+
+* :mod:`repro.grid` -- power-grid netlists, a synthetic multi-layer grid
+  generator, SPICE-subset I/O and MNA stamping;
+* :mod:`repro.sim` -- deterministic DC and fixed-step transient simulation;
+* :mod:`repro.variation` -- process-variation models (inter-die W/T/Leff,
+  intra-die Vth/leakage) producing stochastic MNA systems;
+* :mod:`repro.chaos` -- polynomial chaos bases (Hermite and the wider Askey
+  scheme), Galerkin projection and stochastic-response containers;
+* :mod:`repro.opera` -- the OPERA engine: stochastic DC/transient analysis
+  with the decoupled special case for RHS-only variation;
+* :mod:`repro.montecarlo` -- the Monte Carlo reference;
+* :mod:`repro.analysis` -- accuracy metrics, Table-1 assembly and the
+  Figure-1/2 distribution comparisons;
+* :mod:`repro.mor` -- PRIMA-style model order reduction (extension).
+
+Quick start::
+
+    from repro import (
+        GridSpec, generate_power_grid, stamp,
+        VariationSpec, build_stochastic_system,
+        OperaConfig, TransientConfig, run_opera_transient, summarize,
+    )
+
+    netlist = generate_power_grid(GridSpec(nx=30, ny=30, seed=1))
+    system = build_stochastic_system(stamp(netlist), VariationSpec.paper_defaults())
+    config = OperaConfig(transient=TransientConfig(t_stop=8e-9, dt=0.2e-9), order=2)
+    result = run_opera_transient(system, config)
+    print(summarize(result))
+"""
+
+from .analysis import (
+    AccuracyMetrics,
+    SobolIndices,
+    Table1Row,
+    ascii_histogram,
+    compare_to_monte_carlo,
+    drop_distribution_comparison,
+    format_table1,
+    sobol_indices,
+    three_sigma_spread_percent,
+    transient_total_indices,
+)
+from .chaos import (
+    PolynomialChaosBasis,
+    StochasticField,
+    StochasticTransientResult,
+)
+from .errors import (
+    AnalysisError,
+    BasisError,
+    ConvergenceError,
+    NetlistError,
+    ReproError,
+    SolverError,
+    SpiceFormatError,
+    StampingError,
+    VariationModelError,
+)
+from .grid import (
+    GridSpec,
+    PowerGridNetlist,
+    Technology,
+    default_technology,
+    generate_power_grid,
+    read_spice,
+    spec_for_node_count,
+    stamp,
+    write_spice,
+)
+from .montecarlo import MonteCarloConfig, run_monte_carlo_dc, run_monte_carlo_transient
+from .opera import (
+    OperaConfig,
+    run_decoupled_transient,
+    run_opera_dc,
+    run_opera_transient,
+    summarize,
+)
+from .sim import MNASystem, TransientConfig, dc_operating_point, transient_analysis
+from .variation import (
+    LeakageVariationSpec,
+    RegionPartition,
+    SpatialVariationSpec,
+    VariationSpec,
+    build_leakage_system,
+    build_spatial_stochastic_system,
+    build_stochastic_system,
+)
+from .waveforms import ClockedActivity, Constant, PeriodicPulse, PiecewiseLinear
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AccuracyMetrics",
+    "Table1Row",
+    "ascii_histogram",
+    "compare_to_monte_carlo",
+    "drop_distribution_comparison",
+    "format_table1",
+    "three_sigma_spread_percent",
+    "PolynomialChaosBasis",
+    "StochasticField",
+    "StochasticTransientResult",
+    "AnalysisError",
+    "BasisError",
+    "ConvergenceError",
+    "NetlistError",
+    "ReproError",
+    "SolverError",
+    "SpiceFormatError",
+    "StampingError",
+    "VariationModelError",
+    "GridSpec",
+    "PowerGridNetlist",
+    "Technology",
+    "default_technology",
+    "generate_power_grid",
+    "read_spice",
+    "spec_for_node_count",
+    "stamp",
+    "write_spice",
+    "MonteCarloConfig",
+    "run_monte_carlo_dc",
+    "run_monte_carlo_transient",
+    "OperaConfig",
+    "run_decoupled_transient",
+    "run_opera_dc",
+    "run_opera_transient",
+    "summarize",
+    "MNASystem",
+    "TransientConfig",
+    "dc_operating_point",
+    "transient_analysis",
+    "LeakageVariationSpec",
+    "RegionPartition",
+    "SpatialVariationSpec",
+    "VariationSpec",
+    "build_leakage_system",
+    "build_spatial_stochastic_system",
+    "build_stochastic_system",
+    "SobolIndices",
+    "sobol_indices",
+    "transient_total_indices",
+    "ClockedActivity",
+    "Constant",
+    "PeriodicPulse",
+    "PiecewiseLinear",
+    "__version__",
+]

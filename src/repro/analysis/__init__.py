@@ -1,0 +1,21 @@
+"""Comparison metrics, Table-1 assembly and Figure-1/2 histogram helpers."""
+
+from .histogram import DropDistributionComparison, ascii_histogram, drop_distribution_comparison
+from .metrics import AccuracyMetrics, compare_to_monte_carlo, three_sigma_spread_percent
+from .sobol import SobolIndices, sobol_indices, transient_total_indices
+from .tables import PAPER_TABLE1, Table1Row, format_table1
+
+__all__ = [
+    "SobolIndices",
+    "sobol_indices",
+    "transient_total_indices",
+    "DropDistributionComparison",
+    "ascii_histogram",
+    "drop_distribution_comparison",
+    "AccuracyMetrics",
+    "compare_to_monte_carlo",
+    "three_sigma_spread_percent",
+    "PAPER_TABLE1",
+    "Table1Row",
+    "format_table1",
+]

@@ -1,0 +1,130 @@
+"""Voltage-drop distribution comparisons (Figures 1 and 2 of the paper).
+
+The paper plots, for a selected node of the 19 181-node grid, the histogram of
+the voltage drop (as a percentage of VDD) obtained from Monte Carlo and from
+sampling the OPERA polynomial expansion; the two coincide.  The helpers here
+produce the same two series on a shared bin axis and can render them as an
+ASCII chart for terminal inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..chaos.response import StochasticTransientResult
+from ..errors import AnalysisError
+from ..montecarlo.engine import MonteCarloTransientResult
+
+__all__ = ["DropDistributionComparison", "drop_distribution_comparison", "ascii_histogram"]
+
+
+@dataclass(frozen=True)
+class DropDistributionComparison:
+    """Voltage-drop histograms of OPERA and Monte Carlo on a shared axis."""
+
+    node: int
+    time_index: int
+    bin_centers_percent_vdd: np.ndarray
+    opera_percent_occurrence: np.ndarray
+    monte_carlo_percent_occurrence: np.ndarray
+    opera_mean_percent_vdd: float
+    monte_carlo_mean_percent_vdd: float
+    opera_sigma_percent_vdd: float
+    monte_carlo_sigma_percent_vdd: float
+
+    def histogram_distance(self) -> float:
+        """Total-variation-style distance between the two histograms (0..100)."""
+        return 0.5 * float(
+            np.sum(
+                np.abs(self.opera_percent_occurrence - self.monte_carlo_percent_occurrence)
+            )
+        )
+
+
+def drop_distribution_comparison(
+    opera: StochasticTransientResult,
+    monte_carlo: MonteCarloTransientResult,
+    node: int,
+    time_index: Optional[int] = None,
+    bins: int = 24,
+    num_opera_samples: int = 20000,
+    rng: Optional[np.random.Generator] = None,
+) -> DropDistributionComparison:
+    """Compare the drop distribution of one node from OPERA and Monte Carlo.
+
+    ``node`` must be one of the nodes whose waveforms the Monte Carlo sweep
+    recorded (``store_nodes``).  The comparison is made at ``time_index``
+    (default: the node's peak mean-drop time) and both histograms share the
+    same bins so the series can be overlaid exactly as in Figures 1-2.
+    """
+    if node not in monte_carlo.node_drop_samples:
+        raise AnalysisError(
+            f"node {node} was not recorded by the Monte Carlo sweep; add it to store_nodes"
+        )
+    if time_index is None:
+        time_index = opera.peak_time_index(node)
+
+    mc_drops = monte_carlo.drop_samples(node, time_index)
+    opera_drops = opera.drop_samples(
+        node, time_index, num_samples=num_opera_samples, rng=rng
+    )
+
+    vdd = opera.vdd
+    mc_percent = 100.0 * mc_drops / vdd
+    opera_percent = 100.0 * opera_drops / vdd
+
+    low = min(mc_percent.min(), opera_percent.min())
+    high = max(mc_percent.max(), opera_percent.max())
+    if high <= low:
+        high = low + 1e-9
+    edges = np.linspace(low, high, bins + 1)
+    centers = 0.5 * (edges[:-1] + edges[1:])
+
+    mc_counts, _ = np.histogram(mc_percent, bins=edges)
+    opera_counts, _ = np.histogram(opera_percent, bins=edges)
+
+    return DropDistributionComparison(
+        node=node,
+        time_index=int(time_index),
+        bin_centers_percent_vdd=centers,
+        opera_percent_occurrence=100.0 * opera_counts / opera_percent.size,
+        monte_carlo_percent_occurrence=100.0 * mc_counts / mc_percent.size,
+        opera_mean_percent_vdd=float(np.mean(opera_percent)),
+        monte_carlo_mean_percent_vdd=float(np.mean(mc_percent)),
+        opera_sigma_percent_vdd=float(np.std(opera_percent, ddof=1)),
+        monte_carlo_sigma_percent_vdd=float(np.std(mc_percent, ddof=1)),
+    )
+
+
+def ascii_histogram(
+    comparison: DropDistributionComparison, width: int = 50
+) -> str:
+    """Render the two histogram series as a side-by-side ASCII chart."""
+    peak = max(
+        float(np.max(comparison.opera_percent_occurrence)),
+        float(np.max(comparison.monte_carlo_percent_occurrence)),
+        1e-9,
+    )
+    lines = [
+        f"voltage drop distribution at node {comparison.node} "
+        f"(time index {comparison.time_index})",
+        f"{'drop %VDD':>10}  {'OPERA':<{width}}  {'Monte Carlo':<{width}}",
+    ]
+    for center, opera_value, mc_value in zip(
+        comparison.bin_centers_percent_vdd,
+        comparison.opera_percent_occurrence,
+        comparison.monte_carlo_percent_occurrence,
+    ):
+        opera_bar = "#" * int(round(width * opera_value / peak))
+        mc_bar = "*" * int(round(width * mc_value / peak))
+        lines.append(f"{center:>10.2f}  {opera_bar:<{width}}  {mc_bar:<{width}}")
+    lines.append(
+        "mean %VDD: OPERA "
+        f"{comparison.opera_mean_percent_vdd:.3f} vs MC {comparison.monte_carlo_mean_percent_vdd:.3f}; "
+        "sigma %VDD: OPERA "
+        f"{comparison.opera_sigma_percent_vdd:.3f} vs MC {comparison.monte_carlo_sigma_percent_vdd:.3f}"
+    )
+    return "\n".join(lines)

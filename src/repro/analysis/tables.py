@@ -1,0 +1,124 @@
+"""Assembly and rendering of Table 1 of the paper.
+
+Each row of Table 1 describes one grid: its size, the average/maximum
+percentage errors of the OPERA mean and sigma against Monte Carlo, the
+average +/-3-sigma spread as a percentage of the nominal drop, the CPU times
+of both methods and the speed-up.  :class:`Table1Row` captures one such row
+and :func:`format_table1` renders the whole table as text in the same column
+order as the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from .metrics import AccuracyMetrics
+
+__all__ = ["Table1Row", "format_table1", "PAPER_TABLE1"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One grid's worth of Table 1 data."""
+
+    name: str
+    num_nodes: int
+    average_mean_error_percent: float
+    maximum_mean_error_percent: float
+    average_sigma_error_percent: float
+    maximum_sigma_error_percent: float
+    three_sigma_spread_percent: float
+    monte_carlo_seconds: float
+    opera_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """Monte Carlo runtime divided by OPERA runtime."""
+        if self.opera_seconds <= 0:
+            return float("inf")
+        return self.monte_carlo_seconds / self.opera_seconds
+
+    @classmethod
+    def from_metrics(
+        cls,
+        name: str,
+        num_nodes: int,
+        metrics: AccuracyMetrics,
+        three_sigma_spread: float,
+        monte_carlo_seconds: float,
+        opera_seconds: float,
+    ) -> "Table1Row":
+        return cls(
+            name=name,
+            num_nodes=num_nodes,
+            average_mean_error_percent=metrics.average_mean_error_percent,
+            maximum_mean_error_percent=metrics.maximum_mean_error_percent,
+            average_sigma_error_percent=metrics.average_sigma_error_percent,
+            maximum_sigma_error_percent=metrics.maximum_sigma_error_percent,
+            three_sigma_spread_percent=three_sigma_spread,
+            monte_carlo_seconds=monte_carlo_seconds,
+            opera_seconds=opera_seconds,
+        )
+
+
+_HEADER = (
+    "Size",
+    "Avg %Err mu",
+    "Max %Err mu",
+    "Avg %Err sigma",
+    "Max %Err sigma",
+    "+/-3sigma (% nominal)",
+    "MC (s)",
+    "OPERA (s)",
+    "Speedup",
+)
+
+
+def format_table1(rows: Sequence[Table1Row], title: Optional[str] = None) -> str:
+    """Render rows in the layout of Table 1 (plain text)."""
+    body: List[List[str]] = []
+    for row in rows:
+        body.append(
+            [
+                f"{row.num_nodes}",
+                f"{row.average_mean_error_percent:.4f}",
+                f"{row.maximum_mean_error_percent:.4f}",
+                f"{row.average_sigma_error_percent:.2f}",
+                f"{row.maximum_sigma_error_percent:.2f}",
+                f"+/- {row.three_sigma_spread_percent:.0f}",
+                f"{row.monte_carlo_seconds:.2f}",
+                f"{row.opera_seconds:.2f}",
+                f"{row.speedup:.0f}x",
+            ]
+        )
+    widths = [
+        max(len(_HEADER[c]), max((len(line[c]) for line in body), default=0))
+        for c in range(len(_HEADER))
+    ]
+
+    def render_line(cells: Iterable[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_line(_HEADER))
+    lines.append(render_line("-" * w for w in widths))
+    lines.extend(render_line(line) for line in body)
+    return "\n".join(lines)
+
+
+#: The seven rows of Table 1 as printed in the paper (for shape comparison in
+#: EXPERIMENTS.md and the benchmark output).  Columns: nodes, avg/max % error
+#: in mu, avg/max % error in sigma, +/-3sigma spread (% of nominal), MC CPU
+#: seconds, OPERA CPU seconds.
+PAPER_TABLE1 = (
+    Table1Row("paper-19181", 19181, 0.0155, 0.0282, 2.53, 2.78, 34.0, 1444.00, 14.32),
+    Table1Row("paper-25813", 25813, 0.0422, 0.0838, 3.41, 3.84, 33.0, 1565.30, 77.93),
+    Table1Row("paper-34938", 34938, 0.0204, 0.5146, 1.53, 12.17, 32.0, 1140.10, 17.50),
+    Table1Row("paper-49262", 49262, 0.1992, 0.3713, 6.73, 7.37, 37.0, 4777.87, 178.52),
+    Table1Row("paper-62812", 62812, 0.0680, 0.1253, 3.82, 6.45, 46.0, 1481.70, 17.40),
+    Table1Row("paper-91729", 91729, 0.0137, 0.6037, 3.28, 18.03, 30.0, 3172.67, 25.50),
+    Table1Row("paper-351838", 351838, 0.0926, 0.1457, 5.27, 18.39, 33.0, 109315.00, 1050.72),
+)

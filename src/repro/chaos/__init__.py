@@ -1,0 +1,97 @@
+"""Polynomial chaos machinery: bases, Galerkin projection, stochastic responses."""
+
+from .askey import (
+    jacobi_norm_squared,
+    jacobi_value,
+    laguerre_norm_squared,
+    laguerre_value,
+    legendre_norm_squared,
+    legendre_value,
+)
+from .basis import (
+    HermiteFamily,
+    JacobiFamily,
+    LaguerreFamily,
+    LegendreFamily,
+    PolynomialChaosBasis,
+    PolynomialFamily,
+    family_for,
+)
+from .density import edgeworth_pdf, gram_charlier_pdf, histogram_percentages
+from .galerkin import (
+    GalerkinSystem,
+    assemble_augmented_matrix,
+    assemble_augmented_rhs,
+    split_augmented_vector,
+)
+from .hermite import (
+    hermite_norm_squared,
+    hermite_triple_product,
+    hermite_value,
+    normalized_hermite_triple,
+    normalized_hermite_value,
+)
+from .multiindex import (
+    multi_index_count,
+    multi_index_degree,
+    total_degree_multi_indices,
+)
+from .projection import (
+    evaluate_expansion,
+    lognormal_hermite_coefficients,
+    project_function,
+    project_samples,
+)
+from .quadrature import (
+    gauss_hermite_rule,
+    gauss_jacobi_rule,
+    gauss_laguerre_rule,
+    gauss_legendre_rule,
+    tensor_grid,
+)
+from .response import StochasticField, StochasticTransientResult
+from .triples import triple_product_matrix, triple_product_tensors
+
+__all__ = [
+    "jacobi_norm_squared",
+    "jacobi_value",
+    "laguerre_norm_squared",
+    "laguerre_value",
+    "legendre_norm_squared",
+    "legendre_value",
+    "HermiteFamily",
+    "JacobiFamily",
+    "LaguerreFamily",
+    "LegendreFamily",
+    "PolynomialChaosBasis",
+    "PolynomialFamily",
+    "family_for",
+    "edgeworth_pdf",
+    "gram_charlier_pdf",
+    "histogram_percentages",
+    "GalerkinSystem",
+    "assemble_augmented_matrix",
+    "assemble_augmented_rhs",
+    "split_augmented_vector",
+    "hermite_norm_squared",
+    "hermite_triple_product",
+    "hermite_value",
+    "normalized_hermite_triple",
+    "normalized_hermite_value",
+    "multi_index_count",
+    "multi_index_degree",
+    "total_degree_multi_indices",
+    "evaluate_expansion",
+    "lognormal_hermite_coefficients",
+    "project_function",
+    "project_samples",
+    "gauss_hermite_rule",
+    "gauss_jacobi_rule",
+    "gauss_laguerre_rule",
+    "gauss_legendre_rule",
+    "tensor_grid",
+    "StochasticField",
+    "StochasticTransientResult",
+    "triple_product_matrix",
+    "triple_product_tensors",
+]

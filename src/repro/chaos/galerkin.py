@@ -1,0 +1,153 @@
+"""Galerkin (stochastic) projection of the MNA system.
+
+This is the numerical heart of OPERA.  Writing the stochastic response as a
+truncated chaos expansion ``x(s, xi) = sum_i a_i(s) psi_i(xi)`` and requiring
+the truncation residual to be orthogonal to every retained basis function
+(Eq. (10) of the paper) yields one large *deterministic* system
+
+``(G~ + s C~) a(s) = U~(s)``
+
+whose blocks are
+
+``G~[j, i] = sum_m E[psi_m psi_i psi_j] G_m``
+
+for a parameter expansion ``G(xi) = sum_m G_m psi_m(xi)`` (and likewise for
+``C~``), while the right-hand-side block ``j`` is simply the ``j``-th chaos
+coefficient of ``U`` because the basis is orthonormal.
+
+The augmented matrices are assembled as sums of Kronecker products so the
+sparsity of the grid matrices is preserved exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import AnalysisError, BasisError
+from .basis import PolynomialChaosBasis
+from .triples import triple_product_tensors
+
+__all__ = [
+    "assemble_augmented_matrix",
+    "assemble_augmented_rhs",
+    "split_augmented_vector",
+    "GalerkinSystem",
+]
+
+
+def assemble_augmented_matrix(
+    basis: PolynomialChaosBasis,
+    coefficient_matrices: Mapping[int, sp.spmatrix],
+) -> sp.csr_matrix:
+    """Assemble ``sum_m kron(T_m, A_m)`` for a parameter expansion of a matrix.
+
+    Parameters
+    ----------
+    basis:
+        The chaos basis of the response.
+    coefficient_matrices:
+        Mapping from *basis index* ``m`` to the matrix coefficient ``A_m`` of
+        the parameter expansion ``A(xi) = sum_m A_m psi_m(xi)``.  For the
+        paper's affine (first-order) parameter model the keys are ``0`` and
+        the first-order indices of the varying germs.
+    """
+    if not coefficient_matrices:
+        raise AnalysisError("at least the mean matrix (index 0) must be provided")
+    shapes = {matrix.shape for matrix in coefficient_matrices.values()}
+    if len(shapes) != 1:
+        raise AnalysisError("all coefficient matrices must share the same shape")
+
+    tensors = triple_product_tensors(basis, coefficient_matrices.keys())
+    augmented = None
+    for m, matrix in coefficient_matrices.items():
+        term = sp.kron(tensors[m], sp.csr_matrix(matrix), format="csr")
+        augmented = term if augmented is None else augmented + term
+    return augmented.tocsr()
+
+
+def assemble_augmented_rhs(
+    basis: PolynomialChaosBasis,
+    coefficient_vectors: Mapping[int, np.ndarray],
+    num_nodes: int,
+) -> np.ndarray:
+    """Stack the chaos coefficients of the excitation into the augmented RHS.
+
+    Because the basis is orthonormal, the Galerkin right-hand side block ``j``
+    equals the ``j``-th chaos coefficient of ``U`` (zero if absent).
+    """
+    stacked = np.zeros(basis.size * num_nodes)
+    for index, vector in coefficient_vectors.items():
+        if not (0 <= index < basis.size):
+            raise BasisError(
+                f"excitation refers to basis index {index}, but the basis has "
+                f"only {basis.size} functions (order too low?)"
+            )
+        vector = np.asarray(vector, dtype=float)
+        if vector.shape != (num_nodes,):
+            raise AnalysisError(
+                f"excitation coefficient {index} has shape {vector.shape}, "
+                f"expected ({num_nodes},)"
+            )
+        stacked[index * num_nodes : (index + 1) * num_nodes] = vector
+    return stacked
+
+
+def split_augmented_vector(
+    vector: np.ndarray, basis_size: int, num_nodes: int
+) -> np.ndarray:
+    """Reshape a stacked augmented vector into ``(basis_size, num_nodes)`` blocks."""
+    vector = np.asarray(vector, dtype=float)
+    expected = basis_size * num_nodes
+    if vector.shape != (expected,):
+        raise AnalysisError(
+            f"augmented vector has shape {vector.shape}, expected ({expected},)"
+        )
+    return vector.reshape(basis_size, num_nodes)
+
+
+class GalerkinSystem:
+    """The augmented deterministic system produced by the Galerkin projection.
+
+    Attributes
+    ----------
+    basis:
+        Chaos basis of the response.
+    conductance, capacitance:
+        Augmented matrices ``G~`` and ``C~`` of Eq. (19).
+    rhs:
+        Callable returning the stacked augmented right-hand side at a time.
+    num_nodes:
+        Number of grid nodes (the block size).
+    """
+
+    def __init__(
+        self,
+        basis: PolynomialChaosBasis,
+        conductance_coefficients: Mapping[int, sp.spmatrix],
+        capacitance_coefficients: Mapping[int, sp.spmatrix],
+        excitation_coefficients: Callable[[float], Mapping[int, np.ndarray]],
+        num_nodes: int,
+    ):
+        self.basis = basis
+        self.num_nodes = int(num_nodes)
+        self.conductance = assemble_augmented_matrix(basis, conductance_coefficients)
+        self.capacitance = assemble_augmented_matrix(basis, capacitance_coefficients)
+        self._excitation_coefficients = excitation_coefficients
+
+    @property
+    def size(self) -> int:
+        """Dimension of the augmented system (= basis.size * num_nodes)."""
+        return self.basis.size * self.num_nodes
+
+    def rhs(self, t: float) -> np.ndarray:
+        """Stacked augmented right-hand side ``U~(t)``."""
+        return assemble_augmented_rhs(
+            self.basis, self._excitation_coefficients(t), self.num_nodes
+        )
+
+    def split(self, augmented_vector: np.ndarray) -> np.ndarray:
+        """Reshape an augmented solution into ``(basis.size, num_nodes)``."""
+        return split_augmented_vector(augmented_vector, self.basis.size, self.num_nodes)

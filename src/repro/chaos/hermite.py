@@ -1,0 +1,85 @@
+"""Probabilists' Hermite polynomials and their expectation algebra.
+
+The Hermite polynomials ``He_k`` are orthogonal under the standard normal
+density: ``E[He_a(xi) He_b(xi)] = a! * delta_ab``.  Besides evaluation, this
+module provides the analytic triple-product expectations
+
+``E[He_a He_b He_c] = a! b! c! / ((s-a)! (s-b)! (s-c)!)``
+
+(for ``a + b + c = 2 s`` even and the triangle condition satisfied; zero
+otherwise), which are the only quantities the Galerkin projection of the
+paper needs for Gaussian germs.
+"""
+
+from __future__ import annotations
+
+from math import factorial
+from typing import Union
+
+import numpy as np
+
+from ..errors import BasisError
+
+__all__ = [
+    "hermite_value",
+    "hermite_norm_squared",
+    "hermite_triple_product",
+    "normalized_hermite_value",
+    "normalized_hermite_triple",
+]
+
+
+def hermite_value(order: int, x: Union[float, np.ndarray]) -> Union[float, np.ndarray]:
+    """Evaluate the probabilists' Hermite polynomial ``He_order`` at ``x``.
+
+    Uses the stable three-term recurrence
+    ``He_{k+1}(x) = x He_k(x) - k He_{k-1}(x)``.
+    """
+    if order < 0:
+        raise BasisError("polynomial order must be non-negative")
+    x = np.asarray(x, dtype=float)
+    previous = np.ones_like(x)
+    if order == 0:
+        return previous if previous.ndim else float(previous)
+    current = x.copy()
+    for k in range(1, order):
+        previous, current = current, x * current - k * previous
+    return current if current.ndim else float(current)
+
+
+def hermite_norm_squared(order: int) -> float:
+    """``E[He_order(xi)^2] = order!`` for a standard normal ``xi``."""
+    if order < 0:
+        raise BasisError("polynomial order must be non-negative")
+    return float(factorial(order))
+
+
+def hermite_triple_product(a: int, b: int, c: int) -> float:
+    """Exact expectation ``E[He_a(xi) He_b(xi) He_c(xi)]`` for standard normal ``xi``."""
+    if min(a, b, c) < 0:
+        raise BasisError("polynomial orders must be non-negative")
+    total = a + b + c
+    if total % 2:
+        return 0.0
+    s = total // 2
+    if s < a or s < b or s < c:
+        return 0.0
+    return float(
+        factorial(a)
+        * factorial(b)
+        * factorial(c)
+        / (factorial(s - a) * factorial(s - b) * factorial(s - c))
+    )
+
+
+def normalized_hermite_value(order: int, x):
+    """Orthonormal Hermite polynomial ``He_order / sqrt(order!)`` at ``x``."""
+    return hermite_value(order, x) / np.sqrt(hermite_norm_squared(order))
+
+
+def normalized_hermite_triple(a: int, b: int, c: int) -> float:
+    """Triple product of *orthonormal* Hermite polynomials."""
+    scale = np.sqrt(
+        hermite_norm_squared(a) * hermite_norm_squared(b) * hermite_norm_squared(c)
+    )
+    return hermite_triple_product(a, b, c) / scale

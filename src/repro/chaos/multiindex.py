@@ -1,0 +1,81 @@
+"""Multi-index bookkeeping for multivariate polynomial chaos bases.
+
+A polynomial chaos basis function in ``n`` germ variables is identified by a
+multi-index ``alpha = (a_1, ..., a_n)``: the basis function is the product of
+the univariate polynomials of degree ``a_d`` in each dimension.  A total-order
+truncation at order ``p`` keeps every multi-index with ``sum(alpha) <= p``;
+the number of retained functions is ``C(n + p, p)``, which is the ``N + 1``
+appearing in Eq. (8) of the paper.
+
+The ordering produced here is *graded*: indices are sorted by total degree
+first, and within a degree the first variable's exponent decreases last, so
+that
+
+* index 0 is the constant function,
+* indices ``1 .. n`` are the first-order terms, in variable order.
+
+The second property is what lets an affine parameter dependence
+``A_0 + sum_k A_k xi_k`` be treated as a chaos expansion whose only nonzero
+coefficients sit at indices ``0`` and ``k + 1``.
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import Iterator, List, Sequence, Tuple
+
+from ..errors import BasisError
+
+__all__ = [
+    "compositions",
+    "total_degree_multi_indices",
+    "multi_index_count",
+    "multi_index_degree",
+]
+
+MultiIndex = Tuple[int, ...]
+
+
+def compositions(total: int, parts: int) -> Iterator[MultiIndex]:
+    """Yield all ways of writing ``total`` as an ordered sum of ``parts`` >= 0 terms.
+
+    The enumeration assigns the largest exponent to the *first* variable
+    first, so for ``total=1`` the order is ``(1,0,...), (0,1,...), ...``.
+    """
+    if parts < 1:
+        raise BasisError("parts must be at least 1")
+    if parts == 1:
+        yield (total,)
+        return
+    for head in range(total, -1, -1):
+        for tail in compositions(total - head, parts - 1):
+            yield (head,) + tail
+
+
+def total_degree_multi_indices(num_vars: int, order: int) -> List[MultiIndex]:
+    """All multi-indices of ``num_vars`` variables with total degree <= ``order``."""
+    if num_vars < 1:
+        raise BasisError("num_vars must be at least 1")
+    if order < 0:
+        raise BasisError("order must be non-negative")
+    indices: List[MultiIndex] = []
+    for degree in range(order + 1):
+        indices.extend(compositions(degree, num_vars))
+    return indices
+
+
+def multi_index_count(num_vars: int, order: int) -> int:
+    """Number of total-degree multi-indices: ``C(num_vars + order, order)``.
+
+    This is the ``N + 1`` of Eq. (8): ``sum_{k=0}^{p} C(n - 1 + k, k)``.
+    """
+    if num_vars < 1:
+        raise BasisError("num_vars must be at least 1")
+    if order < 0:
+        raise BasisError("order must be non-negative")
+    return comb(num_vars + order, order)
+
+
+def multi_index_degree(index: Sequence[int]) -> int:
+    """Total degree of a multi-index."""
+    return int(sum(index))

@@ -1,0 +1,114 @@
+"""Projection of functions of the germ variables onto a chaos basis.
+
+Inputs that depend nonlinearly on the germs (for example lognormal leakage
+currents, or measured response surfaces) must be expressed as chaos
+coefficients before they can enter the Galerkin system.  Because the basis is
+orthonormal, the coefficients are plain inner products
+
+``c_i = E[f(xi) psi_i(xi)]``
+
+evaluated here either analytically (lognormal / exponential of a Gaussian) or
+with tensor-product Gauss quadrature.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Union
+
+import numpy as np
+
+from ..errors import BasisError
+from .basis import PolynomialChaosBasis
+
+__all__ = [
+    "project_function",
+    "project_samples",
+    "lognormal_hermite_coefficients",
+    "evaluate_expansion",
+]
+
+
+def project_function(
+    basis: PolynomialChaosBasis,
+    function: Callable[[np.ndarray], np.ndarray],
+    points_per_dim: int = 8,
+) -> np.ndarray:
+    """Project ``function`` of the germ vector onto the basis by quadrature.
+
+    Parameters
+    ----------
+    basis:
+        Target chaos basis.
+    function:
+        Vectorised callable mapping germ points of shape ``(m, num_vars)`` to
+        values of shape ``(m,)`` or ``(m, k)``.
+    points_per_dim:
+        Number of Gauss points per germ dimension; must satisfy
+        ``2 * points_per_dim - 1 >= order + degree(function)`` for an exact
+        projection of polynomial inputs.
+    """
+    points, weights = basis.quadrature(points_per_dim)
+    values = np.asarray(function(points), dtype=float)
+    if values.shape[0] != points.shape[0]:
+        raise BasisError("function must return one value (row) per quadrature point")
+    psi = basis.evaluate(points)  # (m, size)
+    # c_i = sum_q w_q f(x_q) psi_i(x_q)
+    return np.tensordot(psi * weights[:, None], values, axes=(0, 0))
+
+
+def project_samples(
+    basis: PolynomialChaosBasis, germ_samples: np.ndarray, values: np.ndarray
+) -> np.ndarray:
+    """Least-squares (regression) projection from Monte Carlo style samples.
+
+    This is the non-intrusive alternative to Galerkin projection: given
+    germ samples and the corresponding model evaluations, fit the chaos
+    coefficients in the least-squares sense.
+    """
+    psi = basis.evaluate(np.asarray(germ_samples, dtype=float))
+    values = np.asarray(values, dtype=float)
+    if psi.shape[0] != values.shape[0]:
+        raise BasisError("need one model evaluation per germ sample")
+    coefficients, *_ = np.linalg.lstsq(psi, values, rcond=None)
+    return coefficients
+
+
+def lognormal_hermite_coefficients(
+    log_sigma: float, max_degree: int, mean_preserving: bool = False
+) -> np.ndarray:
+    """Hermite coefficients of ``exp(s * xi)`` (or its mean-preserving variant).
+
+    With orthonormal Hermite polynomials ``psi_k``:
+
+    ``exp(s*xi) = exp(s^2/2) * sum_k (s^k / sqrt(k!)) psi_k(xi)``.
+
+    When ``mean_preserving`` is true the function expanded is
+    ``exp(s*xi - s^2/2)`` whose mean is exactly one.
+    """
+    if log_sigma < 0:
+        raise BasisError("log_sigma must be non-negative")
+    if max_degree < 0:
+        raise BasisError("max_degree must be non-negative")
+    scale = 1.0 if mean_preserving else math.exp(0.5 * log_sigma**2)
+    return np.array(
+        [scale * log_sigma**k / math.sqrt(math.factorial(k)) for k in range(max_degree + 1)]
+    )
+
+
+def evaluate_expansion(
+    basis: PolynomialChaosBasis, coefficients: np.ndarray, xi: np.ndarray
+) -> np.ndarray:
+    """Evaluate a chaos expansion at germ points.
+
+    ``coefficients`` has shape ``(size,)`` or ``(size, k)``; the result has
+    shape ``()``/``(k,)`` for a single point or ``(m,)``/``(m, k)`` for a
+    batch of ``m`` points.
+    """
+    coefficients = np.asarray(coefficients, dtype=float)
+    if coefficients.shape[0] != basis.size:
+        raise BasisError(
+            f"expected {basis.size} coefficient rows, got {coefficients.shape[0]}"
+        )
+    psi = basis.evaluate(xi)
+    return psi @ coefficients

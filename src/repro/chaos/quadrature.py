@@ -1,0 +1,90 @@
+"""Gauss quadrature rules with respect to probability measures.
+
+All rules returned here integrate against *probability densities* (weights sum
+to one), so ``sum(w_i * f(x_i))`` approximates ``E[f(xi)]`` directly.  They
+are used to compute inner products for polynomial families without analytic
+triple-product formulas (Legendre, Laguerre, Jacobi) and to project nonlinear
+excitations onto the chaos basis.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+from scipy import special as sps
+
+from ..errors import BasisError
+
+__all__ = [
+    "gauss_hermite_rule",
+    "gauss_legendre_rule",
+    "gauss_laguerre_rule",
+    "gauss_jacobi_rule",
+    "tensor_grid",
+]
+
+QuadratureRule = Tuple[np.ndarray, np.ndarray]
+
+
+def _check_points(num_points: int) -> None:
+    if num_points < 1:
+        raise BasisError("a quadrature rule needs at least one point")
+
+
+def gauss_hermite_rule(num_points: int) -> QuadratureRule:
+    """Gauss-Hermite rule for the standard normal density (probabilists' form)."""
+    _check_points(num_points)
+    nodes, weights = sps.roots_hermitenorm(num_points)
+    weights = weights / np.sqrt(2.0 * np.pi)
+    return nodes, weights
+
+
+def gauss_legendre_rule(num_points: int) -> QuadratureRule:
+    """Gauss-Legendre rule for the uniform density on ``[-1, 1]``."""
+    _check_points(num_points)
+    nodes, weights = sps.roots_legendre(num_points)
+    return nodes, weights / 2.0
+
+
+def gauss_laguerre_rule(num_points: int) -> QuadratureRule:
+    """Gauss-Laguerre rule for the unit-rate exponential density on ``[0, inf)``."""
+    _check_points(num_points)
+    nodes, weights = sps.roots_laguerre(num_points)
+    return nodes, weights
+
+
+def gauss_jacobi_rule(num_points: int, alpha: float, beta: float) -> QuadratureRule:
+    """Gauss-Jacobi rule for the Beta-type density ``(1-x)^alpha (1+x)^beta`` on ``[-1, 1]``.
+
+    The weights are normalised so they sum to one, i.e. the rule integrates
+    against the corresponding Beta probability density.
+    """
+    _check_points(num_points)
+    if alpha <= -1 or beta <= -1:
+        raise BasisError("Jacobi parameters must exceed -1")
+    nodes, weights = sps.roots_jacobi(num_points, alpha, beta)
+    weights = weights / np.sum(weights)
+    return nodes, weights
+
+
+def tensor_grid(rules: Sequence[QuadratureRule]) -> QuadratureRule:
+    """Tensor product of one-dimensional rules.
+
+    Returns points of shape ``(M, d)`` and weights of shape ``(M,)`` where
+    ``M`` is the product of the one-dimensional point counts and ``d`` the
+    number of dimensions.
+    """
+    if not rules:
+        raise BasisError("tensor_grid needs at least one rule")
+    point_arrays = [np.asarray(nodes, dtype=float) for nodes, _ in rules]
+    weight_arrays = [np.asarray(weights, dtype=float) for _, weights in rules]
+
+    mesh = np.meshgrid(*point_arrays, indexing="ij")
+    points = np.column_stack([m.reshape(-1) for m in mesh])
+
+    weight_mesh = np.meshgrid(*weight_arrays, indexing="ij")
+    weights = np.ones(points.shape[0])
+    for w in weight_mesh:
+        weights = weights * w.reshape(-1)
+    return points, weights

@@ -1,0 +1,58 @@
+"""Triple-product tensors used by the Galerkin projection.
+
+The Galerkin system of Eq. (19) couples the expansion coefficients through
+the expectations ``E[psi_m psi_i psi_j]`` where ``psi_m`` runs over the basis
+functions that appear in the parameter expansion of ``G`` and ``C`` (for the
+paper's affine model these are the constant and the first-order functions).
+This module materialises those expectations as sparse matrices
+``T_m[i, j] = E[psi_m psi_i psi_j]`` so that the augmented matrix is a sum of
+Kronecker products ``sum_m kron(T_m, A_m)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import BasisError
+from .basis import PolynomialChaosBasis
+
+__all__ = ["triple_product_matrix", "triple_product_tensors"]
+
+
+def triple_product_matrix(basis: PolynomialChaosBasis, m: int) -> sp.csr_matrix:
+    """Sparse matrix ``T_m`` with entries ``E[psi_m psi_i psi_j]``.
+
+    For ``m = 0`` (the constant basis function) this is the identity because
+    the basis is orthonormal.
+    """
+    size = basis.size
+    if not (0 <= m < size):
+        raise BasisError(f"parameter basis index {m} out of range")
+    if m == 0:
+        return sp.identity(size, format="csr")
+
+    rows = []
+    cols = []
+    values = []
+    for i in range(size):
+        for j in range(i, size):
+            value = basis.triple_product(m, i, j)
+            if value != 0.0:
+                rows.append(i)
+                cols.append(j)
+                values.append(value)
+                if i != j:
+                    rows.append(j)
+                    cols.append(i)
+                    values.append(value)
+    return sp.coo_matrix((values, (rows, cols)), shape=(size, size)).tocsr()
+
+
+def triple_product_tensors(
+    basis: PolynomialChaosBasis, parameter_indices: Iterable[int]
+) -> Dict[int, sp.csr_matrix]:
+    """Triple-product matrices for every parameter basis index requested."""
+    return {m: triple_product_matrix(basis, m) for m in set(parameter_indices)}

@@ -1,0 +1,151 @@
+"""Command-line interface of the OPERA reproduction.
+
+Three sub-commands cover the typical flow of the tool:
+
+``opera-run generate``
+    Synthesise a power grid and write it as a SPICE-subset deck.
+
+``opera-run analyze``
+    Run the OPERA stochastic transient analysis on a SPICE deck (or a
+    freshly generated grid) and print the variation report.
+
+``opera-run compare``
+    Run OPERA and the Monte Carlo reference on the same grid and print the
+    Table-1 style accuracy/speed-up row.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis import Table1Row, compare_to_monte_carlo, format_table1, three_sigma_spread_percent
+from .grid import GridSpec, generate_power_grid, read_spice, spec_for_node_count, stamp, write_spice
+from .montecarlo import MonteCarloConfig, run_monte_carlo_transient
+from .opera import OperaConfig, run_opera_transient, summarize
+from .sim import TransientConfig, transient_analysis
+from .variation import VariationSpec, build_stochastic_system
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="opera-run",
+        description="Stochastic power grid analysis under process variations (OPERA).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="synthesise a power grid SPICE deck")
+    generate.add_argument("output", help="path of the SPICE deck to write")
+    generate.add_argument("--nodes", type=int, default=2000, help="approximate node count")
+    generate.add_argument("--layers", type=int, default=2, help="number of metal layers")
+    generate.add_argument("--blocks", type=int, default=9, help="number of functional blocks")
+    generate.add_argument("--seed", type=int, default=0, help="generator seed")
+
+    def add_analysis_arguments(sub: argparse.ArgumentParser) -> None:
+        source = sub.add_mutually_exclusive_group(required=True)
+        source.add_argument("--spice", help="SPICE-subset deck to analyse")
+        source.add_argument(
+            "--synthetic-nodes",
+            type=int,
+            help="generate a synthetic grid with roughly this many nodes",
+        )
+        sub.add_argument("--seed", type=int, default=0, help="synthetic grid seed")
+        sub.add_argument("--order", type=int, default=2, help="chaos expansion order")
+        sub.add_argument("--t-stop", type=float, default=8e-9, help="transient horizon (s)")
+        sub.add_argument("--dt", type=float, default=0.2e-9, help="transient step (s)")
+        sub.add_argument(
+            "--three-sigma",
+            nargs=3,
+            type=float,
+            default=(20.0, 15.0, 20.0),
+            metavar=("W", "T", "L"),
+            help="3-sigma variation percentages for W, T and Leff",
+        )
+
+    analyze = subparsers.add_parser("analyze", help="run the OPERA stochastic analysis")
+    add_analysis_arguments(analyze)
+
+    compare = subparsers.add_parser("compare", help="compare OPERA against Monte Carlo")
+    add_analysis_arguments(compare)
+    compare.add_argument("--samples", type=int, default=200, help="Monte Carlo sample count")
+
+    return parser
+
+
+def _load_grid(args: argparse.Namespace):
+    if getattr(args, "spice", None):
+        return read_spice(args.spice)
+    spec = spec_for_node_count(args.synthetic_nodes, seed=args.seed)
+    return generate_power_grid(spec)
+
+
+def _build_system(args: argparse.Namespace):
+    netlist = _load_grid(args)
+    stamped = stamp(netlist)
+    w, t, l = args.three_sigma
+    spec = VariationSpec.from_three_sigma_percent(w=w, t=t, l=l)
+    return stamped, build_stochastic_system(stamped, spec)
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    spec = spec_for_node_count(
+        args.nodes, num_layers=args.layers, num_blocks=args.blocks, seed=args.seed
+    )
+    netlist = generate_power_grid(spec)
+    write_spice(netlist, args.output)
+    print(f"wrote {netlist.stats()} to {args.output}")
+    return 0
+
+
+def _command_analyze(args: argparse.Namespace) -> int:
+    stamped, system = _build_system(args)
+    transient = TransientConfig(t_stop=args.t_stop, dt=args.dt)
+    config = OperaConfig(transient=transient, order=args.order)
+    result = run_opera_transient(system, config)
+    nominal = transient_analysis(stamped, transient)
+    print(summarize(result, nominal))
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    stamped, system = _build_system(args)
+    transient = TransientConfig(t_stop=args.t_stop, dt=args.dt)
+    opera_result = run_opera_transient(
+        system, OperaConfig(transient=transient, order=args.order)
+    )
+    monte_carlo = run_monte_carlo_transient(
+        system, MonteCarloConfig(transient=transient, num_samples=args.samples)
+    )
+    metrics = compare_to_monte_carlo(opera_result, monte_carlo)
+    nominal = transient_analysis(stamped, transient)
+    spread = three_sigma_spread_percent(opera_result, nominal)
+    row = Table1Row.from_metrics(
+        name="cli",
+        num_nodes=system.num_nodes,
+        metrics=metrics,
+        three_sigma_spread=spread,
+        monte_carlo_seconds=monte_carlo.wall_time or 0.0,
+        opera_seconds=opera_result.wall_time or 0.0,
+    )
+    print(format_table1([row], title="OPERA vs Monte Carlo"))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by the ``opera-run`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": _command_generate,
+        "analyze": _command_analyze,
+        "compare": _command_compare,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the OPERA reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class NetlistError(ReproError):
+    """Raised for malformed netlists (unknown nodes, invalid element values)."""
+
+
+class SpiceFormatError(NetlistError):
+    """Raised when a SPICE-subset netlist file cannot be parsed."""
+
+
+class StampingError(ReproError):
+    """Raised when MNA matrices cannot be assembled from a netlist."""
+
+
+class SolverError(ReproError):
+    """Raised when a linear solve or transient integration fails."""
+
+
+class ConvergenceError(SolverError):
+    """Raised when an iterative solver fails to reach the requested tolerance."""
+
+
+class VariationModelError(ReproError):
+    """Raised for inconsistent process-variation specifications."""
+
+
+class BasisError(ReproError):
+    """Raised for invalid polynomial-chaos basis construction or usage."""
+
+
+class AnalysisError(ReproError):
+    """Raised when a stochastic analysis is configured inconsistently."""

@@ -1,0 +1,40 @@
+"""Power-grid substrate: technology, netlists, synthetic grids and MNA stamping."""
+
+from .blocks import BlockCurrentConfig, FunctionalBlock, block_waveform, place_blocks
+from .elements import Capacitor, CurrentSource, Resistor, ResistorKind, VddPad
+from .generator import (
+    PAPER_GRID_NODE_COUNTS,
+    GridSpec,
+    generate_power_grid,
+    spec_for_node_count,
+)
+from .netlist import GROUND_NAMES, NetlistStats, PowerGridNetlist
+from .spice_io import read_spice, write_spice
+from .stamping import StampedSystem, stamp
+from .technology import MetalLayer, Technology, default_technology
+
+__all__ = [
+    "BlockCurrentConfig",
+    "FunctionalBlock",
+    "block_waveform",
+    "place_blocks",
+    "Capacitor",
+    "CurrentSource",
+    "Resistor",
+    "ResistorKind",
+    "VddPad",
+    "PAPER_GRID_NODE_COUNTS",
+    "GridSpec",
+    "generate_power_grid",
+    "spec_for_node_count",
+    "GROUND_NAMES",
+    "NetlistStats",
+    "PowerGridNetlist",
+    "read_spice",
+    "write_spice",
+    "StampedSystem",
+    "stamp",
+    "MetalLayer",
+    "Technology",
+    "default_technology",
+]

@@ -1,0 +1,141 @@
+"""Circuit element records stored in a power-grid netlist.
+
+The power grid model follows Section 3 of the paper:
+
+* metal interconnect and vias -> passive resistors and capacitors;
+* functional blocks -> transient current sources to ground in parallel with
+  their non-switching load capacitance;
+* power sources -> ideal VDD sources in series with a package resistance,
+  represented here by :class:`VddPad`.
+
+Elements are lightweight frozen dataclasses; all electrical behaviour lives in
+the stamping and simulation layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import NetlistError
+from ..waveforms import Waveform, as_waveform
+
+__all__ = [
+    "ResistorKind",
+    "Resistor",
+    "Capacitor",
+    "CurrentSource",
+    "VddPad",
+]
+
+
+class ResistorKind:
+    """Categories of resistive elements; used by the variation model.
+
+    Interconnect wires and vias scale with metal width/thickness variations,
+    while the package resistance is off-die and is held at its nominal value
+    unless the model is told otherwise.
+    """
+
+    WIRE = "wire"
+    VIA = "via"
+    PACKAGE = "package"
+
+    ALL = (WIRE, VIA, PACKAGE)
+
+
+@dataclass(frozen=True)
+class Resistor:
+    """A two-terminal resistor between nodes ``a`` and ``b``."""
+
+    a: str
+    b: str
+    resistance: float
+    kind: str = ResistorKind.WIRE
+    name: Optional[str] = None
+
+    def __post_init__(self):
+        if self.resistance <= 0.0:
+            raise NetlistError(
+                f"resistor {self.name or ''} between {self.a!r} and {self.b!r} "
+                f"has non-positive resistance {self.resistance!r}"
+            )
+        if self.kind not in ResistorKind.ALL:
+            raise NetlistError(f"unknown resistor kind {self.kind!r}")
+        if self.a == self.b:
+            raise NetlistError("resistor terminals must be distinct nodes")
+
+    @property
+    def conductance(self) -> float:
+        return 1.0 / self.resistance
+
+
+@dataclass(frozen=True)
+class Capacitor:
+    """A two-terminal capacitor; ``is_gate_load`` marks MOS gate capacitance.
+
+    Gate load capacitance is the portion of the grid capacitance that varies
+    with the device channel length Leff (about 40 % of the total in the
+    paper's model); wire and diffusion capacitance is held nominal.
+    """
+
+    a: str
+    b: str
+    capacitance: float
+    is_gate_load: bool = False
+    name: Optional[str] = None
+
+    def __post_init__(self):
+        if self.capacitance <= 0.0:
+            raise NetlistError(
+                f"capacitor {self.name or ''} between {self.a!r} and {self.b!r} "
+                f"has non-positive capacitance {self.capacitance!r}"
+            )
+        if self.a == self.b:
+            raise NetlistError("capacitor terminals must be distinct nodes")
+
+
+@dataclass(frozen=True)
+class CurrentSource:
+    """A transient drain current from ``node`` to ground.
+
+    Positive waveform values mean current drawn *out of* the grid node (the
+    usual convention for power drains).  ``is_leakage`` tags the leakage
+    component, which the special-case analysis of Section 5.1 treats as a
+    lognormal random quantity.
+    """
+
+    node: str
+    waveform: Waveform
+    block: Optional[str] = None
+    is_leakage: bool = False
+    name: Optional[str] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "waveform", as_waveform(self.waveform))
+
+
+@dataclass(frozen=True)
+class VddPad:
+    """An ideal VDD source connected to ``node`` through a series resistance.
+
+    This models a package pin / C4 bump contact: the ideal external supply in
+    series with the pin resistance, exactly as in the paper's grid model.
+    """
+
+    node: str
+    resistance: float
+    vdd: float
+    name: Optional[str] = None
+
+    def __post_init__(self):
+        if self.resistance <= 0.0:
+            raise NetlistError(
+                f"pad at node {self.node!r} must have positive series resistance"
+            )
+        if self.vdd <= 0.0:
+            raise NetlistError(f"pad at node {self.node!r} must have positive VDD")
+
+    @property
+    def conductance(self) -> float:
+        return 1.0 / self.resistance

@@ -1,0 +1,276 @@
+"""Netlist container for power-grid circuits.
+
+A :class:`PowerGridNetlist` owns the node name space and the element lists
+(resistors, capacitors, current sources, VDD pads).  It performs structural
+validation (unknown nodes, dangling nodes, supply reachability) but contains
+no numerics; matrix assembly lives in :mod:`repro.grid.stamping`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..errors import NetlistError
+from ..waveforms import Waveform, as_waveform
+from .elements import Capacitor, CurrentSource, Resistor, ResistorKind, VddPad
+
+__all__ = ["PowerGridNetlist", "NetlistStats", "GROUND_NAMES"]
+
+#: Node names treated as the ground / reference node.
+GROUND_NAMES = frozenset({"0", "gnd", "GND", "vss", "VSS"})
+
+
+@dataclass(frozen=True)
+class NetlistStats:
+    """Summary counts for a netlist."""
+
+    num_nodes: int
+    num_resistors: int
+    num_capacitors: int
+    num_current_sources: int
+    num_pads: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.num_nodes} nodes, {self.num_resistors} resistors, "
+            f"{self.num_capacitors} capacitors, "
+            f"{self.num_current_sources} current sources, {self.num_pads} pads"
+        )
+
+
+class PowerGridNetlist:
+    """A power-grid circuit: nodes plus R/C/I/pad elements.
+
+    Node names are arbitrary strings; ground aliases (``0``, ``gnd``, ``vss``)
+    are recognised and never allocated an index.  Non-ground nodes receive
+    dense integer indices in order of first appearance, which is also the
+    column/row ordering of the MNA matrices produced by the stamper.
+    """
+
+    def __init__(self, name: str = "grid"):
+        self.name = name
+        self._node_index: Dict[str, int] = {}
+        self._node_names: List[str] = []
+        self.resistors: List[Resistor] = []
+        self.capacitors: List[Capacitor] = []
+        self.current_sources: List[CurrentSource] = []
+        self.pads: List[VddPad] = []
+
+    # ------------------------------------------------------------------ nodes
+    @staticmethod
+    def is_ground(node: str) -> bool:
+        """Return ``True`` if ``node`` names the ground/reference node."""
+        return node in GROUND_NAMES
+
+    def add_node(self, name: str) -> Optional[int]:
+        """Register ``name`` and return its index (``None`` for ground)."""
+        if self.is_ground(name):
+            return None
+        if name not in self._node_index:
+            self._node_index[name] = len(self._node_names)
+            self._node_names.append(name)
+        return self._node_index[name]
+
+    def node_index(self, name: str) -> int:
+        """Return the index of a non-ground node, raising if unknown."""
+        if self.is_ground(name):
+            raise NetlistError("the ground node has no index")
+        try:
+            return self._node_index[name]
+        except KeyError:
+            raise NetlistError(f"unknown node {name!r} in netlist {self.name!r}") from None
+
+    def has_node(self, name: str) -> bool:
+        return self.is_ground(name) or name in self._node_index
+
+    @property
+    def node_names(self) -> Sequence[str]:
+        """Non-ground node names in index order."""
+        return tuple(self._node_names)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of non-ground nodes."""
+        return len(self._node_names)
+
+    # --------------------------------------------------------------- elements
+    def add_resistor(
+        self,
+        a: str,
+        b: str,
+        resistance: float,
+        kind: str = ResistorKind.WIRE,
+        name: Optional[str] = None,
+    ) -> Resistor:
+        """Add a resistor between nodes ``a`` and ``b`` and return it."""
+        element = Resistor(a=a, b=b, resistance=resistance, kind=kind, name=name)
+        self.add_node(a)
+        self.add_node(b)
+        self.resistors.append(element)
+        return element
+
+    def add_capacitor(
+        self,
+        a: str,
+        b: str,
+        capacitance: float,
+        is_gate_load: bool = False,
+        name: Optional[str] = None,
+    ) -> Capacitor:
+        """Add a capacitor between nodes ``a`` and ``b`` and return it."""
+        element = Capacitor(
+            a=a, b=b, capacitance=capacitance, is_gate_load=is_gate_load, name=name
+        )
+        self.add_node(a)
+        self.add_node(b)
+        self.capacitors.append(element)
+        return element
+
+    def add_current_source(
+        self,
+        node: str,
+        waveform: Waveform,
+        block: Optional[str] = None,
+        is_leakage: bool = False,
+        name: Optional[str] = None,
+    ) -> CurrentSource:
+        """Add a drain current source at ``node`` (current flows to ground)."""
+        if self.is_ground(node):
+            raise NetlistError("a current source cannot be attached to ground only")
+        element = CurrentSource(
+            node=node,
+            waveform=as_waveform(waveform),
+            block=block,
+            is_leakage=is_leakage,
+            name=name,
+        )
+        self.add_node(node)
+        self.current_sources.append(element)
+        return element
+
+    def add_pad(
+        self, node: str, resistance: float, vdd: float, name: Optional[str] = None
+    ) -> VddPad:
+        """Add a VDD pad (ideal supply through a series resistance) at ``node``."""
+        if self.is_ground(node):
+            raise NetlistError("a VDD pad cannot be attached to the ground node")
+        element = VddPad(node=node, resistance=resistance, vdd=vdd, name=name)
+        self.add_node(node)
+        self.pads.append(element)
+        return element
+
+    # ------------------------------------------------------------- inspection
+    def stats(self) -> NetlistStats:
+        """Return element and node counts."""
+        return NetlistStats(
+            num_nodes=self.num_nodes,
+            num_resistors=len(self.resistors),
+            num_capacitors=len(self.capacitors),
+            num_current_sources=len(self.current_sources),
+            num_pads=len(self.pads),
+        )
+
+    @property
+    def vdd(self) -> float:
+        """Nominal supply voltage, taken from the pads (must agree)."""
+        if not self.pads:
+            raise NetlistError(f"netlist {self.name!r} has no VDD pads")
+        values = {pad.vdd for pad in self.pads}
+        if len(values) > 1:
+            raise NetlistError("pads disagree on VDD; a single supply level is required")
+        return next(iter(values))
+
+    def nodes_with_current_sources(self) -> List[int]:
+        """Indices of nodes that have at least one attached current source."""
+        seen = set()
+        out: List[int] = []
+        for source in self.current_sources:
+            idx = self.node_index(source.node)
+            if idx not in seen:
+                seen.add(idx)
+                out.append(idx)
+        return out
+
+    def pad_node_indices(self) -> List[int]:
+        """Indices of nodes with at least one VDD pad."""
+        seen = set()
+        out: List[int] = []
+        for pad in self.pads:
+            idx = self.node_index(pad.node)
+            if idx not in seen:
+                seen.add(idx)
+                out.append(idx)
+        return out
+
+    # ------------------------------------------------------------- validation
+    def validate(self) -> None:
+        """Check structural sanity; raise :class:`NetlistError` on problems.
+
+        Checks performed:
+
+        * the netlist has at least one node, one pad and one current source
+          path to be a meaningful power grid (pads are required; sources are
+          allowed to be absent for pure-structure tests);
+        * every non-ground node is connected to some VDD pad through the
+          resistive network (otherwise its DC voltage is undefined).
+        """
+        if self.num_nodes == 0:
+            raise NetlistError(f"netlist {self.name!r} has no nodes")
+        if not self.pads:
+            raise NetlistError(f"netlist {self.name!r} has no VDD pads")
+
+        parent = list(range(self.num_nodes))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        def union(i: int, j: int) -> None:
+            ri, rj = find(i), find(j)
+            if ri != rj:
+                parent[ri] = rj
+
+        for resistor in self.resistors:
+            if self.is_ground(resistor.a) or self.is_ground(resistor.b):
+                # Resistors to ground do not help supply reachability.
+                continue
+            union(self.node_index(resistor.a), self.node_index(resistor.b))
+
+        pad_roots = {find(idx) for idx in self.pad_node_indices()}
+        unreachable = [
+            name
+            for name, idx in self._node_index.items()
+            if find(idx) not in pad_roots
+        ]
+        if unreachable:
+            sample = ", ".join(sorted(unreachable)[:5])
+            raise NetlistError(
+                f"{len(unreachable)} node(s) are not resistively connected to any "
+                f"VDD pad (e.g. {sample}); their DC voltages would be undefined"
+            )
+
+    # ------------------------------------------------------------------ misc
+    def merge_from(self, other: "PowerGridNetlist", prefix: str = "") -> None:
+        """Append all elements of ``other``, optionally prefixing node names."""
+
+        def rename(node: str) -> str:
+            return node if self.is_ground(node) or not prefix else prefix + node
+
+        for r in other.resistors:
+            self.add_resistor(rename(r.a), rename(r.b), r.resistance, r.kind, r.name)
+        for c in other.capacitors:
+            self.add_capacitor(
+                rename(c.a), rename(c.b), c.capacitance, c.is_gate_load, c.name
+            )
+        for s in other.current_sources:
+            self.add_current_source(
+                rename(s.node), s.waveform, s.block, s.is_leakage, s.name
+            )
+        for p in other.pads:
+            self.add_pad(rename(p.node), p.resistance, p.vdd, p.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PowerGridNetlist({self.name!r}: {self.stats()})"

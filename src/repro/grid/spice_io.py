@@ -1,0 +1,284 @@
+"""SPICE-subset reader and writer for power-grid netlists.
+
+Industrial IR-drop flows exchange power grids as flat SPICE decks containing
+only resistors, capacitors, current sources and supply sources.  This module
+implements that subset so synthetic grids can be exported, inspected with
+standard tools, and re-imported.
+
+Supported cards
+---------------
+
+``R<name> n1 n2 value [kind=wire|via|package]``
+    Resistor.  The ``kind`` annotation (an extension, written as a trailing
+    token) records which variation group the resistor belongs to.
+
+``C<name> n1 n2 value [gate=1]``
+    Capacitor; ``gate=1`` marks MOS gate-load capacitance.
+
+``I<name> n+ n- DC value`` / ``PWL(t1 v1 t2 v2 ...)`` / ``PULSE(v1 v2 td tr tf pw per)``
+    Drain current source.  ``leakage=1`` marks the leakage component.
+
+``V<name> node 0 DC value [R=resistance]``
+    VDD pad: an ideal supply attached to ``node`` through a series
+    resistance.  ``R=`` is an extension; when omitted a 1 mOhm series
+    resistance is assumed.
+
+Lines starting with ``*`` are comments; ``.end`` and blank lines are ignored.
+Values accept the usual SPICE magnitude suffixes (``f p n u m k meg g t``).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Dict, Iterable, List, Optional, TextIO, Tuple, Union
+
+import numpy as np
+
+from ..errors import SpiceFormatError
+from ..waveforms import Constant, PeriodicPulse, PiecewiseLinear, Waveform
+from .elements import ResistorKind
+from .netlist import PowerGridNetlist
+
+__all__ = ["read_spice", "write_spice", "parse_spice_value", "format_spice_value"]
+
+_SUFFIXES = {
+    "t": 1e12,
+    "g": 1e9,
+    "meg": 1e6,
+    "k": 1e3,
+    "m": 1e-3,
+    "u": 1e-6,
+    "n": 1e-9,
+    "p": 1e-12,
+    "f": 1e-15,
+}
+
+_VALUE_RE = re.compile(
+    r"^\s*([-+]?[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)\s*(meg|t|g|k|m|u|n|p|f)?\s*$",
+    re.IGNORECASE,
+)
+
+
+def parse_spice_value(token: str) -> float:
+    """Parse a SPICE numeric token such as ``1.5n`` or ``2meg`` into a float."""
+    match = _VALUE_RE.match(token)
+    if not match:
+        raise SpiceFormatError(f"cannot parse numeric value {token!r}")
+    number = float(match.group(1))
+    suffix = match.group(2)
+    if suffix:
+        number *= _SUFFIXES[suffix.lower()]
+    return number
+
+
+def format_spice_value(value: float) -> str:
+    """Format a float compactly for a SPICE deck (plain scientific notation)."""
+    return f"{value:.6g}"
+
+
+def _split_keyword_tokens(tokens: Iterable[str]) -> Tuple[List[str], Dict[str, str]]:
+    """Split trailing ``key=value`` annotations from positional tokens."""
+    positional: List[str] = []
+    keywords: Dict[str, str] = {}
+    for token in tokens:
+        if "=" in token and not token.upper().startswith(("PWL(", "PULSE(")):
+            key, _, value = token.partition("=")
+            keywords[key.lower()] = value
+        else:
+            positional.append(token)
+    return positional, keywords
+
+
+def _parse_waveform(tokens: List[str], line_no: int) -> Waveform:
+    """Parse the waveform part of a current-source card."""
+    joined = " ".join(tokens)
+    upper = joined.upper()
+    if upper.startswith("DC"):
+        value_tokens = tokens[1:]
+        if len(value_tokens) != 1:
+            raise SpiceFormatError(f"line {line_no}: malformed DC specification")
+        return Constant(parse_spice_value(value_tokens[0]))
+    if upper.startswith("PWL"):
+        inner = joined[joined.index("(") + 1 : joined.rindex(")")]
+        numbers = [parse_spice_value(tok) for tok in inner.replace(",", " ").split()]
+        if len(numbers) < 4 or len(numbers) % 2:
+            raise SpiceFormatError(f"line {line_no}: PWL needs an even number of values")
+        times = numbers[0::2]
+        values = numbers[1::2]
+        return PiecewiseLinear(times, values)
+    if upper.startswith("PULSE"):
+        inner = joined[joined.index("(") + 1 : joined.rindex(")")]
+        numbers = [parse_spice_value(tok) for tok in inner.replace(",", " ").split()]
+        if len(numbers) != 7:
+            raise SpiceFormatError(
+                f"line {line_no}: PULSE needs 7 values (v1 v2 td tr tf pw per)"
+            )
+        low, high, delay, rise, fall, width, period = numbers
+        return PeriodicPulse(
+            low=low, high=high, delay=delay, rise=rise, fall=fall, width=width, period=period
+        )
+    if len(tokens) == 1:
+        return Constant(parse_spice_value(tokens[0]))
+    raise SpiceFormatError(f"line {line_no}: unsupported source specification {joined!r}")
+
+
+def read_spice(source: Union[str, TextIO], name: str = "spice-grid") -> PowerGridNetlist:
+    """Read a SPICE-subset deck from a path, deck string, or open file."""
+    if hasattr(source, "read"):
+        text = source.read()
+    else:
+        text = str(source)
+        if "\n" not in text and os.path.exists(text):
+            with open(text, "r", encoding="utf-8") as handle:
+                text = handle.read()
+
+    netlist = PowerGridNetlist(name=name)
+    default_pad_resistance = 1.0e-3
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("*"):
+            continue
+        if line.startswith("."):
+            continue
+        tokens = line.split()
+        card = tokens[0]
+        kind_letter = card[0].upper()
+        positional, keywords = _split_keyword_tokens(tokens[1:])
+
+        if kind_letter == "R":
+            if len(positional) != 3:
+                raise SpiceFormatError(f"line {line_no}: resistor needs 'R n1 n2 value'")
+            kind = keywords.get("kind", ResistorKind.WIRE)
+            netlist.add_resistor(
+                positional[0],
+                positional[1],
+                parse_spice_value(positional[2]),
+                kind=kind,
+                name=card,
+            )
+        elif kind_letter == "C":
+            if len(positional) != 3:
+                raise SpiceFormatError(f"line {line_no}: capacitor needs 'C n1 n2 value'")
+            is_gate = keywords.get("gate", "0") in ("1", "true", "yes")
+            netlist.add_capacitor(
+                positional[0],
+                positional[1],
+                parse_spice_value(positional[2]),
+                is_gate_load=is_gate,
+                name=card,
+            )
+        elif kind_letter == "I":
+            if len(positional) < 3:
+                raise SpiceFormatError(
+                    f"line {line_no}: current source needs 'I n+ n- <spec>'"
+                )
+            node_plus, node_minus = positional[0], positional[1]
+            waveform = _parse_waveform(positional[2:], line_no)
+            if not netlist.is_ground(node_minus):
+                raise SpiceFormatError(
+                    f"line {line_no}: drain current sources must return to ground"
+                )
+            is_leakage = keywords.get("leakage", "0") in ("1", "true", "yes")
+            netlist.add_current_source(
+                node_plus,
+                waveform,
+                block=keywords.get("block"),
+                is_leakage=is_leakage,
+                name=card,
+            )
+        elif kind_letter == "V":
+            if len(positional) < 3:
+                raise SpiceFormatError(f"line {line_no}: pad needs 'V node 0 [DC] value'")
+            node, node_minus = positional[0], positional[1]
+            if not netlist.is_ground(node_minus):
+                raise SpiceFormatError(f"line {line_no}: VDD pads must reference ground")
+            value_tokens = positional[2:]
+            if value_tokens and value_tokens[0].upper() == "DC":
+                value_tokens = value_tokens[1:]
+            if len(value_tokens) != 1:
+                raise SpiceFormatError(f"line {line_no}: malformed pad voltage")
+            vdd = parse_spice_value(value_tokens[0])
+            resistance = parse_spice_value(keywords.get("r", str(default_pad_resistance)))
+            netlist.add_pad(node, resistance, vdd, name=card)
+        else:
+            raise SpiceFormatError(
+                f"line {line_no}: unsupported element card {card!r} "
+                "(only R, C, I and V are part of the power-grid subset)"
+            )
+    return netlist
+
+
+def _format_waveform(waveform: Waveform, pwl_horizon: float, pwl_points: int) -> str:
+    """Render a waveform as the source-specification part of an ``I`` card."""
+    if isinstance(waveform, Constant):
+        return f"DC {format_spice_value(waveform.value)}"
+    if isinstance(waveform, PiecewiseLinear):
+        pairs = " ".join(
+            f"{format_spice_value(t)} {format_spice_value(v)}"
+            for t, v in zip(waveform.times, waveform.values)
+        )
+        return f"PWL({pairs})"
+    if isinstance(waveform, PeriodicPulse):
+        fields = (
+            waveform.low,
+            waveform.high,
+            waveform.delay,
+            waveform.rise,
+            waveform.fall,
+            waveform.width,
+            waveform.period,
+        )
+        return "PULSE(" + " ".join(format_spice_value(v) for v in fields) + ")"
+    # Generic fallback: sample to PWL over the requested horizon.
+    times = np.linspace(0.0, pwl_horizon, pwl_points)
+    values = np.asarray(waveform(times), dtype=float)
+    pairs = " ".join(
+        f"{format_spice_value(t)} {format_spice_value(v)}" for t, v in zip(times, values)
+    )
+    return f"PWL({pairs})"
+
+
+def write_spice(
+    netlist: PowerGridNetlist,
+    destination: Union[str, TextIO],
+    pwl_horizon: float = 8.0e-9,
+    pwl_points: int = 64,
+) -> None:
+    """Write ``netlist`` as a SPICE-subset deck to a path or open file.
+
+    Waveforms that have no native SPICE card (e.g. clock-activity pulse
+    trains) are sampled into PWL sources over ``pwl_horizon`` seconds using
+    ``pwl_points`` samples.
+    """
+    lines: List[str] = [f"* power grid netlist: {netlist.name}", "* generated by repro"]
+    for index, r in enumerate(netlist.resistors):
+        name = r.name or f"R{index}"
+        lines.append(
+            f"{name} {r.a} {r.b} {format_spice_value(r.resistance)} kind={r.kind}"
+        )
+    for index, c in enumerate(netlist.capacitors):
+        name = c.name or f"C{index}"
+        gate = " gate=1" if c.is_gate_load else ""
+        lines.append(f"{name} {c.a} {c.b} {format_spice_value(c.capacitance)}{gate}")
+    for index, s in enumerate(netlist.current_sources):
+        name = s.name or f"I{index}"
+        spec = _format_waveform(s.waveform, pwl_horizon, pwl_points)
+        leak = " leakage=1" if s.is_leakage else ""
+        block = f" block={s.block}" if s.block else ""
+        lines.append(f"{name} {s.node} 0 {spec}{leak}{block}")
+    for index, p in enumerate(netlist.pads):
+        name = p.name or f"V{index}"
+        lines.append(
+            f"{name} {p.node} 0 DC {format_spice_value(p.vdd)} "
+            f"R={format_spice_value(p.resistance)}"
+        )
+    lines.append(".end")
+    text = "\n".join(lines) + "\n"
+
+    if hasattr(destination, "write"):
+        destination.write(text)
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(text)

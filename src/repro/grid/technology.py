@@ -1,0 +1,179 @@
+"""Technology description used by the synthetic power grid generator.
+
+The paper evaluates OPERA on proprietary industrial grids.  This module
+provides the technology-level substitution: a small set of process parameters
+(metal stack, via and package resistances, device capacitance shares) from
+which the generator in :mod:`repro.grid.generator` synthesises realistic
+multi-layer RC power meshes.
+
+The numbers in :func:`default_technology` are representative of a 90 nm-class
+process (the node the paper targets); they only set absolute scales -- the
+stochastic analysis itself works with *relative* variations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+__all__ = ["MetalLayer", "Technology", "default_technology"]
+
+
+@dataclass(frozen=True)
+class MetalLayer:
+    """Geometry and electrical properties of one power-grid metal layer.
+
+    Attributes
+    ----------
+    name:
+        Layer label, e.g. ``"M2"``.
+    resistivity:
+        Metal resistivity in ohm * um (so resistance = rho * L / (W * T) with
+        all lengths in um gives ohms).
+    width:
+        Drawn wire width in um.
+    thickness:
+        Metal thickness in um.
+    pitch:
+        Distance between parallel power stripes on this layer, in um.
+    direction:
+        ``"horizontal"`` or ``"vertical"`` routing direction.
+    """
+
+    name: str
+    resistivity: float = 0.022
+    width: float = 1.0
+    thickness: float = 0.35
+    pitch: float = 30.0
+    direction: str = "horizontal"
+
+    def __post_init__(self):
+        if self.resistivity <= 0 or self.width <= 0 or self.thickness <= 0:
+            raise ValueError("resistivity, width and thickness must be positive")
+        if self.pitch <= 0:
+            raise ValueError("pitch must be positive")
+        if self.direction not in ("horizontal", "vertical"):
+            raise ValueError("direction must be 'horizontal' or 'vertical'")
+
+    @property
+    def sheet_resistance(self) -> float:
+        """Sheet resistance in ohm/square (rho / thickness)."""
+        return self.resistivity / self.thickness
+
+    def wire_resistance(self, length: float) -> float:
+        """Resistance of a wire segment of ``length`` um on this layer."""
+        if length <= 0:
+            raise ValueError("length must be positive")
+        return self.resistivity * length / (self.width * self.thickness)
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Process technology parameters for grid synthesis and variation modelling.
+
+    Attributes
+    ----------
+    name:
+        Human-readable technology label.
+    vdd:
+        Nominal supply voltage in volts.
+    metal_layers:
+        Metal stack used by the power grid, ordered bottom (device layer
+        side) to top (package side).
+    via_resistance:
+        Resistance of a single inter-layer via cut, in ohms.
+    vias_per_stack:
+        Number of parallel via cuts per via stack between layers.
+    package_resistance:
+        Series resistance of one package pin / C4 bump connection, in ohms.
+    block_cap_per_current:
+        Non-switching load capacitance attached per ampere of peak block
+        current, in farads per ampere.  Models the gate + diffusion
+        capacitance of the logic that draws the current.
+    wire_cap_per_node:
+        Small parasitic wire capacitance attached to every grid node, in F.
+    gate_cap_fraction:
+        Fraction of the total grid capacitance contributed by MOS gate
+        capacitance (the part that varies with Leff); 40 % in the paper.
+    leakage_fraction:
+        Fraction of the total block current drawn as leakage; about 5 % in the
+        technologies the paper considers.
+    """
+
+    name: str = "generic-90nm"
+    vdd: float = 1.2
+    metal_layers: Tuple[MetalLayer, ...] = field(default_factory=tuple)
+    via_resistance: float = 1.0
+    vias_per_stack: int = 4
+    package_resistance: float = 0.05
+    block_cap_per_current: float = 3.0e-10
+    wire_cap_per_node: float = 1.0e-15
+    gate_cap_fraction: float = 0.40
+    leakage_fraction: float = 0.05
+
+    def __post_init__(self):
+        if self.vdd <= 0:
+            raise ValueError("vdd must be positive")
+        if self.via_resistance <= 0 or self.package_resistance <= 0:
+            raise ValueError("via and package resistances must be positive")
+        if self.vias_per_stack < 1:
+            raise ValueError("vias_per_stack must be at least 1")
+        if not (0.0 <= self.gate_cap_fraction <= 1.0):
+            raise ValueError("gate_cap_fraction must lie in [0, 1]")
+        if not (0.0 <= self.leakage_fraction <= 1.0):
+            raise ValueError("leakage_fraction must lie in [0, 1]")
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.metal_layers)
+
+    def layer(self, index: int) -> MetalLayer:
+        """Return metal layer ``index`` (0 = bottom of the power stack)."""
+        return self.metal_layers[index]
+
+    @property
+    def via_stack_resistance(self) -> float:
+        """Effective resistance of one inter-layer via stack."""
+        return self.via_resistance / self.vias_per_stack
+
+    def with_vdd(self, vdd: float) -> "Technology":
+        """Return a copy of this technology with a different supply voltage."""
+        return replace(self, vdd=vdd)
+
+
+def default_technology(num_layers: int = 2, vdd: float = 1.2) -> Technology:
+    """Return a representative 90 nm-class power-grid technology.
+
+    Parameters
+    ----------
+    num_layers:
+        Number of power metal layers (1 to 4).  Layers alternate routing
+        direction and become wider / thicker / sparser going up the stack,
+        as real power grids do.
+    vdd:
+        Nominal supply voltage.
+    """
+    if not (1 <= num_layers <= 4):
+        raise ValueError("num_layers must be between 1 and 4")
+
+    stack = []
+    widths = [0.6, 1.2, 2.4, 4.8]
+    thicknesses = [0.25, 0.35, 0.55, 0.9]
+    pitches = [10.0, 20.0, 40.0, 80.0]
+    for level in range(num_layers):
+        direction = "horizontal" if level % 2 == 0 else "vertical"
+        stack.append(
+            MetalLayer(
+                name=f"M{level + 4}",
+                resistivity=0.022,
+                width=widths[level],
+                thickness=thicknesses[level],
+                pitch=pitches[level],
+                direction=direction,
+            )
+        )
+    return Technology(
+        name=f"generic-90nm-{num_layers}layer",
+        vdd=vdd,
+        metal_layers=tuple(stack),
+    )

@@ -1,0 +1,21 @@
+"""Monte Carlo baseline engine and streaming statistics."""
+
+from .engine import (
+    MonteCarloConfig,
+    MonteCarloDCResult,
+    MonteCarloTransientResult,
+    run_monte_carlo_dc,
+    run_monte_carlo_transient,
+)
+from .sampler import GermSampler
+from .statistics import RunningMoments
+
+__all__ = [
+    "MonteCarloConfig",
+    "MonteCarloDCResult",
+    "MonteCarloTransientResult",
+    "run_monte_carlo_dc",
+    "run_monte_carlo_transient",
+    "GermSampler",
+    "RunningMoments",
+]

@@ -1,0 +1,224 @@
+"""Monte Carlo baseline for stochastic power-grid analysis.
+
+This is the "golden" reference the paper compares OPERA against: draw germ
+samples, realise the corresponding grid matrices and excitation, run a full
+deterministic transient per sample, and accumulate the statistics of the node
+voltages.  The engine streams Welford statistics so memory stays flat in the
+number of samples, and can optionally record the full per-sample waveforms of
+a few selected nodes (used for the distribution plots of Figures 1-2).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..sim.dc import solve_dc
+from ..sim.transient import TransientConfig, run_transient
+from ..variation.model import StochasticSystem
+from .sampler import GermSampler
+from .statistics import RunningMoments
+
+__all__ = ["MonteCarloConfig", "MonteCarloTransientResult", "MonteCarloDCResult",
+           "run_monte_carlo_transient", "run_monte_carlo_dc"]
+
+
+@dataclass(frozen=True)
+class MonteCarloConfig:
+    """Settings of a Monte Carlo sweep.
+
+    Attributes
+    ----------
+    transient:
+        Time axis and integration settings (shared with the OPERA run so the
+        comparison is apples-to-apples).
+    num_samples:
+        Number of Monte Carlo samples; the paper uses 1000.
+    seed:
+        Seed of the germ sampler.
+    antithetic:
+        Use antithetic pairs for variance reduction (symmetric germs only).
+    store_nodes:
+        Node indices whose full per-sample drop waveforms are recorded
+        (needed for distribution plots).
+    solver:
+        Linear solver for the per-sample factorisations.
+    """
+
+    transient: TransientConfig
+    num_samples: int = 1000
+    seed: int = 0
+    antithetic: bool = False
+    store_nodes: Tuple[int, ...] = ()
+    solver: str = "direct"
+
+    def __post_init__(self):
+        if self.num_samples < 2:
+            raise AnalysisError("Monte Carlo needs at least 2 samples")
+
+
+class MonteCarloTransientResult:
+    """Statistics of a Monte Carlo transient sweep."""
+
+    def __init__(
+        self,
+        times: np.ndarray,
+        mean_voltage: np.ndarray,
+        variance: np.ndarray,
+        num_samples: int,
+        vdd: float,
+        node_names: Optional[Sequence[str]] = None,
+        node_drop_samples: Optional[Dict[int, np.ndarray]] = None,
+        wall_time: Optional[float] = None,
+    ):
+        self.times = np.asarray(times, dtype=float)
+        self._mean = np.asarray(mean_voltage, dtype=float)
+        self._variance = np.asarray(variance, dtype=float)
+        self.num_samples = int(num_samples)
+        self.vdd = float(vdd)
+        self.node_names = tuple(node_names) if node_names is not None else None
+        self.node_drop_samples = node_drop_samples or {}
+        self.wall_time = wall_time
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def num_times(self) -> int:
+        return self.times.size
+
+    @property
+    def num_nodes(self) -> int:
+        return self._mean.shape[1]
+
+    # ------------------------------------------------------------- statistics
+    @property
+    def mean_voltage(self) -> np.ndarray:
+        return self._mean
+
+    @property
+    def variance(self) -> np.ndarray:
+        return self._variance
+
+    @property
+    def std_voltage(self) -> np.ndarray:
+        return np.sqrt(np.maximum(self._variance, 0.0))
+
+    @property
+    def mean_drop(self) -> np.ndarray:
+        return self.vdd - self._mean
+
+    @property
+    def std_drop(self) -> np.ndarray:
+        return self.std_voltage
+
+    def drop_samples(self, node: int, time_index: Optional[int] = None) -> np.ndarray:
+        """Recorded per-sample drops of a stored node (all times or one index)."""
+        if node not in self.node_drop_samples:
+            raise AnalysisError(
+                f"node {node} was not in store_nodes when the sweep was run"
+            )
+        samples = self.node_drop_samples[node]
+        return samples if time_index is None else samples[:, time_index]
+
+
+@dataclass(frozen=True)
+class MonteCarloDCResult:
+    """Statistics of a Monte Carlo DC sweep."""
+
+    mean_voltage: np.ndarray
+    variance: np.ndarray
+    num_samples: int
+    vdd: float
+    wall_time: Optional[float] = None
+
+    @property
+    def std_voltage(self) -> np.ndarray:
+        return np.sqrt(np.maximum(self.variance, 0.0))
+
+    @property
+    def mean_drop(self) -> np.ndarray:
+        return self.vdd - self.mean_voltage
+
+    @property
+    def std_drop(self) -> np.ndarray:
+        return self.std_voltage
+
+
+def _draw_samples(system: StochasticSystem, config: MonteCarloConfig) -> np.ndarray:
+    sampler = GermSampler(system, seed=config.seed)
+    if config.antithetic:
+        return sampler.sample_antithetic(config.num_samples)
+    return sampler.sample(config.num_samples)
+
+
+def run_monte_carlo_transient(
+    system: StochasticSystem, config: MonteCarloConfig
+) -> MonteCarloTransientResult:
+    """Monte Carlo transient sweep over the process-variation space."""
+    started = time.perf_counter()
+    germs = _draw_samples(system, config)
+    times = config.transient.times()
+
+    moments = RunningMoments()
+    stored: Dict[int, list] = {node: [] for node in config.store_nodes}
+
+    for xi in germs:
+        conductance, capacitance = system.realize_matrices(xi)
+        rhs = system.realize_rhs(xi)
+        result = run_transient(
+            conductance,
+            capacitance,
+            rhs,
+            config.transient,
+            vdd=system.vdd,
+            store=True,
+        )
+        moments.update(result.voltages)
+        for node in config.store_nodes:
+            stored[node].append(system.vdd - result.voltages[:, node])
+
+    node_drop_samples = {
+        node: np.vstack(waveforms) for node, waveforms in stored.items()
+    }
+    elapsed = time.perf_counter() - started
+    return MonteCarloTransientResult(
+        times=times,
+        mean_voltage=moments.mean,
+        variance=moments.variance(ddof=1),
+        num_samples=germs.shape[0],
+        vdd=system.vdd,
+        node_names=system.node_names,
+        node_drop_samples=node_drop_samples,
+        wall_time=elapsed,
+    )
+
+
+def run_monte_carlo_dc(
+    system: StochasticSystem,
+    num_samples: int = 1000,
+    t: float = 0.0,
+    seed: int = 0,
+    solver: str = "direct",
+) -> MonteCarloDCResult:
+    """Monte Carlo DC sweep (steady-state IR drop under variation)."""
+    if num_samples < 2:
+        raise AnalysisError("Monte Carlo needs at least 2 samples")
+    started = time.perf_counter()
+    sampler = GermSampler(system, seed=seed)
+    germs = sampler.sample(num_samples)
+    moments = RunningMoments()
+    for xi in germs:
+        conductance, _ = system.realize_matrices(xi)
+        voltages = solve_dc(conductance, system.excitation.sample(t, xi), solver=solver)
+        moments.update(voltages)
+    elapsed = time.perf_counter() - started
+    return MonteCarloDCResult(
+        mean_voltage=moments.mean,
+        variance=moments.variance(ddof=1),
+        num_samples=num_samples,
+        vdd=system.vdd,
+        wall_time=elapsed,
+    )

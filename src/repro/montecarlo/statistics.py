@@ -1,0 +1,70 @@
+"""Streaming statistics for Monte Carlo sweeps.
+
+Monte Carlo over a power grid produces one full voltage waveform matrix per
+sample; storing them all is wasteful, so the engine accumulates running
+moments with Welford's algorithm (numerically stable single-pass mean and
+variance) over arrays of arbitrary shape.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+__all__ = ["RunningMoments"]
+
+
+class RunningMoments:
+    """Welford running mean / variance accumulator for equal-shaped arrays."""
+
+    def __init__(self, shape: Optional[Tuple[int, ...]] = None):
+        self._count = 0
+        self._mean: Optional[np.ndarray] = None
+        self._m2: Optional[np.ndarray] = None
+        self._shape = tuple(shape) if shape is not None else None
+        if self._shape is not None:
+            self._mean = np.zeros(self._shape)
+            self._m2 = np.zeros(self._shape)
+
+    @property
+    def count(self) -> int:
+        """Number of samples accumulated so far."""
+        return self._count
+
+    def update(self, sample: np.ndarray) -> None:
+        """Add one sample (an array of the accumulator's shape)."""
+        sample = np.asarray(sample, dtype=float)
+        if self._mean is None:
+            self._shape = sample.shape
+            self._mean = np.zeros(self._shape)
+            self._m2 = np.zeros(self._shape)
+        if sample.shape != self._shape:
+            raise AnalysisError(
+                f"sample shape {sample.shape} does not match accumulator shape {self._shape}"
+            )
+        self._count += 1
+        delta = sample - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (sample - self._mean)
+
+    @property
+    def mean(self) -> np.ndarray:
+        """Running mean."""
+        if self._mean is None or self._count == 0:
+            raise AnalysisError("no samples accumulated yet")
+        return self._mean.copy()
+
+    def variance(self, ddof: int = 1) -> np.ndarray:
+        """Running variance (sample variance by default, ``ddof=1``)."""
+        if self._m2 is None or self._count == 0:
+            raise AnalysisError("no samples accumulated yet")
+        if self._count <= ddof:
+            return np.zeros_like(self._m2)
+        return self._m2 / (self._count - ddof)
+
+    def std(self, ddof: int = 1) -> np.ndarray:
+        """Running standard deviation."""
+        return np.sqrt(self.variance(ddof=ddof))

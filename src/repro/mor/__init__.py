@@ -1,0 +1,5 @@
+"""Model order reduction extension (PRIMA-style block Arnoldi)."""
+
+from .prima import ReducedModel, prima_reduce
+
+__all__ = ["ReducedModel", "prima_reduce"]

@@ -1,0 +1,18 @@
+"""OPERA: Orthogonal Polynomial Expansions for Response Analysis."""
+
+from .config import OperaConfig
+from .engine import build_basis, build_galerkin_system, run_opera_dc, run_opera_transient
+from .report import NodeSummary, OperaReport, summarize
+from .special_case import run_decoupled_transient
+
+__all__ = [
+    "OperaConfig",
+    "build_basis",
+    "build_galerkin_system",
+    "run_opera_dc",
+    "run_opera_transient",
+    "NodeSummary",
+    "OperaReport",
+    "summarize",
+    "run_decoupled_transient",
+]

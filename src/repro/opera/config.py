@@ -1,0 +1,51 @@
+"""Configuration of an OPERA stochastic analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import AnalysisError
+from ..sim.transient import TransientConfig
+
+__all__ = ["OperaConfig"]
+
+
+@dataclass(frozen=True)
+class OperaConfig:
+    """Settings of a stochastic (OPERA) transient analysis.
+
+    Attributes
+    ----------
+    transient:
+        Time axis, step size, integration method and linear solver of the
+        underlying fixed-step integrator.
+    order:
+        Total order ``p`` of the chaos expansion.  The paper finds order 2
+        or 3 sufficient for realistic variation magnitudes.
+    solver:
+        Linear solver for the augmented system (``"direct"``, ``"cg"`` or
+        ``"ilu-cg"``); defaults to the transient config's solver.
+    store_coefficients:
+        Keep the full chaos coefficients at every time step (needed for
+        distributions / Figures 1-2).  When false only mean and variance are
+        retained, which saves memory on very large grids.
+    force_coupled:
+        Assemble and solve the full augmented system even when the grid
+        matrices are deterministic (used to cross-check the decoupled
+        special-case path).
+    """
+
+    transient: TransientConfig
+    order: int = 2
+    solver: Optional[str] = None
+    store_coefficients: bool = True
+    force_coupled: bool = False
+
+    def __post_init__(self):
+        if self.order < 0:
+            raise AnalysisError("expansion order must be non-negative")
+
+    @property
+    def effective_solver(self) -> str:
+        return self.solver if self.solver is not None else self.transient.solver

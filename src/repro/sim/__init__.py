@@ -1,0 +1,25 @@
+"""Deterministic circuit simulation substrate: DC, transient, linear solvers."""
+
+from .dc import dc_operating_point, solve_dc
+from .linear import ConjugateGradientSolver, DirectSolver, LinearSolver, make_solver
+from .mna import MNASystem
+from .randomwalk import RandomWalkEstimate, RandomWalkSolver
+from .results import DCResult, TransientResult
+from .transient import TransientConfig, run_transient, transient_analysis
+
+__all__ = [
+    "RandomWalkEstimate",
+    "RandomWalkSolver",
+    "dc_operating_point",
+    "solve_dc",
+    "ConjugateGradientSolver",
+    "DirectSolver",
+    "LinearSolver",
+    "make_solver",
+    "MNASystem",
+    "DCResult",
+    "TransientResult",
+    "TransientConfig",
+    "run_transient",
+    "transient_analysis",
+]

@@ -1,0 +1,156 @@
+"""Sparse linear solver wrappers used by the DC, transient and OPERA engines.
+
+Power-grid conductance matrices are symmetric, positive definite and very
+sparse, so the default solver is a cached sparse LU factorisation (SuperLU via
+``scipy.sparse.linalg.splu``), which matches the "single factorisation,
+repeated solves" usage pattern of both the transient integrator and the
+special-case analysis of Section 5.1 of the paper.  Conjugate-gradient
+solvers with Jacobi or ILU preconditioning are provided for large systems
+where factorisation memory is a concern (the iterative-solver route the
+paper mentions in its implementation notes).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from ..errors import ConvergenceError, SolverError
+
+__all__ = [
+    "LinearSolver",
+    "DirectSolver",
+    "ConjugateGradientSolver",
+    "make_solver",
+]
+
+
+class LinearSolver(abc.ABC):
+    """A reusable solver for ``A x = b`` with a fixed matrix ``A``."""
+
+    @abc.abstractmethod
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``A x = rhs`` for a single right-hand side (1-D array)."""
+
+    def solve_many(self, rhs_columns: np.ndarray) -> np.ndarray:
+        """Solve for several right-hand sides given as columns of a 2-D array."""
+        rhs_columns = np.asarray(rhs_columns, dtype=float)
+        if rhs_columns.ndim == 1:
+            return self.solve(rhs_columns)
+        return np.column_stack([self.solve(rhs_columns[:, j]) for j in range(rhs_columns.shape[1])])
+
+
+class DirectSolver(LinearSolver):
+    """Sparse LU factorisation (SuperLU) with cached factors."""
+
+    def __init__(self, matrix: sp.spmatrix):
+        matrix = sp.csc_matrix(matrix)
+        if matrix.shape[0] != matrix.shape[1]:
+            raise SolverError("direct solver requires a square matrix")
+        try:
+            self._lu = spla.splu(matrix)
+        except RuntimeError as exc:  # singular matrix
+            raise SolverError(f"LU factorisation failed: {exc}") from exc
+        self.shape = matrix.shape
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        rhs = np.asarray(rhs, dtype=float)
+        if rhs.shape[0] != self.shape[0]:
+            raise SolverError(
+                f"right-hand side has length {rhs.shape[0]}, expected {self.shape[0]}"
+            )
+        solution = self._lu.solve(rhs)
+        if not np.all(np.isfinite(solution)):
+            raise SolverError("direct solve produced non-finite values")
+        return solution
+
+
+class ConjugateGradientSolver(LinearSolver):
+    """Preconditioned conjugate gradients for symmetric positive definite systems.
+
+    Parameters
+    ----------
+    matrix:
+        The SPD system matrix.
+    preconditioner:
+        ``"jacobi"`` (diagonal scaling), ``"ilu"`` (incomplete LU) or ``None``.
+    rtol, maxiter:
+        Convergence tolerance and iteration cap; failure to converge raises
+        :class:`~repro.errors.ConvergenceError`.
+    """
+
+    def __init__(
+        self,
+        matrix: sp.spmatrix,
+        preconditioner: Optional[str] = "jacobi",
+        rtol: float = 1e-10,
+        maxiter: int = 2000,
+    ):
+        self._matrix = sp.csr_matrix(matrix)
+        if self._matrix.shape[0] != self._matrix.shape[1]:
+            raise SolverError("CG solver requires a square matrix")
+        self.shape = self._matrix.shape
+        self.rtol = float(rtol)
+        self.maxiter = int(maxiter)
+        self._preconditioner = self._build_preconditioner(preconditioner)
+
+    def _build_preconditioner(self, kind: Optional[str]):
+        if kind is None:
+            return None
+        if kind == "jacobi":
+            diagonal = self._matrix.diagonal()
+            if np.any(diagonal <= 0):
+                raise SolverError("Jacobi preconditioner requires positive diagonal")
+            inverse_diagonal = 1.0 / diagonal
+            return spla.LinearOperator(
+                self.shape, matvec=lambda x: inverse_diagonal * x
+            )
+        if kind == "ilu":
+            ilu = spla.spilu(sp.csc_matrix(self._matrix), drop_tol=1e-5, fill_factor=10)
+            return spla.LinearOperator(self.shape, matvec=ilu.solve)
+        raise SolverError(f"unknown preconditioner {kind!r}")
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        rhs = np.asarray(rhs, dtype=float)
+        solution, info = spla.cg(
+            self._matrix,
+            rhs,
+            rtol=self.rtol,
+            maxiter=self.maxiter,
+            M=self._preconditioner,
+        )
+        if info > 0:
+            raise ConvergenceError(
+                f"conjugate gradients did not converge in {self.maxiter} iterations"
+            )
+        if info < 0:
+            raise SolverError("conjugate gradients reported an illegal input")
+        return solution
+
+
+def make_solver(matrix: sp.spmatrix, method: str = "direct", **options) -> LinearSolver:
+    """Construct a linear solver for ``matrix``.
+
+    Parameters
+    ----------
+    matrix:
+        System matrix.
+    method:
+        ``"direct"`` (sparse LU), ``"cg"`` (Jacobi-preconditioned CG) or
+        ``"ilu-cg"`` (ILU-preconditioned CG).
+    options:
+        Forwarded to the solver constructor (e.g. ``rtol``, ``maxiter``).
+    """
+    if method == "direct":
+        return DirectSolver(matrix)
+    if method == "cg":
+        options.setdefault("preconditioner", "jacobi")
+        return ConjugateGradientSolver(matrix, **options)
+    if method == "ilu-cg":
+        options["preconditioner"] = "ilu"
+        return ConjugateGradientSolver(matrix, **options)
+    raise SolverError(f"unknown solver method {method!r}")

@@ -1,0 +1,144 @@
+"""Random-walk DC solver for localised power-grid queries.
+
+The paper's related-work section cites the random-walk approach of Qian,
+Nassif and Sapatnekar ("Random walks in a supply network", DAC 2003) as an
+efficient method for *incremental, localised* analysis: instead of solving
+the whole grid, the DC voltage of a single node is estimated as the expected
+reward of a random walk on the resistive network.  This module implements
+that baseline so single-node queries and spot checks do not require a full
+factorisation.
+
+Theory: for a node ``i`` with neighbouring conductances ``g_ij``, pad
+conductance ``g_pad,i`` (to the ideal supply ``VDD``) and drain current
+``I_i``, nodal analysis gives
+
+``v_i = sum_j p_ij v_j + p_pad,i VDD - I_i / G_i``
+
+with ``G_i`` the total conductance at the node, ``p_ij = g_ij / G_i`` and
+``p_pad,i = g_pad,i / G_i``.  A walker at node ``i`` therefore collects the
+"toll" ``-I_i / G_i``, then moves to neighbour ``j`` with probability
+``p_ij`` or terminates at the supply (reward ``VDD``) with probability
+``p_pad,i``; the node voltage is the expected total reward.  Averaging many
+independent walks gives an unbiased estimate whose error shrinks as
+``1/sqrt(num_walks)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import SolverError
+from ..grid.stamping import StampedSystem
+
+__all__ = ["RandomWalkEstimate", "RandomWalkSolver"]
+
+
+@dataclass(frozen=True)
+class RandomWalkEstimate:
+    """Monte Carlo estimate of one node's DC voltage."""
+
+    node: int
+    voltage: float
+    standard_error: float
+    num_walks: int
+    average_walk_length: float
+
+    @property
+    def confidence_interval_95(self) -> tuple:
+        """Approximate 95 % confidence interval of the voltage estimate."""
+        half = 1.96 * self.standard_error
+        return (self.voltage - half, self.voltage + half)
+
+
+class RandomWalkSolver:
+    """Single-node DC solver based on random walks on the resistive grid."""
+
+    def __init__(
+        self,
+        system: StampedSystem,
+        t: float = 0.0,
+        max_walk_length: int = 100000,
+        seed: Optional[int] = 0,
+    ):
+        conductance = sp.csr_matrix(system.conductance)
+        n = conductance.shape[0]
+
+        diagonal = conductance.diagonal()
+        if np.any(diagonal <= 0):
+            raise SolverError("every node needs positive total conductance")
+
+        off_diagonal = conductance - sp.diags(diagonal)
+        # Off-diagonal entries are -g_ij; build the transition structure row by row.
+        neighbours = []
+        probabilities = []
+        for i in range(n):
+            row = off_diagonal.getrow(i)
+            cols = row.indices
+            conductances = -row.data
+            if np.any(conductances < -1e-15):
+                raise SolverError("the conductance matrix must be an M-matrix (RC grid)")
+            neighbours.append(cols)
+            probabilities.append(conductances / diagonal[i])
+        self._neighbours = neighbours
+        self._neighbour_probabilities = probabilities
+
+        # Termination probability at the supply and the per-visit toll.
+        pad_conductance = np.zeros(n)
+        pad_voltage_reward = np.zeros(n)
+        for node in system.pad_nodes:
+            pad_conductance[node] = system.pad_current[node] / system.vdd
+            pad_voltage_reward[node] = system.vdd
+        self._termination_probability = pad_conductance / diagonal
+        self._supply_reward = pad_voltage_reward
+
+        drain = system.drain_current_vector(t)
+        self._toll = -drain / diagonal
+        self._max_walk_length = int(max_walk_length)
+        self._rng = np.random.default_rng(seed)
+        self._num_nodes = n
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    def _single_walk(self, start: int) -> tuple:
+        """Run one walk; returns (accumulated reward, walk length)."""
+        reward = 0.0
+        node = start
+        for step in range(self._max_walk_length):
+            reward += self._toll[node]
+            if self._rng.random() < self._termination_probability[node]:
+                return reward + self._supply_reward[node], step + 1
+            candidates = self._neighbours[node]
+            if candidates.size == 0:
+                raise SolverError(f"node {node} has no neighbours and no pad")
+            weights = self._neighbour_probabilities[node]
+            node = int(self._rng.choice(candidates, p=weights / weights.sum()))
+        raise SolverError(
+            "random walk exceeded max_walk_length; the grid may be poorly "
+            "connected to its pads"
+        )
+
+    def estimate(self, node: int, num_walks: int = 1000) -> RandomWalkEstimate:
+        """Estimate the DC voltage of ``node`` from ``num_walks`` random walks."""
+        if not (0 <= node < self._num_nodes):
+            raise SolverError(f"node index {node} out of range")
+        if num_walks < 1:
+            raise SolverError("num_walks must be at least 1")
+        rewards = np.empty(num_walks)
+        lengths = np.empty(num_walks)
+        for walk in range(num_walks):
+            rewards[walk], lengths[walk] = self._single_walk(node)
+        voltage = float(np.mean(rewards))
+        standard_error = float(np.std(rewards, ddof=1) / np.sqrt(num_walks)) if num_walks > 1 else float("inf")
+        return RandomWalkEstimate(
+            node=node,
+            voltage=voltage,
+            standard_error=standard_error,
+            num_walks=num_walks,
+            average_walk_length=float(np.mean(lengths)),
+        )

@@ -1,0 +1,49 @@
+"""Process-variation modelling: distributions, correlation, regions, and the
+stochastic MNA system builders."""
+
+from .correlation import PrincipalComponents, correlation_from_distance, decorrelate_gaussian
+from .distributions import (
+    BetaParameter,
+    GammaParameter,
+    GaussianParameter,
+    LognormalParameter,
+    ParameterDistribution,
+    UniformParameter,
+)
+from .leakage import LeakageVariationSpec, RegionLeakageExcitation, build_leakage_system
+from .model import (
+    AffineExcitation,
+    GermVariable,
+    StochasticExcitation,
+    StochasticSystem,
+    SummedExcitation,
+    VariationSpec,
+    build_stochastic_system,
+)
+from .regions import RegionPartition
+from .spatial import SpatialVariationSpec, build_spatial_stochastic_system
+
+__all__ = [
+    "SpatialVariationSpec",
+    "build_spatial_stochastic_system",
+    "PrincipalComponents",
+    "correlation_from_distance",
+    "decorrelate_gaussian",
+    "BetaParameter",
+    "GammaParameter",
+    "GaussianParameter",
+    "LognormalParameter",
+    "ParameterDistribution",
+    "UniformParameter",
+    "LeakageVariationSpec",
+    "RegionLeakageExcitation",
+    "build_leakage_system",
+    "AffineExcitation",
+    "GermVariable",
+    "StochasticExcitation",
+    "StochasticSystem",
+    "SummedExcitation",
+    "VariationSpec",
+    "build_stochastic_system",
+    "RegionPartition",
+]

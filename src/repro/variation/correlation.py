@@ -1,0 +1,125 @@
+"""Decorrelation of correlated process parameters.
+
+The OPERA formulation assumes the germ variables are *uncorrelated*; the paper
+notes that correlated Gaussian parameters can always be mapped to an
+uncorrelated set through an orthogonal transformation such as principal
+component analysis.  This module implements that transformation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import VariationModelError
+
+__all__ = ["PrincipalComponents", "decorrelate_gaussian", "correlation_from_distance"]
+
+
+@dataclass(frozen=True)
+class PrincipalComponents:
+    """Result of decorrelating a Gaussian parameter vector.
+
+    The original (correlated, zero-mean) parameters ``delta`` are recovered
+    from independent standard-normal germs ``xi`` via
+    ``delta = transform @ xi`` with ``transform = V * sqrt(lambda)``.
+    """
+
+    transform: np.ndarray
+    eigenvalues: np.ndarray
+    explained_fraction: np.ndarray
+
+    @property
+    def num_parameters(self) -> int:
+        return self.transform.shape[0]
+
+    @property
+    def num_components(self) -> int:
+        return self.transform.shape[1]
+
+    def to_parameters(self, xi: np.ndarray) -> np.ndarray:
+        """Map independent germs to correlated parameter deviations.
+
+        ``xi`` has shape ``(num_components,)`` or ``(m, num_components)``.
+        """
+        xi = np.asarray(xi, dtype=float)
+        return xi @ self.transform.T
+
+    def sensitivity_row(self, parameter: int) -> np.ndarray:
+        """Sensitivity of one original parameter to every retained germ."""
+        return self.transform[parameter]
+
+
+def decorrelate_gaussian(
+    covariance: np.ndarray,
+    num_components: Optional[int] = None,
+    energy_fraction: float = 1.0 - 1e-12,
+) -> PrincipalComponents:
+    """Principal-component decomposition of a Gaussian covariance matrix.
+
+    Parameters
+    ----------
+    covariance:
+        Symmetric positive semi-definite covariance matrix of the physical
+        parameter deviations.
+    num_components:
+        Number of principal components (germs) to retain; defaults to keeping
+        enough components to explain ``energy_fraction`` of the total variance.
+    energy_fraction:
+        Variance fraction to retain when ``num_components`` is not given.
+    """
+    covariance = np.asarray(covariance, dtype=float)
+    if covariance.ndim != 2 or covariance.shape[0] != covariance.shape[1]:
+        raise VariationModelError("covariance must be a square matrix")
+    if not np.allclose(covariance, covariance.T, rtol=1e-8, atol=1e-12):
+        raise VariationModelError("covariance must be symmetric")
+
+    eigenvalues, eigenvectors = np.linalg.eigh(covariance)
+    order = np.argsort(eigenvalues)[::-1]
+    eigenvalues = eigenvalues[order]
+    eigenvectors = eigenvectors[:, order]
+    if np.any(eigenvalues < -1e-10 * max(eigenvalues.max(), 1.0)):
+        raise VariationModelError("covariance must be positive semi-definite")
+    eigenvalues = np.clip(eigenvalues, 0.0, None)
+
+    total = float(eigenvalues.sum())
+    if total <= 0:
+        raise VariationModelError("covariance has no variance to decompose")
+    cumulative = np.cumsum(eigenvalues) / total
+
+    if num_components is None:
+        num_components = int(np.searchsorted(cumulative, energy_fraction) + 1)
+    num_components = min(max(num_components, 1), eigenvalues.size)
+
+    kept_values = eigenvalues[:num_components]
+    kept_vectors = eigenvectors[:, :num_components]
+    transform = kept_vectors * np.sqrt(kept_values)[None, :]
+    explained = kept_values / total
+    return PrincipalComponents(
+        transform=transform, eigenvalues=kept_values, explained_fraction=explained
+    )
+
+
+def correlation_from_distance(
+    positions: Sequence[Sequence[float]],
+    correlation_length: float,
+    sigma: float = 1.0,
+) -> np.ndarray:
+    """Exponential spatial correlation model for intra-die variation.
+
+    Builds the covariance ``sigma^2 * exp(-d_ij / L)`` between chip locations,
+    the standard model for spatially correlated intra-die parameter
+    variation.  Combined with :func:`decorrelate_gaussian`, it converts a
+    spatial random field into a small set of independent germs suitable for
+    the chaos expansion.
+    """
+    if correlation_length <= 0:
+        raise VariationModelError("correlation_length must be positive")
+    points = np.asarray(positions, dtype=float)
+    if points.ndim != 2:
+        raise VariationModelError("positions must be an (m, d) array of coordinates")
+    deltas = points[:, None, :] - points[None, :, :]
+    distances = np.sqrt(np.sum(deltas**2, axis=-1))
+    return sigma**2 * np.exp(-distances / correlation_length)

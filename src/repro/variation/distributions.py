@@ -1,0 +1,244 @@
+"""Random-variable models for process parameters.
+
+The paper normalises every varying physical parameter ``P`` as
+``P = P_mu + P_sigma * xi`` where ``xi`` is a zero-mean, unit-variance random
+variable (the *germ*).  The polynomial family used for the chaos expansion is
+dictated by the germ distribution through the Askey scheme:
+
+=============  =================  ==================
+distribution   germ               polynomial family
+=============  =================  ==================
+Gaussian       standard normal    Hermite
+Lognormal      standard normal    Hermite
+Uniform        uniform(-1, 1)     Legendre
+Gamma          exponential(1)     Laguerre
+Beta           beta on [-1, 1]    Jacobi
+=============  =================  ==================
+
+Each distribution class therefore exposes the germ family name, a germ
+sampler, and the map from germ value to physical value.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import VariationModelError
+
+__all__ = [
+    "ParameterDistribution",
+    "GaussianParameter",
+    "LognormalParameter",
+    "UniformParameter",
+    "GammaParameter",
+    "BetaParameter",
+]
+
+
+class ParameterDistribution(abc.ABC):
+    """A random physical parameter expressed through a standardised germ."""
+
+    #: Name of the orthogonal polynomial family matched to the germ.
+    germ_family: str = "hermite"
+
+    @abc.abstractmethod
+    def sample_germ(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` samples of the germ random variable."""
+
+    @abc.abstractmethod
+    def from_germ(self, xi: np.ndarray) -> np.ndarray:
+        """Map germ values to physical parameter values."""
+
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Mean of the physical parameter."""
+
+    @abc.abstractmethod
+    def std(self) -> float:
+        """Standard deviation of the physical parameter."""
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw samples of the physical parameter."""
+        return self.from_germ(self.sample_germ(rng, size))
+
+    def relative_sigma(self) -> float:
+        """Standard deviation relative to the mean (coefficient of variation)."""
+        mu = self.mean()
+        if mu == 0:
+            raise VariationModelError("relative sigma undefined for zero-mean parameter")
+        return self.std() / abs(mu)
+
+
+@dataclass(frozen=True)
+class GaussianParameter(ParameterDistribution):
+    """``P = mu + sigma * xi`` with ``xi ~ N(0, 1)``."""
+
+    mu: float
+    sigma: float
+    germ_family = "hermite"
+
+    def __post_init__(self):
+        if self.sigma < 0:
+            raise VariationModelError("sigma must be non-negative")
+
+    @classmethod
+    def from_three_sigma_percent(cls, mu: float, three_sigma_percent: float) -> "GaussianParameter":
+        """Build from the '3-sigma variation as a percentage of nominal' convention
+        used throughout the paper (e.g. 20 % 3-sigma variation in W)."""
+        return cls(mu=mu, sigma=abs(mu) * three_sigma_percent / 100.0 / 3.0)
+
+    def sample_germ(self, rng, size):
+        return rng.standard_normal(size)
+
+    def from_germ(self, xi):
+        return self.mu + self.sigma * np.asarray(xi)
+
+    def mean(self):
+        return self.mu
+
+    def std(self):
+        return self.sigma
+
+
+@dataclass(frozen=True)
+class LognormalParameter(ParameterDistribution):
+    """``P = exp(log_mu + log_sigma * xi)`` with ``xi ~ N(0, 1)``.
+
+    Used for leakage currents, which vary exponentially with the (Gaussian)
+    threshold voltage.
+    """
+
+    log_mu: float
+    log_sigma: float
+    germ_family = "hermite"
+
+    def __post_init__(self):
+        if self.log_sigma < 0:
+            raise VariationModelError("log_sigma must be non-negative")
+
+    @classmethod
+    def from_median_and_sigma(cls, median: float, log_sigma: float) -> "LognormalParameter":
+        if median <= 0:
+            raise VariationModelError("median of a lognormal must be positive")
+        return cls(log_mu=math.log(median), log_sigma=log_sigma)
+
+    def sample_germ(self, rng, size):
+        return rng.standard_normal(size)
+
+    def from_germ(self, xi):
+        return np.exp(self.log_mu + self.log_sigma * np.asarray(xi))
+
+    def mean(self):
+        return math.exp(self.log_mu + 0.5 * self.log_sigma**2)
+
+    def std(self):
+        factor = math.exp(self.log_sigma**2)
+        return self.mean() * math.sqrt(factor - 1.0)
+
+
+@dataclass(frozen=True)
+class UniformParameter(ParameterDistribution):
+    """``P`` uniform on ``[low, high]``; germ uniform on ``[-1, 1]``."""
+
+    low: float
+    high: float
+    germ_family = "legendre"
+
+    def __post_init__(self):
+        if self.high <= self.low:
+            raise VariationModelError("high must exceed low")
+
+    def sample_germ(self, rng, size):
+        return rng.uniform(-1.0, 1.0, size)
+
+    def from_germ(self, xi):
+        xi = np.asarray(xi)
+        return 0.5 * (self.low + self.high) + 0.5 * (self.high - self.low) * xi
+
+    def mean(self):
+        return 0.5 * (self.low + self.high)
+
+    def std(self):
+        return (self.high - self.low) / math.sqrt(12.0)
+
+
+@dataclass(frozen=True)
+class GammaParameter(ParameterDistribution):
+    """``P = scale * xi + shift`` with ``xi ~ Exponential(1)`` (unit-rate germ).
+
+    The matching Askey family is Laguerre.  The exponential germ is the
+    ``k = 1`` member of the Gamma family, which is what standard Laguerre
+    polynomials are orthogonal against.
+    """
+
+    scale: float
+    shift: float = 0.0
+    germ_family = "laguerre"
+
+    def __post_init__(self):
+        if self.scale <= 0:
+            raise VariationModelError("scale must be positive")
+
+    def sample_germ(self, rng, size):
+        return rng.exponential(1.0, size)
+
+    def from_germ(self, xi):
+        return self.shift + self.scale * np.asarray(xi)
+
+    def mean(self):
+        return self.shift + self.scale
+
+    def std(self):
+        return self.scale
+
+
+@dataclass(frozen=True)
+class BetaParameter(ParameterDistribution):
+    """``P`` on ``[low, high]`` with a Beta-shaped density; germ on ``[-1, 1]``.
+
+    The germ density is proportional to ``(1 - x)^alpha (1 + x)^beta`` on
+    ``[-1, 1]``, which is the weight of the Jacobi polynomials.
+    """
+
+    low: float
+    high: float
+    alpha: float = 1.0
+    beta: float = 1.0
+    germ_family = "jacobi"
+
+    def __post_init__(self):
+        if self.high <= self.low:
+            raise VariationModelError("high must exceed low")
+        if self.alpha <= -1 or self.beta <= -1:
+            raise VariationModelError("alpha and beta must exceed -1")
+
+    def sample_germ(self, rng, size):
+        # (1-x)^alpha (1+x)^beta on [-1,1]  <=>  B ~ Beta(beta+1, alpha+1), x = 2B - 1.
+        b = rng.beta(self.beta + 1.0, self.alpha + 1.0, size)
+        return 2.0 * b - 1.0
+
+    def from_germ(self, xi):
+        xi = np.asarray(xi)
+        return self.low + 0.5 * (xi + 1.0) * (self.high - self.low)
+
+    def _germ_mean(self) -> float:
+        a, b = self.alpha, self.beta
+        mean_b = (b + 1.0) / (a + b + 2.0)
+        return 2.0 * mean_b - 1.0
+
+    def _germ_var(self) -> float:
+        a, b = self.alpha, self.beta
+        p, q = b + 1.0, a + 1.0
+        var_b = p * q / ((p + q) ** 2 * (p + q + 1.0))
+        return 4.0 * var_b
+
+    def mean(self):
+        return self.low + 0.5 * (self._germ_mean() + 1.0) * (self.high - self.low)
+
+    def std(self):
+        return 0.5 * (self.high - self.low) * math.sqrt(self._germ_var())

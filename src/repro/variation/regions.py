@@ -1,0 +1,96 @@
+"""Chip-region partitioning for intra-die variation modelling.
+
+The special case of Section 5.1 of the paper divides the chip into a small
+number of regions, each with its own threshold-voltage (and hence leakage)
+random variable.  :class:`RegionPartition` provides that division for the
+synthetic grids produced by :mod:`repro.grid.generator`, mapping nodes to
+rectangular regions of the bottom metal layer.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import VariationModelError
+
+__all__ = ["RegionPartition"]
+
+_NODE_NAME_RE = re.compile(r"^n(?P<layer>\d+)_(?P<row>\d+)_(?P<col>\d+)$")
+
+
+@dataclass(frozen=True)
+class RegionPartition:
+    """A ``region_rows x region_cols`` rectangular partition of the die.
+
+    Attributes
+    ----------
+    nx, ny:
+        Bottom-layer mesh dimensions of the grid being partitioned.
+    region_rows, region_cols:
+        Number of regions along each axis; the total number of regions (and
+        hence intra-die germs) is their product.
+    """
+
+    nx: int
+    ny: int
+    region_rows: int = 2
+    region_cols: int = 1
+
+    def __post_init__(self):
+        if self.nx < 1 or self.ny < 1:
+            raise VariationModelError("grid dimensions must be positive")
+        if self.region_rows < 1 or self.region_cols < 1:
+            raise VariationModelError("region counts must be positive")
+        if self.region_rows > self.nx or self.region_cols > self.ny:
+            raise VariationModelError("cannot have more regions than grid nodes")
+
+    @property
+    def num_regions(self) -> int:
+        return self.region_rows * self.region_cols
+
+    # ------------------------------------------------------------- region map
+    def region_of(self, row: int, col: int) -> int:
+        """Region index of a bottom-layer node at ``(row, col)``."""
+        if not (0 <= row < self.nx and 0 <= col < self.ny):
+            raise VariationModelError(f"coordinates ({row}, {col}) lie outside the grid")
+        r = min(row * self.region_rows // self.nx, self.region_rows - 1)
+        c = min(col * self.region_cols // self.ny, self.region_cols - 1)
+        return r * self.region_cols + c
+
+    def region_of_node_name(self, name: str) -> Optional[int]:
+        """Region of a generator-named node; ``None`` for upper-layer nodes.
+
+        Only bottom-layer (layer 0) nodes carry devices, so only those are
+        assigned to a region.
+        """
+        match = _NODE_NAME_RE.match(name)
+        if not match:
+            raise VariationModelError(
+                f"node name {name!r} does not follow the generator convention 'n<layer>_<row>_<col>'"
+            )
+        if int(match.group("layer")) != 0:
+            return None
+        return self.region_of(int(match.group("row")), int(match.group("col")))
+
+    def region_map(self, node_names: Sequence[str]) -> np.ndarray:
+        """Region index per node (-1 for nodes without a region)."""
+        out = np.full(len(node_names), -1, dtype=int)
+        for i, name in enumerate(node_names):
+            region = self.region_of_node_name(name)
+            if region is not None:
+                out[i] = region
+        return out
+
+    def region_centers(self) -> np.ndarray:
+        """Approximate (row, col) centre of each region, for correlation models."""
+        centers = []
+        for r in range(self.region_rows):
+            for c in range(self.region_cols):
+                row = (r + 0.5) * self.nx / self.region_rows
+                col = (c + 0.5) * self.ny / self.region_cols
+                centers.append((row, col))
+        return np.asarray(centers)

@@ -1,0 +1,89 @@
+"""Shared fixtures: small grids, stamped systems and stochastic systems.
+
+Heavy objects are session-scoped so the whole suite builds them once; tests
+must treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.grid import GridSpec, PowerGridNetlist, generate_power_grid, stamp
+from repro.opera import OperaConfig
+from repro.sim import TransientConfig
+from repro.variation import (
+    LeakageVariationSpec,
+    RegionPartition,
+    VariationSpec,
+    build_leakage_system,
+    build_stochastic_system,
+)
+
+
+@pytest.fixture(scope="session")
+def small_grid_spec() -> GridSpec:
+    """A tiny but fully featured grid spec (two layers, pads, blocks)."""
+    return GridSpec(nx=8, ny=8, num_layers=2, num_blocks=4, pad_spacing=2, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_netlist(small_grid_spec) -> PowerGridNetlist:
+    return generate_power_grid(small_grid_spec)
+
+
+@pytest.fixture(scope="session")
+def small_stamped(small_netlist):
+    return stamp(small_netlist)
+
+
+@pytest.fixture(scope="session")
+def small_system(small_stamped):
+    """Stochastic system with the paper's W/T/Leff variation on the small grid."""
+    return build_stochastic_system(small_stamped, VariationSpec.paper_defaults())
+
+
+@pytest.fixture(scope="session")
+def small_leakage_system(small_stamped, small_grid_spec):
+    """Section-5.1 special case: two-region lognormal leakage on the small grid."""
+    partition = RegionPartition(
+        nx=small_grid_spec.nx, ny=small_grid_spec.ny, region_rows=2, region_cols=1
+    )
+    return build_leakage_system(
+        small_stamped, partition, LeakageVariationSpec(vth_sigma=0.03)
+    )
+
+
+@pytest.fixture(scope="session")
+def fast_transient() -> TransientConfig:
+    """A short transient (10 steps) used across integration tests."""
+    return TransientConfig(t_stop=2.0e-9, dt=0.2e-9)
+
+
+@pytest.fixture(scope="session")
+def fast_opera_config(fast_transient) -> OperaConfig:
+    return OperaConfig(transient=fast_transient, order=2)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def manual_netlist() -> PowerGridNetlist:
+    """A hand-built 4-node ladder grid with known topology.
+
+    Layout: pad -- n1 -- n2 -- n3, with a current source and capacitor at n3
+    and a capacitor at n2.  Small enough that expected matrices can be
+    written down by hand in the tests.
+    """
+    netlist = PowerGridNetlist(name="manual-ladder")
+    netlist.add_pad("n1", resistance=0.1, vdd=1.2)
+    netlist.add_resistor("n1", "n2", 1.0)
+    netlist.add_resistor("n2", "n3", 2.0)
+    netlist.add_capacitor("n2", "0", 1.0e-12)
+    netlist.add_capacitor("n3", "0", 2.0e-12, is_gate_load=True)
+    netlist.add_current_source("n3", 0.01)
+    netlist.add_current_source("n3", 0.001, is_leakage=True)
+    return netlist

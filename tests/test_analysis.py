@@ -1,0 +1,186 @@
+"""Tests for accuracy metrics, Table-1 assembly and distribution comparisons."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.histogram import ascii_histogram, drop_distribution_comparison
+from repro.analysis.metrics import (
+    AccuracyMetrics,
+    compare_to_monte_carlo,
+    three_sigma_spread_percent,
+)
+from repro.analysis.tables import PAPER_TABLE1, Table1Row, format_table1
+from repro.errors import AnalysisError
+from repro.montecarlo.engine import MonteCarloConfig, MonteCarloTransientResult, run_monte_carlo_transient
+from repro.opera import OperaConfig, run_opera_transient
+from repro.sim.transient import transient_analysis
+
+
+@pytest.fixture(scope="module")
+def opera_and_mc(small_system, fast_transient):
+    opera = run_opera_transient(small_system, OperaConfig(transient=fast_transient, order=2))
+    mc = run_monte_carlo_transient(
+        small_system,
+        MonteCarloConfig(
+            transient=fast_transient,
+            num_samples=60,
+            seed=17,
+            antithetic=True,
+            store_nodes=(int(opera.worst_node()),),
+        ),
+    )
+    return opera, mc
+
+
+class TestCompareToMonteCarlo:
+    def test_small_grid_errors_within_monte_carlo_noise(self, opera_and_mc):
+        opera, mc = opera_and_mc
+        metrics = compare_to_monte_carlo(opera, mc)
+        # 60 antithetic samples: the mean is tight, sigma noisier.
+        assert metrics.average_mean_error_percent < 1.0
+        assert metrics.average_sigma_error_percent < 30.0
+        assert metrics.maximum_mean_error_percent >= metrics.average_mean_error_percent
+        assert metrics.maximum_sigma_error_percent >= metrics.average_sigma_error_percent
+        assert metrics.num_points_compared > 0
+
+    def test_perfect_agreement_gives_zero_error(self, opera_and_mc):
+        opera, _ = opera_and_mc
+        fake_mc = MonteCarloTransientResult(
+            times=opera.times,
+            mean_voltage=opera.mean_voltage.copy(),
+            variance=opera.variance.copy(),
+            num_samples=123,
+            vdd=opera.vdd,
+        )
+        metrics = compare_to_monte_carlo(opera, fake_mc)
+        assert metrics.average_mean_error_percent == pytest.approx(0.0, abs=1e-12)
+        assert metrics.maximum_sigma_error_percent == pytest.approx(0.0, abs=1e-12)
+
+    def test_known_bias_reflected_in_metrics(self, opera_and_mc):
+        opera, _ = opera_and_mc
+        biased = MonteCarloTransientResult(
+            times=opera.times,
+            mean_voltage=opera.vdd - 1.02 * opera.mean_drop,  # 2% larger drops
+            variance=opera.variance.copy(),
+            num_samples=10,
+            vdd=opera.vdd,
+        )
+        metrics = compare_to_monte_carlo(opera, biased)
+        assert metrics.average_mean_error_percent == pytest.approx(100 * (0.02 / 1.02), rel=1e-6)
+
+    def test_time_axis_mismatch_rejected(self, opera_and_mc):
+        opera, mc = opera_and_mc
+        shifted = MonteCarloTransientResult(
+            times=mc.times + 0.1e-9,
+            mean_voltage=mc.mean_voltage,
+            variance=mc.variance,
+            num_samples=mc.num_samples,
+            vdd=mc.vdd,
+        )
+        with pytest.raises(AnalysisError):
+            compare_to_monte_carlo(opera, shifted)
+
+    def test_string_rendering(self, opera_and_mc):
+        metrics = compare_to_monte_carlo(*opera_and_mc)
+        text = str(metrics)
+        assert "sigma error" in text
+
+
+class TestThreeSigmaSpread:
+    def test_spread_in_paper_band(self, opera_and_mc, small_stamped, fast_transient):
+        opera, _ = opera_and_mc
+        nominal = transient_analysis(small_stamped, fast_transient)
+        spread = three_sigma_spread_percent(opera, nominal)
+        # the paper reports +/-30..46 % across its grids
+        assert 20.0 < spread < 60.0
+
+    def test_spread_without_nominal_close_to_with(self, opera_and_mc, small_stamped, fast_transient):
+        opera, _ = opera_and_mc
+        nominal = transient_analysis(small_stamped, fast_transient)
+        with_nominal = three_sigma_spread_percent(opera, nominal)
+        without = three_sigma_spread_percent(opera)
+        assert without == pytest.approx(with_nominal, rel=0.1)
+
+    def test_scaling_with_sigma(self, opera_and_mc):
+        opera, _ = opera_and_mc
+        doubled = type(opera)(
+            times=opera.times,
+            basis=opera.basis,
+            vdd=opera.vdd,
+            coefficients=None,
+            mean=opera.mean_voltage,
+            variance=4.0 * opera.variance,
+            node_names=opera.node_names,
+        )
+        assert three_sigma_spread_percent(doubled) == pytest.approx(
+            2.0 * three_sigma_spread_percent(opera), rel=1e-9
+        )
+
+
+class TestTable1:
+    def test_row_from_metrics_and_speedup(self):
+        metrics = AccuracyMetrics(0.01, 0.05, 2.0, 4.0, 1000)
+        row = Table1Row.from_metrics("g", 1234, metrics, 33.0, monte_carlo_seconds=100.0, opera_seconds=4.0)
+        assert row.speedup == pytest.approx(25.0)
+        assert row.average_sigma_error_percent == 2.0
+
+    def test_zero_opera_time_gives_infinite_speedup(self):
+        row = Table1Row("g", 10, 0, 0, 0, 0, 30.0, 1.0, 0.0)
+        assert row.speedup == float("inf")
+
+    def test_format_contains_all_rows_and_headers(self):
+        text = format_table1(PAPER_TABLE1, title="Paper Table 1")
+        assert "Paper Table 1" in text
+        assert "Speedup" in text
+        for row in PAPER_TABLE1:
+            assert str(row.num_nodes) in text
+
+    def test_paper_reference_values(self):
+        """Sanity-check the transcribed Table 1 reference data."""
+        assert len(PAPER_TABLE1) == 7
+        first = PAPER_TABLE1[0]
+        assert first.num_nodes == 19181
+        assert first.speedup == pytest.approx(1444.00 / 14.32, rel=1e-3)
+        speedups = [row.speedup for row in PAPER_TABLE1]
+        assert min(speedups) > 15 and max(speedups) < 130
+
+
+class TestDropDistribution:
+    def test_comparison_matches_figures_format(self, opera_and_mc):
+        opera, mc = opera_and_mc
+        node = int(opera.worst_node())
+        comparison = drop_distribution_comparison(opera, mc, node=node, bins=20)
+        assert comparison.bin_centers_percent_vdd.shape == (20,)
+        assert comparison.opera_percent_occurrence.sum() == pytest.approx(100.0, abs=1e-6)
+        assert comparison.monte_carlo_percent_occurrence.sum() == pytest.approx(100.0, abs=1e-6)
+
+    def test_opera_and_mc_statistics_agree(self, opera_and_mc):
+        opera, mc = opera_and_mc
+        node = int(opera.worst_node())
+        comparison = drop_distribution_comparison(opera, mc, node=node)
+        assert comparison.opera_mean_percent_vdd == pytest.approx(
+            comparison.monte_carlo_mean_percent_vdd, rel=0.05
+        )
+        assert comparison.opera_sigma_percent_vdd == pytest.approx(
+            comparison.monte_carlo_sigma_percent_vdd, rel=0.5
+        )
+
+    def test_histogram_distance_bounded(self, opera_and_mc):
+        opera, mc = opera_and_mc
+        node = int(opera.worst_node())
+        comparison = drop_distribution_comparison(opera, mc, node=node)
+        assert 0.0 <= comparison.histogram_distance() <= 100.0
+
+    def test_unstored_node_rejected(self, opera_and_mc):
+        opera, mc = opera_and_mc
+        missing = (int(opera.worst_node()) + 1) % opera.num_nodes
+        with pytest.raises(AnalysisError):
+            drop_distribution_comparison(opera, mc, node=missing)
+
+    def test_ascii_rendering(self, opera_and_mc):
+        opera, mc = opera_and_mc
+        node = int(opera.worst_node())
+        comparison = drop_distribution_comparison(opera, mc, node=node, bins=10)
+        art = ascii_histogram(comparison)
+        assert "voltage drop distribution" in art
+        assert "#" in art and "*" in art

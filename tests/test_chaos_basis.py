@@ -1,0 +1,246 @@
+"""Tests for the multivariate polynomial chaos basis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos.basis import (
+    HermiteFamily,
+    JacobiFamily,
+    LaguerreFamily,
+    LegendreFamily,
+    PolynomialChaosBasis,
+    family_for,
+)
+from repro.errors import BasisError
+
+
+class TestFamilyRegistry:
+    @pytest.mark.parametrize(
+        "name, cls",
+        [
+            ("hermite", HermiteFamily),
+            ("gaussian", HermiteFamily),
+            ("lognormal", HermiteFamily),
+            ("legendre", LegendreFamily),
+            ("uniform", LegendreFamily),
+            ("laguerre", LaguerreFamily),
+            ("gamma", LaguerreFamily),
+            ("jacobi", JacobiFamily),
+            ("beta", JacobiFamily),
+        ],
+    )
+    def test_aliases(self, name, cls):
+        assert isinstance(family_for(name), cls)
+
+    def test_instance_passthrough(self):
+        family = HermiteFamily()
+        assert family_for(family) is family
+
+    def test_unknown_family(self):
+        with pytest.raises(BasisError):
+            family_for("chebyshev")
+
+    def test_case_insensitive(self):
+        assert isinstance(family_for("Hermite"), HermiteFamily)
+
+
+class TestBasisConstruction:
+    def test_paper_case_two_vars_order_two(self):
+        basis = PolynomialChaosBasis("hermite", order=2, num_vars=2)
+        assert basis.size == 6
+        assert basis.num_vars == 2
+        assert basis.multi_indices[0] == (0, 0)
+
+    def test_size_formula(self):
+        import math
+
+        for n in (1, 2, 3, 4):
+            for p in (0, 1, 2, 3):
+                basis = PolynomialChaosBasis("hermite", order=p, num_vars=n)
+                assert basis.size == math.comb(n + p, p)
+
+    def test_mixed_families(self):
+        basis = PolynomialChaosBasis(["hermite", "legendre"], order=2)
+        assert basis.families[0].name == "hermite"
+        assert basis.families[1].name == "legendre"
+
+    def test_single_family_requires_num_vars(self):
+        with pytest.raises(BasisError):
+            PolynomialChaosBasis("hermite", order=2)
+
+    def test_num_vars_mismatch_rejected(self):
+        with pytest.raises(BasisError):
+            PolynomialChaosBasis(["hermite", "hermite"], order=2, num_vars=3)
+
+    def test_negative_order_rejected(self):
+        with pytest.raises(BasisError):
+            PolynomialChaosBasis("hermite", order=-1, num_vars=2)
+
+    def test_degrees(self):
+        basis = PolynomialChaosBasis("hermite", order=2, num_vars=2)
+        np.testing.assert_array_equal(basis.degrees, [0, 1, 1, 2, 2, 2])
+        assert basis.degree(3) == 2
+
+    def test_len(self):
+        assert len(PolynomialChaosBasis("hermite", order=1, num_vars=3)) == 4
+
+
+class TestBasisLookups:
+    def test_index_of(self):
+        basis = PolynomialChaosBasis("hermite", order=2, num_vars=2)
+        assert basis.index_of((0, 0)) == 0
+        assert basis.index_of((1, 1)) == 4
+        with pytest.raises(BasisError):
+            basis.index_of((3, 0))
+
+    def test_first_order_index(self):
+        basis = PolynomialChaosBasis("hermite", order=2, num_vars=3)
+        for var in range(3):
+            index = basis.first_order_index(var)
+            assert basis.multi_indices[index] == tuple(
+                1 if d == var else 0 for d in range(3)
+            )
+        with pytest.raises(BasisError):
+            basis.first_order_index(5)
+
+
+class TestBasisEvaluation:
+    def test_constant_function_is_one(self):
+        basis = PolynomialChaosBasis("hermite", order=2, num_vars=2)
+        values = basis.evaluate(np.array([0.7, -1.2]))
+        assert values[0] == pytest.approx(1.0)
+
+    def test_first_order_hermite_is_identity(self):
+        basis = PolynomialChaosBasis("hermite", order=2, num_vars=2)
+        xi = np.array([0.5, -0.3])
+        values = basis.evaluate(xi)
+        assert values[basis.first_order_index(0)] == pytest.approx(0.5)
+        assert values[basis.first_order_index(1)] == pytest.approx(-0.3)
+
+    def test_second_order_hermite_normalisation(self):
+        basis = PolynomialChaosBasis("hermite", order=2, num_vars=1)
+        xi = np.array([1.5])
+        values = basis.evaluate(xi)
+        assert values[2] == pytest.approx((1.5**2 - 1) / np.sqrt(2.0))
+
+    def test_batch_evaluation_shape(self):
+        basis = PolynomialChaosBasis("hermite", order=3, num_vars=2)
+        points = np.random.default_rng(0).normal(size=(17, 2))
+        values = basis.evaluate(points)
+        assert values.shape == (17, basis.size)
+
+    def test_batch_matches_single(self):
+        basis = PolynomialChaosBasis(["hermite", "legendre"], order=2)
+        points = np.array([[0.3, 0.4], [-1.0, 0.9]])
+        batch = basis.evaluate(points)
+        for row, point in zip(batch, points):
+            np.testing.assert_allclose(row, basis.evaluate(point))
+
+    def test_dimension_mismatch_rejected(self):
+        basis = PolynomialChaosBasis("hermite", order=2, num_vars=2)
+        with pytest.raises(BasisError):
+            basis.evaluate(np.zeros((5, 3)))
+
+
+class TestBasisOrthonormality:
+    @pytest.mark.parametrize(
+        "families",
+        [
+            ["hermite", "hermite"],
+            ["legendre", "legendre"],
+            ["hermite", "legendre"],
+            ["laguerre", "hermite"],
+        ],
+    )
+    def test_gram_matrix_is_identity(self, families):
+        """E[psi_i psi_j] = delta_ij, checked with tensor quadrature."""
+        basis = PolynomialChaosBasis(families, order=2)
+        points, weights = basis.quadrature(8)
+        psi = basis.evaluate(points)
+        gram = psi.T @ (psi * weights[:, None])
+        np.testing.assert_allclose(gram, np.eye(basis.size), atol=1e-8)
+
+    def test_monte_carlo_gram_close_to_identity(self, rng):
+        basis = PolynomialChaosBasis("hermite", order=2, num_vars=2)
+        samples = basis.sample_germ(rng, 200000)
+        psi = basis.evaluate(samples)
+        gram = psi.T @ psi / samples.shape[0]
+        np.testing.assert_allclose(gram, np.eye(basis.size), atol=0.05)
+
+    def test_norm_squared_reports_one(self):
+        basis = PolynomialChaosBasis("hermite", order=2, num_vars=2)
+        for i in range(basis.size):
+            assert basis.norm_squared(i) == 1.0
+        with pytest.raises(BasisError):
+            basis.norm_squared(99)
+
+
+class TestBasisTripleProducts:
+    def test_constant_index_gives_identity(self):
+        basis = PolynomialChaosBasis("hermite", order=2, num_vars=2)
+        for i in range(basis.size):
+            for j in range(basis.size):
+                expected = 1.0 if i == j else 0.0
+                assert basis.triple_product(0, i, j) == pytest.approx(expected)
+
+    def test_matches_quadrature_for_mixed_families(self):
+        basis = PolynomialChaosBasis(["hermite", "legendre"], order=2)
+        points, weights = basis.quadrature(10)
+        psi = basis.evaluate(points)
+        for m in (1, 2, 4):
+            for i in range(basis.size):
+                for j in range(basis.size):
+                    numeric = np.sum(weights * psi[:, m] * psi[:, i] * psi[:, j])
+                    assert basis.triple_product(m, i, j) == pytest.approx(numeric, abs=1e-9)
+
+    def test_symmetry_in_all_arguments(self):
+        basis = PolynomialChaosBasis("hermite", order=3, num_vars=2)
+        value = basis.triple_product(1, 3, 5)
+        assert basis.triple_product(3, 1, 5) == pytest.approx(value)
+        assert basis.triple_product(5, 3, 1) == pytest.approx(value)
+
+
+class TestBasisSampling:
+    def test_sample_shapes(self, rng):
+        basis = PolynomialChaosBasis(["hermite", "legendre", "laguerre"], order=1)
+        samples = basis.sample_germ(rng, 100)
+        assert samples.shape == (100, 3)
+
+    def test_samples_follow_germ_densities(self, rng):
+        basis = PolynomialChaosBasis(["hermite", "legendre", "laguerre"], order=1)
+        samples = basis.sample_germ(rng, 50000)
+        assert abs(np.mean(samples[:, 0])) < 0.05
+        assert abs(np.std(samples[:, 0]) - 1.0) < 0.05
+        assert samples[:, 1].min() >= -1.0 and samples[:, 1].max() <= 1.0
+        assert samples[:, 2].min() >= 0.0
+        assert abs(np.mean(samples[:, 2]) - 1.0) < 0.05
+
+
+class TestBasisPropertyBased:
+    @given(
+        num_vars=st.integers(min_value=1, max_value=4),
+        order=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_first_order_indices_follow_constant(self, num_vars, order):
+        basis = PolynomialChaosBasis("hermite", order=order, num_vars=num_vars)
+        if order >= 1:
+            for var in range(num_vars):
+                assert basis.first_order_index(var) == 1 + var
+
+    @given(
+        order=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_expansion_variance_equals_sum_of_squares(self, order, seed):
+        """For any coefficient vector, Var = sum of squared non-constant coeffs."""
+        basis = PolynomialChaosBasis("hermite", order=order, num_vars=2)
+        rng = np.random.default_rng(seed)
+        coefficients = rng.normal(size=basis.size)
+        samples = basis.evaluate(basis.sample_germ(rng, 60000)) @ coefficients
+        expected_variance = float(np.sum(coefficients[1:] ** 2))
+        assert np.var(samples) == pytest.approx(expected_variance, rel=0.12, abs=1e-3)
+        assert np.mean(samples) == pytest.approx(coefficients[0], abs=0.05)

@@ -1,0 +1,198 @@
+"""Tests for multi-index enumeration and Hermite polynomial algebra."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos.hermite import (
+    hermite_norm_squared,
+    hermite_triple_product,
+    hermite_value,
+    normalized_hermite_triple,
+    normalized_hermite_value,
+)
+from repro.chaos.multiindex import (
+    compositions,
+    multi_index_count,
+    multi_index_degree,
+    total_degree_multi_indices,
+)
+from repro.chaos.quadrature import gauss_hermite_rule
+from repro.errors import BasisError
+
+
+class TestCompositions:
+    def test_degree_one_is_unit_vectors_in_order(self):
+        assert list(compositions(1, 3)) == [(1, 0, 0), (0, 1, 0), (0, 0, 1)]
+
+    def test_degree_two_two_vars(self):
+        assert list(compositions(2, 2)) == [(2, 0), (1, 1), (0, 2)]
+
+    def test_all_sum_to_total(self):
+        for combo in compositions(4, 3):
+            assert sum(combo) == 4
+
+    def test_count_matches_stars_and_bars(self):
+        count = len(list(compositions(5, 4)))
+        assert count == math.comb(5 + 4 - 1, 4 - 1)
+
+    def test_rejects_zero_parts(self):
+        with pytest.raises(BasisError):
+            list(compositions(2, 0))
+
+
+class TestTotalDegreeIndices:
+    def test_paper_example_two_vars_order_two(self):
+        """n=2, p=2 gives the six terms of Eq. (15)."""
+        indices = total_degree_multi_indices(2, 2)
+        assert indices == [(0, 0), (1, 0), (0, 1), (2, 0), (1, 1), (0, 2)]
+
+    def test_first_entries_are_constant_and_linear(self):
+        indices = total_degree_multi_indices(4, 3)
+        assert indices[0] == (0, 0, 0, 0)
+        for var in range(4):
+            expected = tuple(1 if d == var else 0 for d in range(4))
+            assert indices[1 + var] == expected
+
+    def test_count_formula(self):
+        for n in (1, 2, 3, 5):
+            for p in (0, 1, 2, 3, 4):
+                assert len(total_degree_multi_indices(n, p)) == multi_index_count(n, p)
+
+    def test_count_matches_paper_formula(self):
+        """N+1 = sum_k C(n-1+k, k) as printed under Eq. (8)."""
+        for n in (2, 3, 4):
+            for p in (1, 2, 3):
+                expected = sum(math.comb(n - 1 + k, k) for k in range(p + 1))
+                assert multi_index_count(n, p) == expected
+
+    def test_degrees_are_sorted(self):
+        degrees = [multi_index_degree(i) for i in total_degree_multi_indices(3, 4)]
+        assert degrees == sorted(degrees)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(BasisError):
+            total_degree_multi_indices(0, 2)
+        with pytest.raises(BasisError):
+            total_degree_multi_indices(2, -1)
+        with pytest.raises(BasisError):
+            multi_index_count(0, 1)
+
+
+class TestHermiteValues:
+    def test_first_polynomials_match_closed_form(self):
+        x = np.linspace(-3, 3, 11)
+        np.testing.assert_allclose(hermite_value(0, x), np.ones_like(x))
+        np.testing.assert_allclose(hermite_value(1, x), x)
+        np.testing.assert_allclose(hermite_value(2, x), x**2 - 1)
+        np.testing.assert_allclose(hermite_value(3, x), x**3 - 3 * x)
+        np.testing.assert_allclose(hermite_value(4, x), x**4 - 6 * x**2 + 3)
+
+    def test_scalar_input_returns_scalar(self):
+        assert isinstance(hermite_value(2, 1.0), float)
+        assert hermite_value(2, 1.0) == pytest.approx(0.0)
+
+    def test_rejects_negative_order(self):
+        with pytest.raises(BasisError):
+            hermite_value(-1, 0.0)
+
+    def test_norm_squared_is_factorial(self):
+        for k in range(8):
+            assert hermite_norm_squared(k) == pytest.approx(math.factorial(k))
+
+    def test_orthogonality_by_quadrature(self):
+        nodes, weights = gauss_hermite_rule(20)
+        for a in range(5):
+            for b in range(5):
+                inner = np.sum(weights * hermite_value(a, nodes) * hermite_value(b, nodes))
+                expected = math.factorial(a) if a == b else 0.0
+                assert inner == pytest.approx(expected, abs=1e-9)
+
+    def test_normalized_values_have_unit_norm(self):
+        nodes, weights = gauss_hermite_rule(30)
+        for k in range(6):
+            norm = np.sum(weights * normalized_hermite_value(k, nodes) ** 2)
+            assert norm == pytest.approx(1.0, abs=1e-9)
+
+
+class TestHermiteTripleProducts:
+    def test_known_values(self):
+        # E[He1 He1 He2] = E[x * x * (x^2-1)] = E[x^4 - x^2] = 3 - 1 = 2
+        assert hermite_triple_product(1, 1, 2) == pytest.approx(2.0)
+        # E[He1 He1 He0] = E[x^2] = 1
+        assert hermite_triple_product(1, 1, 0) == pytest.approx(1.0)
+        # E[He2 He2 He2] = 8
+        assert hermite_triple_product(2, 2, 2) == pytest.approx(8.0)
+
+    def test_odd_total_degree_vanishes(self):
+        assert hermite_triple_product(1, 1, 1) == 0.0
+        assert hermite_triple_product(2, 1, 0) == 0.0
+
+    def test_triangle_condition(self):
+        assert hermite_triple_product(4, 1, 1) == 0.0
+
+    def test_symmetry(self):
+        for triple in [(1, 2, 3), (2, 2, 4), (0, 3, 3)]:
+            reference = hermite_triple_product(*triple)
+            for perm in [(0, 2, 1), (1, 0, 2), (2, 1, 0)]:
+                permuted = tuple(triple[i] for i in perm)
+                assert hermite_triple_product(*permuted) == pytest.approx(reference)
+
+    def test_matches_quadrature(self):
+        nodes, weights = gauss_hermite_rule(25)
+        for a in range(4):
+            for b in range(4):
+                for c in range(4):
+                    quad = np.sum(
+                        weights
+                        * hermite_value(a, nodes)
+                        * hermite_value(b, nodes)
+                        * hermite_value(c, nodes)
+                    )
+                    assert hermite_triple_product(a, b, c) == pytest.approx(quad, abs=1e-8)
+
+    def test_reduces_to_norm_when_one_index_zero(self):
+        for k in range(6):
+            assert hermite_triple_product(k, k, 0) == pytest.approx(hermite_norm_squared(k))
+
+    def test_normalized_triple(self):
+        value = normalized_hermite_triple(1, 1, 2)
+        assert value == pytest.approx(2.0 / math.sqrt(1 * 1 * 2))
+
+    def test_rejects_negative_order(self):
+        with pytest.raises(BasisError):
+            hermite_triple_product(-1, 0, 0)
+
+
+class TestHermitePropertyBased:
+    @given(order=st.integers(min_value=0, max_value=10), x=st.floats(-4, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_recurrence_holds(self, order, x):
+        """He_{k+1}(x) = x He_k(x) - k He_{k-1}(x)."""
+        if order < 1:
+            return
+        left = hermite_value(order + 1, x)
+        right = x * hermite_value(order, x) - order * hermite_value(order - 1, x)
+        assert left == pytest.approx(right, rel=1e-9, abs=1e-9)
+
+    @given(
+        a=st.integers(min_value=0, max_value=6),
+        b=st.integers(min_value=0, max_value=6),
+        c=st.integers(min_value=0, max_value=6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_triple_products_nonnegative_and_symmetric(self, a, b, c):
+        value = hermite_triple_product(a, b, c)
+        assert value >= 0.0
+        assert value == pytest.approx(hermite_triple_product(c, a, b))
+
+    @given(order=st.integers(min_value=0, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_parity(self, order):
+        """He_k is even/odd according to k."""
+        x = 1.37
+        sign = (-1.0) ** order
+        assert hermite_value(order, -x) == pytest.approx(sign * hermite_value(order, x), rel=1e-9)

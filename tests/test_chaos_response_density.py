@@ -1,0 +1,252 @@
+"""Tests for stochastic response containers and density reconstruction."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.chaos.basis import PolynomialChaosBasis
+from repro.chaos.density import (
+    edgeworth_pdf,
+    gram_charlier_pdf,
+    histogram_percentages,
+)
+from repro.chaos.response import StochasticField, StochasticTransientResult
+from repro.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def basis():
+    return PolynomialChaosBasis("hermite", order=2, num_vars=2)
+
+
+class TestStochasticField:
+    def test_mean_and_variance_from_coefficients(self, basis):
+        coefficients = np.zeros((basis.size, 3))
+        coefficients[0] = [1.0, 2.0, 3.0]
+        coefficients[1] = [0.1, 0.0, 0.2]
+        coefficients[3] = [0.0, 0.3, 0.1]
+        field = StochasticField(basis, coefficients)
+        np.testing.assert_allclose(field.mean, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(field.variance, [0.01, 0.09, 0.04 + 0.01])
+        np.testing.assert_allclose(field.std, np.sqrt(field.variance))
+
+    def test_one_dimensional_coefficients_promoted(self, basis):
+        field = StochasticField(basis, np.zeros(basis.size))
+        assert field.num_values == 1
+
+    def test_shape_mismatch_rejected(self, basis):
+        with pytest.raises(AnalysisError):
+            StochasticField(basis, np.zeros((basis.size + 1, 2)))
+
+    def test_evaluate_single_point(self, basis):
+        coefficients = np.zeros((basis.size, 1))
+        coefficients[0, 0] = 2.0
+        coefficients[1, 0] = 0.5  # + 0.5 * xi_0
+        field = StochasticField(basis, coefficients)
+        assert field.evaluate(np.array([1.0, 0.0]))[0] == pytest.approx(2.5)
+
+    def test_sampled_statistics_match_analytic(self, basis, rng):
+        coefficients = np.zeros((basis.size, 1))
+        coefficients[0, 0] = 1.0
+        coefficients[1, 0] = 0.3
+        coefficients[4, 0] = 0.1
+        field = StochasticField(basis, coefficients)
+        samples = field.sample(num_samples=200000, rng=rng)
+        assert np.mean(samples) == pytest.approx(1.0, abs=5e-3)
+        assert np.var(samples) == pytest.approx(field.variance[0], rel=0.03)
+
+    def test_gaussian_expansion_has_no_skew_or_excess_kurtosis(self, basis, rng):
+        coefficients = np.zeros((basis.size, 1))
+        coefficients[0, 0] = 0.0
+        coefficients[1, 0] = 1.0  # exactly xi_0: standard normal
+        field = StochasticField(basis, coefficients)
+        assert field.skewness(num_samples=200000, rng=rng)[0] == pytest.approx(0.0, abs=0.05)
+        assert field.kurtosis(num_samples=200000, rng=rng)[0] == pytest.approx(0.0, abs=0.1)
+
+    def test_percentiles_of_gaussian_expansion(self, basis, rng):
+        coefficients = np.zeros((basis.size, 1))
+        coefficients[1, 0] = 1.0
+        field = StochasticField(basis, coefficients)
+        p = field.percentiles([2.275, 97.725], num_samples=400000, rng=rng)
+        np.testing.assert_allclose(p.ravel(), [-2.0, 2.0], atol=0.06)
+
+    def test_drop_field_conversion(self, basis):
+        coefficients = np.zeros((basis.size, 2))
+        coefficients[0] = [1.1, 1.0]
+        coefficients[1] = [0.05, 0.02]
+        field = StochasticField(basis, coefficients, vdd=1.2)
+        drops = field.drop_field()
+        np.testing.assert_allclose(drops.mean, [0.1, 0.2])
+        np.testing.assert_allclose(drops.variance, field.variance)
+
+    def test_drop_field_requires_vdd(self, basis):
+        field = StochasticField(basis, np.zeros((basis.size, 1)))
+        with pytest.raises(AnalysisError):
+            field.drop_field()
+
+    def test_central_moments_order_validation(self, basis):
+        field = StochasticField(basis, np.zeros((basis.size, 1)))
+        with pytest.raises(AnalysisError):
+            field.central_moments(0)
+
+
+class TestStochasticTransientResult:
+    def make(self, basis, num_nodes=4, num_times=5, vdd=1.2):
+        rng = np.random.default_rng(3)
+        coefficients = 0.01 * rng.normal(size=(num_times, basis.size, num_nodes))
+        coefficients[:, 0, :] = 1.1  # mean voltage
+        times = np.linspace(0, 1e-9, num_times)
+        return StochasticTransientResult(
+            times=times,
+            basis=basis,
+            vdd=vdd,
+            coefficients=coefficients,
+            node_names=tuple(f"n{k}" for k in range(num_nodes)),
+        )
+
+    def test_shapes(self, basis):
+        result = self.make(basis)
+        assert result.num_times == 5
+        assert result.num_nodes == 4
+        assert result.has_coefficients
+
+    def test_mean_and_variance_derived_from_coefficients(self, basis):
+        result = self.make(basis)
+        np.testing.assert_allclose(result.mean_voltage, 1.1)
+        np.testing.assert_allclose(
+            result.variance, np.sum(result.coefficients[:, 1:, :] ** 2, axis=1)
+        )
+        np.testing.assert_allclose(result.mean_drop, 1.2 - 1.1)
+
+    def test_field_at_returns_consistent_field(self, basis):
+        result = self.make(basis)
+        field = result.field_at(2)
+        np.testing.assert_allclose(field.mean, result.mean_voltage[2])
+        np.testing.assert_allclose(field.variance, result.variance[2])
+
+    def test_node_expansion_and_drop_samples(self, basis, rng):
+        result = self.make(basis)
+        expansion = result.node_expansion(1, 3)
+        assert expansion.shape == (basis.size,)
+        drops = result.drop_samples(1, 3, num_samples=20000, rng=rng)
+        assert drops.shape == (20000,)
+        assert np.mean(drops) == pytest.approx(result.mean_drop[3, 1], abs=5e-3)
+
+    def test_worst_node_and_peak_time(self, basis):
+        result = self.make(basis)
+        worst = result.worst_node()
+        step = result.peak_time_index(worst)
+        assert 0 <= worst < result.num_nodes
+        assert 0 <= step < result.num_times
+        assert result.mean_drop[step, worst] == pytest.approx(
+            result.peak_mean_drop_per_node()[worst]
+        )
+
+    def test_node_index_lookup(self, basis):
+        result = self.make(basis)
+        assert result.node_index("n2") == 2
+        with pytest.raises(AnalysisError):
+            result.node_index("missing")
+
+    def test_statistics_only_mode(self, basis):
+        times = np.linspace(0, 1e-9, 3)
+        mean = np.full((3, 2), 1.0)
+        variance = np.full((3, 2), 0.01)
+        result = StochasticTransientResult(
+            times=times, basis=basis, vdd=1.2, mean=mean, variance=variance
+        )
+        assert not result.has_coefficients
+        np.testing.assert_allclose(result.std_voltage, 0.1)
+        with pytest.raises(AnalysisError):
+            result.field_at(0)
+        with pytest.raises(AnalysisError):
+            result.drop_samples(0, 0)
+
+    def test_construction_validation(self, basis):
+        times = np.linspace(0, 1e-9, 3)
+        with pytest.raises(AnalysisError):
+            StochasticTransientResult(times=times, basis=basis, vdd=1.2)
+        with pytest.raises(AnalysisError):
+            StochasticTransientResult(
+                times=times,
+                basis=basis,
+                vdd=1.2,
+                coefficients=np.zeros((2, basis.size, 4)),
+            )
+        with pytest.raises(AnalysisError):
+            StochasticTransientResult(
+                times=times,
+                basis=basis,
+                vdd=1.2,
+                mean=np.zeros((3, 2)),
+                variance=np.zeros((2, 2)),
+            )
+
+
+class TestDensities:
+    def test_gram_charlier_reduces_to_gaussian(self):
+        x = np.linspace(-4, 4, 201)
+        density = gram_charlier_pdf(x, mean=0.0, variance=1.0)
+        gaussian = np.exp(-0.5 * x**2) / math.sqrt(2 * math.pi)
+        np.testing.assert_allclose(density, gaussian, atol=1e-12)
+
+    def test_gram_charlier_integrates_to_one(self):
+        x = np.linspace(-8, 8, 4001)
+        density = gram_charlier_pdf(x, mean=0.5, variance=2.0, skewness=0.3, excess_kurtosis=0.2)
+        assert np.trapezoid(density, x) == pytest.approx(1.0, abs=1e-3)
+
+    def test_edgeworth_reduces_to_gaussian(self):
+        x = np.linspace(-4, 4, 101)
+        np.testing.assert_allclose(
+            edgeworth_pdf(x, 0.0, 1.0), gram_charlier_pdf(x, 0.0, 1.0), atol=1e-12
+        )
+
+    def test_positive_skew_shifts_mode_left(self):
+        x = np.linspace(-4, 4, 2001)
+        skewed = gram_charlier_pdf(x, 0.0, 1.0, skewness=0.5)
+        mode = x[np.argmax(skewed)]
+        assert mode < 0.0
+
+    def test_densities_clipped_nonnegative(self):
+        x = np.linspace(-6, 6, 301)
+        density = gram_charlier_pdf(x, 0.0, 1.0, skewness=2.5, excess_kurtosis=-1.0)
+        assert np.all(density >= 0.0)
+
+    def test_rejects_non_positive_variance(self):
+        with pytest.raises(AnalysisError):
+            gram_charlier_pdf(np.zeros(3), 0.0, 0.0)
+        with pytest.raises(AnalysisError):
+            edgeworth_pdf(np.zeros(3), 0.0, -1.0)
+
+    def test_gram_charlier_matches_sampled_lognormal_density(self, rng):
+        """A mildly non-Gaussian target: the series should beat the plain
+        Gaussian fit in the body of the distribution."""
+        s = 0.25
+        samples = np.exp(s * rng.standard_normal(400000))
+        mean, variance = samples.mean(), samples.var()
+        skewness = np.mean((samples - mean) ** 3) / variance**1.5
+        x = np.linspace(mean - 2 * math.sqrt(variance), mean + 2 * math.sqrt(variance), 41)
+        series = gram_charlier_pdf(x, mean, variance, skewness)
+        gaussian = gram_charlier_pdf(x, mean, variance)
+        hist, edges = np.histogram(samples, bins=200, density=True)
+        centers = 0.5 * (edges[:-1] + edges[1:])
+        empirical = np.interp(x, centers, hist)
+        assert np.mean(np.abs(series - empirical)) < np.mean(np.abs(gaussian - empirical))
+
+
+class TestHistogramPercentages:
+    def test_percentages_sum_to_hundred(self, rng):
+        samples = rng.normal(size=5000)
+        _, percentages = histogram_percentages(samples, bins=20)
+        assert np.sum(percentages) == pytest.approx(100.0)
+
+    def test_respects_bin_count_and_range(self, rng):
+        samples = rng.normal(size=1000)
+        centers, percentages = histogram_percentages(samples, bins=10, value_range=(-1, 1))
+        assert centers.shape == (10,)
+        assert np.all(centers > -1) and np.all(centers < 1)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(AnalysisError):
+            histogram_percentages(np.array([]))

@@ -1,0 +1,185 @@
+"""Tests for circuit elements and the netlist container."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.grid.elements import Capacitor, CurrentSource, Resistor, ResistorKind, VddPad
+from repro.grid.netlist import GROUND_NAMES, PowerGridNetlist
+from repro.waveforms import Constant
+
+
+class TestElements:
+    def test_resistor_conductance(self):
+        assert Resistor("a", "b", 4.0).conductance == pytest.approx(0.25)
+
+    def test_resistor_rejects_non_positive(self):
+        with pytest.raises(NetlistError):
+            Resistor("a", "b", 0.0)
+        with pytest.raises(NetlistError):
+            Resistor("a", "b", -1.0)
+
+    def test_resistor_rejects_self_loop(self):
+        with pytest.raises(NetlistError):
+            Resistor("a", "a", 1.0)
+
+    def test_resistor_rejects_unknown_kind(self):
+        with pytest.raises(NetlistError):
+            Resistor("a", "b", 1.0, kind="weird")
+
+    def test_resistor_kinds_enumerated(self):
+        assert set(ResistorKind.ALL) == {"wire", "via", "package"}
+
+    def test_capacitor_rejects_non_positive(self):
+        with pytest.raises(NetlistError):
+            Capacitor("a", "0", 0.0)
+
+    def test_capacitor_gate_flag_defaults_false(self):
+        assert Capacitor("a", "0", 1e-15).is_gate_load is False
+
+    def test_current_source_coerces_number_to_waveform(self):
+        source = CurrentSource("a", 0.5)
+        assert source.waveform(0.0) == pytest.approx(0.5)
+
+    def test_pad_rejects_zero_resistance(self):
+        with pytest.raises(NetlistError):
+            VddPad("a", resistance=0.0, vdd=1.2)
+
+    def test_pad_rejects_non_positive_vdd(self):
+        with pytest.raises(NetlistError):
+            VddPad("a", resistance=0.1, vdd=0.0)
+
+    def test_pad_conductance(self):
+        assert VddPad("a", resistance=0.5, vdd=1.0).conductance == pytest.approx(2.0)
+
+
+class TestNetlistNodes:
+    def test_ground_aliases(self):
+        for name in ("0", "gnd", "GND", "vss", "VSS"):
+            assert name in GROUND_NAMES
+            assert PowerGridNetlist.is_ground(name)
+
+    def test_ground_gets_no_index(self):
+        netlist = PowerGridNetlist()
+        assert netlist.add_node("0") is None
+        assert netlist.num_nodes == 0
+
+    def test_nodes_indexed_in_order_of_appearance(self):
+        netlist = PowerGridNetlist()
+        netlist.add_resistor("a", "b", 1.0)
+        netlist.add_resistor("b", "c", 1.0)
+        assert netlist.node_names == ("a", "b", "c")
+        assert netlist.node_index("c") == 2
+
+    def test_unknown_node_raises(self):
+        netlist = PowerGridNetlist()
+        with pytest.raises(NetlistError):
+            netlist.node_index("missing")
+
+    def test_ground_index_raises(self):
+        netlist = PowerGridNetlist()
+        with pytest.raises(NetlistError):
+            netlist.node_index("0")
+
+    def test_has_node(self):
+        netlist = PowerGridNetlist()
+        netlist.add_node("x")
+        assert netlist.has_node("x")
+        assert netlist.has_node("gnd")
+        assert not netlist.has_node("y")
+
+
+class TestNetlistElements:
+    def test_stats_counts(self, manual_netlist):
+        stats = manual_netlist.stats()
+        assert stats.num_nodes == 3
+        assert stats.num_resistors == 2
+        assert stats.num_capacitors == 2
+        assert stats.num_current_sources == 2
+        assert stats.num_pads == 1
+
+    def test_stats_string(self, manual_netlist):
+        text = str(manual_netlist.stats())
+        assert "3 nodes" in text
+        assert "1 pads" in text
+
+    def test_vdd_from_pads(self, manual_netlist):
+        assert manual_netlist.vdd == pytest.approx(1.2)
+
+    def test_vdd_requires_pads(self):
+        netlist = PowerGridNetlist()
+        netlist.add_resistor("a", "b", 1.0)
+        with pytest.raises(NetlistError):
+            _ = netlist.vdd
+
+    def test_vdd_requires_agreement(self):
+        netlist = PowerGridNetlist()
+        netlist.add_pad("a", 0.1, 1.2)
+        netlist.add_pad("b", 0.1, 1.0)
+        with pytest.raises(NetlistError):
+            _ = netlist.vdd
+
+    def test_current_source_to_ground_only_rejected(self):
+        netlist = PowerGridNetlist()
+        with pytest.raises(NetlistError):
+            netlist.add_current_source("0", Constant(1.0))
+
+    def test_pad_on_ground_rejected(self):
+        netlist = PowerGridNetlist()
+        with pytest.raises(NetlistError):
+            netlist.add_pad("gnd", 0.1, 1.2)
+
+    def test_nodes_with_current_sources_unique(self, manual_netlist):
+        nodes = manual_netlist.nodes_with_current_sources()
+        assert nodes == [manual_netlist.node_index("n3")]
+
+    def test_pad_node_indices(self, manual_netlist):
+        assert manual_netlist.pad_node_indices() == [manual_netlist.node_index("n1")]
+
+
+class TestNetlistValidation:
+    def test_valid_grid_passes(self, manual_netlist):
+        manual_netlist.validate()
+
+    def test_empty_netlist_rejected(self):
+        with pytest.raises(NetlistError):
+            PowerGridNetlist().validate()
+
+    def test_missing_pads_rejected(self):
+        netlist = PowerGridNetlist()
+        netlist.add_resistor("a", "b", 1.0)
+        with pytest.raises(NetlistError):
+            netlist.validate()
+
+    def test_disconnected_node_rejected(self):
+        netlist = PowerGridNetlist()
+        netlist.add_pad("a", 0.1, 1.2)
+        netlist.add_resistor("a", "b", 1.0)
+        netlist.add_capacitor("c", "0", 1e-15)  # floating node c
+        with pytest.raises(NetlistError) as excinfo:
+            netlist.validate()
+        assert "not resistively connected" in str(excinfo.value)
+
+    def test_resistor_to_ground_does_not_count_as_supply_path(self):
+        netlist = PowerGridNetlist()
+        netlist.add_pad("a", 0.1, 1.2)
+        netlist.add_resistor("b", "0", 1.0)  # only a path to ground, not to the pad
+        with pytest.raises(NetlistError):
+            netlist.validate()
+
+
+class TestNetlistMerge:
+    def test_merge_with_prefix(self, manual_netlist):
+        target = PowerGridNetlist("combined")
+        target.merge_from(manual_netlist, prefix="left_")
+        target.merge_from(manual_netlist, prefix="right_")
+        assert target.num_nodes == 2 * manual_netlist.num_nodes
+        assert len(target.pads) == 2
+        assert target.has_node("left_n1")
+        assert target.has_node("right_n3")
+
+    def test_merge_keeps_ground_shared(self, manual_netlist):
+        target = PowerGridNetlist("combined")
+        target.merge_from(manual_netlist, prefix="x_")
+        # ground-connected capacitors still reference the shared ground node
+        grounds = [c for c in target.capacitors if c.b == "0"]
+        assert len(grounds) == len([c for c in manual_netlist.capacitors if c.b == "0"])

@@ -1,0 +1,235 @@
+"""Tests for the synthetic grid generator and functional-block models."""
+
+import numpy as np
+import pytest
+
+from repro.grid.blocks import (
+    BlockCurrentConfig,
+    FunctionalBlock,
+    block_leakage_waveform,
+    block_waveform,
+    place_blocks,
+)
+from repro.grid.generator import (
+    PAPER_GRID_NODE_COUNTS,
+    GridSpec,
+    generate_power_grid,
+    node_name,
+    spec_for_node_count,
+)
+from repro.grid.stamping import stamp
+from repro.sim import dc_operating_point
+
+
+class TestFunctionalBlock:
+    def test_footprint_counts(self):
+        block = FunctionalBlock("b", 0, 2, 0, 3, peak_current=1.0)
+        assert block.num_nodes == 6
+        assert block.peak_current_per_node == pytest.approx(1.0 / 6.0)
+
+    def test_covers(self):
+        block = FunctionalBlock("b", 1, 3, 2, 4, peak_current=1.0)
+        assert block.covers(1, 2)
+        assert block.covers(2, 3)
+        assert not block.covers(3, 3)
+        assert not block.covers(1, 4)
+
+    def test_node_coordinates_match_cover(self):
+        block = FunctionalBlock("b", 0, 2, 0, 2, peak_current=1.0)
+        coords = block.node_coordinates()
+        assert len(coords) == block.num_nodes
+        assert all(block.covers(r, c) for r, c in coords)
+
+    def test_rejects_empty_footprint(self):
+        with pytest.raises(ValueError):
+            FunctionalBlock("b", 2, 2, 0, 1, peak_current=1.0)
+
+    def test_rejects_non_positive_current(self):
+        with pytest.raises(ValueError):
+            FunctionalBlock("b", 0, 1, 0, 1, peak_current=0.0)
+
+    def test_rejects_bad_activity(self):
+        with pytest.raises(ValueError):
+            FunctionalBlock("b", 0, 1, 0, 1, peak_current=1.0, activity_mean=0.0)
+
+
+class TestPlaceBlocks:
+    def test_total_current_budget_preserved(self, rng):
+        blocks = place_blocks(20, 20, 6, rng, total_peak_current=2.5)
+        assert sum(b.peak_current for b in blocks) == pytest.approx(2.5)
+
+    def test_block_count(self, rng):
+        assert len(place_blocks(20, 20, 5, rng)) == 5
+
+    def test_blocks_stay_inside_grid(self, rng):
+        blocks = place_blocks(15, 11, 9, rng)
+        for block in blocks:
+            assert 0 <= block.row0 < block.row1 <= 15
+            assert 0 <= block.col0 < block.col1 <= 11
+
+    def test_reproducible_with_same_seed(self):
+        a = place_blocks(16, 16, 4, np.random.default_rng(3))
+        b = place_blocks(16, 16, 4, np.random.default_rng(3))
+        assert a == b
+
+    def test_rejects_zero_blocks(self, rng):
+        with pytest.raises(ValueError):
+            place_blocks(10, 10, 0, rng)
+
+    def test_rejects_tiny_grid(self, rng):
+        with pytest.raises(ValueError):
+            place_blocks(1, 1, 1, rng)
+
+
+class TestBlockWaveforms:
+    def test_waveform_peak_bounded_by_block_peak(self, rng):
+        block = FunctionalBlock("b", 0, 2, 0, 2, peak_current=0.4)
+        waveform = block_waveform(block, BlockCurrentConfig(num_cycles=16), rng)
+        assert waveform.max_abs(t_end=16e-9) <= block.peak_current_per_node + 1e-15
+
+    def test_waveform_nonnegative(self, rng):
+        block = FunctionalBlock("b", 0, 2, 0, 2, peak_current=0.4)
+        waveform = block_waveform(block, BlockCurrentConfig(), rng)
+        t = np.linspace(0, 8e-9, 500)
+        assert np.all(waveform(t) >= 0)
+
+    def test_leakage_waveform_constant_and_positive(self):
+        block = FunctionalBlock("b", 0, 2, 0, 2, peak_current=0.4)
+        leak = block_leakage_waveform(block, leakage_fraction=0.05)
+        assert leak(0.0) == pytest.approx(leak(5e-9))
+        assert leak(0.0) > 0
+
+    def test_leakage_scales_with_fraction(self):
+        block = FunctionalBlock("b", 0, 2, 0, 2, peak_current=0.4)
+        small = block_leakage_waveform(block, 0.01)(0.0)
+        large = block_leakage_waveform(block, 0.10)(0.0)
+        assert large == pytest.approx(10 * small)
+
+
+class TestGridSpec:
+    def test_estimated_node_count_two_layers(self):
+        spec = GridSpec(nx=16, ny=16, num_layers=2, coarsening=4)
+        assert spec.estimated_node_count() == 16 * 16 + 4 * 4
+
+    def test_rejects_tiny_mesh(self):
+        with pytest.raises(ValueError):
+            GridSpec(nx=1, ny=10)
+
+    def test_rejects_bad_coarsening(self):
+        with pytest.raises(ValueError):
+            GridSpec(coarsening=1)
+
+    def test_rejects_bad_drop_target(self):
+        with pytest.raises(ValueError):
+            GridSpec(target_peak_drop_fraction=0.9)
+
+    def test_technology_layer_consistency_enforced(self):
+        from repro.grid.technology import default_technology
+
+        spec = GridSpec(num_layers=3, technology=default_technology(2))
+        with pytest.raises(ValueError):
+            spec.resolved_technology()
+
+    def test_spec_for_node_count_close(self):
+        for target in (500, 2000, 10000):
+            spec = spec_for_node_count(target)
+            estimate = spec.estimated_node_count()
+            assert abs(estimate - target) / target < 0.25
+
+    def test_paper_node_counts_recorded(self):
+        assert len(PAPER_GRID_NODE_COUNTS) == 7
+        assert PAPER_GRID_NODE_COUNTS[0] == 19181
+        assert PAPER_GRID_NODE_COUNTS[-1] == 351838
+
+
+class TestGeneratedGrid:
+    def test_node_count_matches_estimate(self, small_grid_spec, small_netlist):
+        assert small_netlist.num_nodes == small_grid_spec.estimated_node_count()
+
+    def test_generated_grid_validates(self, small_netlist):
+        small_netlist.validate()
+
+    def test_has_pads_blocks_and_caps(self, small_netlist):
+        stats = small_netlist.stats()
+        assert stats.num_pads >= 1
+        assert stats.num_current_sources > 0
+        assert stats.num_capacitors > 0
+
+    def test_leakage_sources_tagged(self, small_netlist):
+        leakage = [s for s in small_netlist.current_sources if s.is_leakage]
+        switching = [s for s in small_netlist.current_sources if not s.is_leakage]
+        assert leakage and switching
+        assert len(leakage) == len(switching)
+
+    def test_gate_and_fixed_caps_both_present(self, small_netlist):
+        gate = [c for c in small_netlist.capacitors if c.is_gate_load]
+        fixed = [c for c in small_netlist.capacitors if not c.is_gate_load]
+        assert gate and fixed
+
+    def test_calibration_hits_target_drop(self, small_grid_spec, small_netlist):
+        """Worst-case DC drop (all sources at peak) should equal the target."""
+        stamped = stamp(small_netlist)
+        horizon = (
+            small_grid_spec.block_config.clock_period
+            * small_grid_spec.block_config.num_cycles
+        )
+        peak = np.zeros(stamped.num_nodes)
+        for source in small_netlist.current_sources:
+            peak[small_netlist.node_index(source.node)] += source.waveform.max_abs(horizon)
+        import scipy.sparse.linalg as spla
+
+        voltages = spla.spsolve(stamped.conductance.tocsc(), stamped.pad_current - peak)
+        worst = float(np.max(stamped.vdd - voltages))
+        target = small_grid_spec.target_peak_drop_fraction * stamped.vdd
+        assert worst == pytest.approx(target, rel=1e-6)
+
+    def test_operating_drop_below_ten_percent(self, small_stamped):
+        """The paper keeps peak drops below 10% of VDD; check the DC snapshot."""
+        result = dc_operating_point(small_stamped, t=0.3e-9)
+        assert result.worst_drop < 0.10 * small_stamped.vdd
+
+    def test_uncalibrated_grid_skips_dc_solve(self):
+        spec = GridSpec(nx=6, ny=6, num_blocks=2, calibrate=False, seed=1)
+        netlist = generate_power_grid(spec)
+        assert netlist.num_nodes == spec.estimated_node_count()
+
+    def test_single_layer_grid(self):
+        spec = GridSpec(nx=6, ny=6, num_layers=1, num_blocks=2, pad_spacing=3, seed=2)
+        netlist = generate_power_grid(spec)
+        netlist.validate()
+        # single layer: no vias
+        from repro.grid.elements import ResistorKind
+
+        assert all(r.kind != ResistorKind.VIA for r in netlist.resistors)
+
+    def test_three_layer_grid_has_vias(self):
+        spec = GridSpec(nx=16, ny=16, num_layers=3, coarsening=4, num_blocks=2, seed=2)
+        netlist = generate_power_grid(spec)
+        from repro.grid.elements import ResistorKind
+
+        vias = [r for r in netlist.resistors if r.kind == ResistorKind.VIA]
+        assert len(vias) == 4 * 4 + 1  # 16 level-1 stacks + 1 level-2 stack
+
+    def test_same_seed_reproducible(self, small_grid_spec, small_netlist):
+        again = generate_power_grid(small_grid_spec)
+        assert again.stats() == small_netlist.stats()
+        assert again.node_names == small_netlist.node_names
+
+    def test_different_seed_changes_blocks(self, small_grid_spec, small_netlist):
+        other_spec = GridSpec(
+            nx=small_grid_spec.nx,
+            ny=small_grid_spec.ny,
+            num_layers=small_grid_spec.num_layers,
+            num_blocks=small_grid_spec.num_blocks,
+            pad_spacing=small_grid_spec.pad_spacing,
+            seed=small_grid_spec.seed + 1,
+        )
+        other = generate_power_grid(other_spec)
+        same_sources = [
+            a.node == b.node
+            for a, b in zip(small_netlist.current_sources, other.current_sources)
+        ]
+        assert not all(same_sources)
+
+    def test_node_name_convention(self):
+        assert node_name(0, 3, 5) == "n0_3_5"

@@ -1,0 +1,174 @@
+"""Tests for the SPICE-subset reader and writer."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import SpiceFormatError
+from repro.grid.elements import ResistorKind
+from repro.grid.spice_io import (
+    format_spice_value,
+    parse_spice_value,
+    read_spice,
+    write_spice,
+)
+from repro.waveforms import Constant, PeriodicPulse, PiecewiseLinear
+
+
+class TestValueParsing:
+    @pytest.mark.parametrize(
+        "token, expected",
+        [
+            ("1.5", 1.5),
+            ("2e-3", 2e-3),
+            ("1.5n", 1.5e-9),
+            ("3p", 3e-12),
+            ("10f", 10e-15),
+            ("2u", 2e-6),
+            ("4m", 4e-3),
+            ("5k", 5e3),
+            ("2meg", 2e6),
+            ("1g", 1e9),
+            ("-0.5", -0.5),
+        ],
+    )
+    def test_suffixes(self, token, expected):
+        assert parse_spice_value(token) == pytest.approx(expected)
+
+    def test_case_insensitive_suffix(self):
+        assert parse_spice_value("2MEG") == pytest.approx(2e6)
+        assert parse_spice_value("3N") == pytest.approx(3e-9)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(SpiceFormatError):
+            parse_spice_value("abc")
+        with pytest.raises(SpiceFormatError):
+            parse_spice_value("1.5x")
+
+    def test_format_roundtrip(self):
+        for value in (1.5e-9, 0.1, 1234.5):
+            assert parse_spice_value(format_spice_value(value)) == pytest.approx(value)
+
+
+class TestReader:
+    def test_reads_basic_deck(self):
+        deck = """
+        * comment line
+        R1 a b 2.0 kind=via
+        C1 b 0 1p gate=1
+        I1 b 0 DC 0.5m leakage=1
+        V1 a 0 DC 1.2 R=0.05
+        .end
+        """
+        netlist = read_spice(deck)
+        assert netlist.num_nodes == 2
+        assert netlist.resistors[0].kind == ResistorKind.VIA
+        assert netlist.capacitors[0].is_gate_load
+        assert netlist.current_sources[0].is_leakage
+        assert netlist.current_sources[0].waveform(0.0) == pytest.approx(5e-4)
+        assert netlist.pads[0].vdd == pytest.approx(1.2)
+        assert netlist.pads[0].resistance == pytest.approx(0.05)
+
+    def test_pad_without_resistance_gets_default(self):
+        netlist = read_spice("V1 a 0 DC 1.0\nR1 a b 1.0\n")
+        assert netlist.pads[0].resistance == pytest.approx(1e-3)
+
+    def test_reads_pwl_source(self):
+        netlist = read_spice("V1 a 0 1.0\nR1 a b 1\nI1 b 0 PWL(0 0 1n 1m 2n 0)\n")
+        waveform = netlist.current_sources[0].waveform
+        assert isinstance(waveform, PiecewiseLinear)
+        assert waveform(1e-9) == pytest.approx(1e-3)
+
+    def test_reads_pulse_source(self):
+        netlist = read_spice(
+            "V1 a 0 1.0\nR1 a b 1\nI1 b 0 PULSE(0 1m 0 0.1n 0.1n 0.2n 1n)\n"
+        )
+        waveform = netlist.current_sources[0].waveform
+        assert isinstance(waveform, PeriodicPulse)
+        assert waveform.period == pytest.approx(1e-9)
+
+    def test_reads_bare_number_as_dc(self):
+        netlist = read_spice("V1 a 0 1.0\nR1 a b 1\nI1 b 0 2m\n")
+        assert isinstance(netlist.current_sources[0].waveform, Constant)
+
+    def test_rejects_unknown_card(self):
+        with pytest.raises(SpiceFormatError):
+            read_spice("L1 a b 1n\n")
+
+    def test_rejects_malformed_resistor(self):
+        with pytest.raises(SpiceFormatError):
+            read_spice("R1 a b\n")
+
+    def test_rejects_current_source_not_to_ground(self):
+        with pytest.raises(SpiceFormatError):
+            read_spice("I1 a b DC 1m\n")
+
+    def test_rejects_pad_not_to_ground(self):
+        with pytest.raises(SpiceFormatError):
+            read_spice("V1 a b DC 1.0\n")
+
+    def test_rejects_bad_pwl(self):
+        with pytest.raises(SpiceFormatError):
+            read_spice("I1 a 0 PWL(0 0 1n)\n")
+
+    def test_ignores_dot_cards_and_comments(self):
+        netlist = read_spice("* hello\n.option foo\nV1 a 0 1.0\nR1 a b 1\n")
+        assert netlist.num_nodes == 2
+
+    def test_reads_from_file(self, tmp_path):
+        path = tmp_path / "grid.sp"
+        path.write_text("V1 a 0 DC 1.0 R=0.1\nR1 a b 1.0\nI1 b 0 DC 1m\n")
+        netlist = read_spice(str(path))
+        assert netlist.num_nodes == 2
+
+
+class TestWriterRoundTrip:
+    def test_roundtrip_preserves_structure(self, small_netlist):
+        buffer = io.StringIO()
+        write_spice(small_netlist, buffer)
+        recovered = read_spice(buffer.getvalue())
+        assert recovered.stats() == small_netlist.stats()
+        assert recovered.node_names == small_netlist.node_names
+
+    def test_roundtrip_preserves_electrical_values(self, manual_netlist):
+        buffer = io.StringIO()
+        write_spice(manual_netlist, buffer)
+        recovered = read_spice(buffer.getvalue())
+        assert recovered.resistors[0].resistance == pytest.approx(
+            manual_netlist.resistors[0].resistance
+        )
+        assert recovered.pads[0].resistance == pytest.approx(0.1)
+        assert recovered.pads[0].vdd == pytest.approx(1.2)
+        assert recovered.capacitors[1].is_gate_load
+
+    def test_roundtrip_preserves_leakage_flag(self, manual_netlist):
+        buffer = io.StringIO()
+        write_spice(manual_netlist, buffer)
+        recovered = read_spice(buffer.getvalue())
+        assert any(s.is_leakage for s in recovered.current_sources)
+
+    def test_clocked_waveform_sampled_to_pwl(self, small_netlist):
+        buffer = io.StringIO()
+        write_spice(small_netlist, buffer, pwl_horizon=4e-9, pwl_points=32)
+        recovered = read_spice(buffer.getvalue())
+        switching = [s for s in recovered.current_sources if not s.is_leakage]
+        assert all(isinstance(s.waveform, PiecewiseLinear) for s in switching)
+
+    def test_pwl_sampling_approximates_original(self, small_netlist):
+        buffer = io.StringIO()
+        write_spice(small_netlist, buffer, pwl_horizon=4e-9, pwl_points=201)
+        recovered = read_spice(buffer.getvalue())
+        original = small_netlist.current_sources[0].waveform
+        rebuilt = recovered.current_sources[0].waveform
+        t = np.linspace(0, 4e-9, 57)
+        assert np.max(np.abs(original(t) - rebuilt(t))) < 0.2 * max(
+            original.max_abs(4e-9), 1e-12
+        )
+
+    def test_writes_to_file(self, tmp_path, manual_netlist):
+        path = tmp_path / "out.sp"
+        write_spice(manual_netlist, str(path))
+        assert path.exists()
+        recovered = read_spice(str(path))
+        assert recovered.stats() == manual_netlist.stats()

@@ -1,0 +1,90 @@
+"""Tests for the technology description."""
+
+import pytest
+
+from repro.grid.technology import MetalLayer, Technology, default_technology
+
+
+class TestMetalLayer:
+    def test_sheet_resistance(self):
+        layer = MetalLayer(name="M1", resistivity=0.02, width=1.0, thickness=0.5)
+        assert layer.sheet_resistance == pytest.approx(0.04)
+
+    def test_wire_resistance_scales_with_length(self):
+        layer = MetalLayer(name="M1", resistivity=0.02, width=1.0, thickness=0.5)
+        assert layer.wire_resistance(10.0) == pytest.approx(2.0 * layer.wire_resistance(5.0))
+
+    def test_wire_resistance_formula(self):
+        layer = MetalLayer(name="M1", resistivity=0.022, width=2.0, thickness=0.5)
+        assert layer.wire_resistance(100.0) == pytest.approx(0.022 * 100.0 / (2.0 * 0.5))
+
+    def test_rejects_non_positive_geometry(self):
+        with pytest.raises(ValueError):
+            MetalLayer(name="M1", width=0.0)
+        with pytest.raises(ValueError):
+            MetalLayer(name="M1", thickness=-1.0)
+        with pytest.raises(ValueError):
+            MetalLayer(name="M1", pitch=0.0)
+
+    def test_rejects_bad_direction(self):
+        with pytest.raises(ValueError):
+            MetalLayer(name="M1", direction="diagonal")
+
+    def test_rejects_zero_length_wire(self):
+        layer = MetalLayer(name="M1")
+        with pytest.raises(ValueError):
+            layer.wire_resistance(0.0)
+
+
+class TestTechnology:
+    def test_default_has_requested_layers(self):
+        for layers in (1, 2, 3, 4):
+            tech = default_technology(num_layers=layers)
+            assert tech.num_layers == layers
+
+    def test_default_layers_alternate_direction(self):
+        tech = default_technology(num_layers=4)
+        directions = [layer.direction for layer in tech.metal_layers]
+        assert directions == ["horizontal", "vertical", "horizontal", "vertical"]
+
+    def test_default_layers_widen_up_the_stack(self):
+        tech = default_technology(num_layers=4)
+        widths = [layer.width for layer in tech.metal_layers]
+        assert widths == sorted(widths)
+
+    def test_rejects_out_of_range_layer_count(self):
+        with pytest.raises(ValueError):
+            default_technology(num_layers=0)
+        with pytest.raises(ValueError):
+            default_technology(num_layers=5)
+
+    def test_via_stack_resistance(self):
+        tech = default_technology()
+        assert tech.via_stack_resistance == pytest.approx(
+            tech.via_resistance / tech.vias_per_stack
+        )
+
+    def test_with_vdd_returns_copy(self):
+        tech = default_technology()
+        other = tech.with_vdd(1.0)
+        assert other.vdd == 1.0
+        assert tech.vdd == 1.2
+
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(ValueError):
+            Technology(gate_cap_fraction=1.5)
+        with pytest.raises(ValueError):
+            Technology(leakage_fraction=-0.1)
+
+    def test_rejects_non_positive_vdd(self):
+        with pytest.raises(ValueError):
+            Technology(vdd=0.0)
+
+    def test_rejects_bad_vias_per_stack(self):
+        with pytest.raises(ValueError):
+            Technology(vias_per_stack=0)
+
+    def test_layer_accessor(self):
+        tech = default_technology(num_layers=3)
+        assert tech.layer(0) is tech.metal_layers[0]
+        assert tech.layer(2) is tech.metal_layers[2]

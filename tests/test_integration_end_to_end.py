@@ -1,0 +1,185 @@
+"""End-to-end integration tests: the paper's claims on a scaled-down grid.
+
+These are the most important tests of the repository: they check that the
+OPERA engine reproduces the Monte Carlo statistics (Table 1's error columns),
+that the special case of Section 5.1 is exact, and that the qualitative
+findings of Section 6 (mu ~= mu0, +/-3sigma ~= 30-45 % of the nominal drop,
+large speed-ups) hold on the synthetic substrate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    compare_to_monte_carlo,
+    drop_distribution_comparison,
+    three_sigma_spread_percent,
+)
+from repro.grid import GridSpec, generate_power_grid, stamp
+from repro.montecarlo import MonteCarloConfig, run_monte_carlo_dc, run_monte_carlo_transient
+from repro.opera import OperaConfig, run_opera_dc, run_opera_transient
+from repro.sim import TransientConfig, transient_analysis
+from repro.variation import VariationSpec, build_stochastic_system
+
+
+@pytest.fixture(scope="module")
+def grid():
+    spec = GridSpec(nx=10, ny=10, num_layers=2, num_blocks=4, pad_spacing=2, seed=11)
+    netlist = generate_power_grid(spec)
+    return stamp(netlist)
+
+
+@pytest.fixture(scope="module")
+def system(grid):
+    return build_stochastic_system(grid, VariationSpec.paper_defaults())
+
+
+@pytest.fixture(scope="module")
+def transient():
+    return TransientConfig(t_stop=2.0e-9, dt=0.2e-9)
+
+
+@pytest.fixture(scope="module")
+def opera_result(system, transient):
+    return run_opera_transient(system, OperaConfig(transient=transient, order=2))
+
+
+@pytest.fixture(scope="module")
+def monte_carlo_result(system, transient, opera_result):
+    return run_monte_carlo_transient(
+        system,
+        MonteCarloConfig(
+            transient=transient,
+            num_samples=120,
+            seed=23,
+            antithetic=True,
+            store_nodes=(int(opera_result.worst_node()),),
+        ),
+    )
+
+
+class TestStochasticDCAgainstMonteCarlo:
+    """DC comparison isolates the chaos machinery from integration error."""
+
+    def test_mean_and_sigma_converge_to_monte_carlo(self, system):
+        field = run_opera_dc(system, order=2, t=0.35e-9)
+        reference = run_monte_carlo_dc(system, num_samples=4000, t=0.35e-9, seed=29)
+        drops_opera = field.vdd - field.mean
+        drops_mc = reference.mean_drop
+        hot = drops_mc > 0.2 * drops_mc.max()
+
+        mean_error = np.abs(drops_opera - drops_mc)[hot] / drops_mc[hot]
+        sigma_error = np.abs(field.std - reference.std_drop)[hot] / reference.std_drop[hot]
+        # Paper Table 1: average mu error well below 1 %, sigma error a few %.
+        assert np.mean(mean_error) * 100 < 0.5
+        assert np.mean(sigma_error) * 100 < 5.0
+
+
+class TestOperaVsMonteCarloTransient:
+    def test_mean_error_far_below_one_percent(self, opera_result, monte_carlo_result):
+        metrics = compare_to_monte_carlo(opera_result, monte_carlo_result)
+        assert metrics.average_mean_error_percent < 0.5
+        assert metrics.maximum_mean_error_percent < 2.0
+
+    def test_sigma_error_within_sampling_noise(self, opera_result, monte_carlo_result):
+        metrics = compare_to_monte_carlo(opera_result, monte_carlo_result)
+        # 120 antithetic samples -> sampling noise of sigma is ~6-10 %
+        assert metrics.average_sigma_error_percent < 20.0
+
+    def test_mean_drop_tracks_nominal(self, opera_result, grid, transient):
+        """Section 6: mu with variations ~= mu0 without variations."""
+        nominal = transient_analysis(grid, transient)
+        difference = np.abs(opera_result.mean_drop - nominal.drops)
+        assert np.max(difference) / grid.vdd < 0.005  # negligible as % of VDD
+
+    def test_three_sigma_spread_matches_paper_band(self, opera_result, grid, transient):
+        nominal = transient_analysis(grid, transient)
+        spread = three_sigma_spread_percent(opera_result, nominal)
+        assert 25.0 < spread < 55.0
+
+    def test_peak_drop_stays_below_ten_percent_vdd(self, opera_result, grid):
+        assert opera_result.mean_drop.max() < 0.10 * grid.vdd
+
+    def test_opera_faster_than_monte_carlo(self, opera_result, monte_carlo_result):
+        """With 120 samples the speed-up must already be an order of magnitude."""
+        assert monte_carlo_result.wall_time > 10.0 * opera_result.wall_time
+
+    def test_drop_distribution_agrees_at_worst_node(self, opera_result, monte_carlo_result):
+        node = int(opera_result.worst_node())
+        comparison = drop_distribution_comparison(opera_result, monte_carlo_result, node=node)
+        assert comparison.opera_mean_percent_vdd == pytest.approx(
+            comparison.monte_carlo_mean_percent_vdd, rel=0.03
+        )
+        assert comparison.opera_sigma_percent_vdd == pytest.approx(
+            comparison.monte_carlo_sigma_percent_vdd, rel=0.35
+        )
+        # the two histograms overlap substantially (total variation < 35 %)
+        assert comparison.histogram_distance() < 35.0
+
+
+class TestOrderConvergence:
+    def test_order_three_changes_little_over_order_two(self, system, transient):
+        """The paper finds order 2/3 sufficient; going to order 3 must not
+        change the statistics materially (the expansion has converged)."""
+        order2 = run_opera_transient(system, OperaConfig(transient=transient, order=2))
+        order3 = run_opera_transient(system, OperaConfig(transient=transient, order=3))
+        sigma2 = order2.std_drop
+        sigma3 = order3.std_drop
+        hot = sigma3 > 0.25 * sigma3.max()
+        relative_change = np.abs(sigma2 - sigma3)[hot] / sigma3[hot]
+        assert np.max(relative_change) < 0.02
+        mean_change = np.max(np.abs(order2.mean_voltage - order3.mean_voltage))
+        assert mean_change / system.vdd < 1e-4
+
+    def test_order_one_captures_most_variance(self, system, transient):
+        order1 = run_opera_transient(system, OperaConfig(transient=transient, order=1))
+        order2 = run_opera_transient(system, OperaConfig(transient=transient, order=2))
+        peak1 = order1.std_drop.max()
+        peak2 = order2.std_drop.max()
+        assert peak1 == pytest.approx(peak2, rel=0.1)
+
+
+class TestSeparateVsCombinedGerms:
+    def test_combined_wt_matches_three_germ_model(self, grid, transient):
+        """Eq. (14): folding xi_W and xi_T into xi_G must not change the
+        response statistics (the two parametrisations are equivalent)."""
+        combined = build_stochastic_system(grid, VariationSpec(combine_wt=True))
+        separate = build_stochastic_system(grid, VariationSpec(combine_wt=False))
+        result_combined = run_opera_transient(
+            combined, OperaConfig(transient=transient, order=2)
+        )
+        result_separate = run_opera_transient(
+            separate, OperaConfig(transient=transient, order=2)
+        )
+        np.testing.assert_allclose(
+            result_combined.mean_voltage, result_separate.mean_voltage, atol=5e-6
+        )
+        hot = result_separate.std_drop > 0.25 * result_separate.std_drop.max()
+        np.testing.assert_allclose(
+            result_combined.std_drop[hot], result_separate.std_drop[hot], rtol=0.02
+        )
+
+
+class TestLeakageSpecialCaseEndToEnd:
+    def test_special_case_matches_monte_carlo(self, small_leakage_system, fast_transient):
+        opera = run_opera_transient(
+            small_leakage_system, OperaConfig(transient=fast_transient, order=3)
+        )
+        mc = run_monte_carlo_transient(
+            small_leakage_system,
+            MonteCarloConfig(transient=fast_transient, num_samples=150, seed=31, antithetic=True),
+        )
+        metrics = compare_to_monte_carlo(opera, mc)
+        # The lognormal leakage factor (s ~ 0.77) is heavy-tailed, so the
+        # 150-sample Monte Carlo reference itself carries several percent of
+        # noise in mu and ~20-25 % in sigma; the thresholds account for that.
+        assert metrics.average_mean_error_percent < 1.5
+        assert metrics.average_sigma_error_percent < 35.0
+
+    def test_leakage_only_variation_is_small_but_nonzero(self, small_leakage_system, fast_transient):
+        result = run_opera_transient(
+            small_leakage_system, OperaConfig(transient=fast_transient, order=2)
+        )
+        assert result.std_drop.max() > 0
+        # leakage is ~5 % of the current, so its sigma is a small fraction of the drop
+        assert result.std_drop.max() < 0.2 * result.mean_drop.max()

@@ -1,0 +1,185 @@
+"""Tests for the Monte Carlo baseline: sampler, statistics, engines."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.montecarlo.engine import (
+    MonteCarloConfig,
+    run_monte_carlo_dc,
+    run_monte_carlo_transient,
+)
+from repro.montecarlo.sampler import GermSampler
+from repro.montecarlo.statistics import RunningMoments
+from repro.sim.transient import TransientConfig
+
+
+class TestRunningMoments:
+    def test_matches_numpy_statistics(self, rng):
+        samples = rng.normal(size=(40, 5, 3))
+        moments = RunningMoments()
+        for sample in samples:
+            moments.update(sample)
+        np.testing.assert_allclose(moments.mean, samples.mean(axis=0), atol=1e-12)
+        np.testing.assert_allclose(
+            moments.variance(ddof=1), samples.var(axis=0, ddof=1), atol=1e-12
+        )
+        np.testing.assert_allclose(moments.std(), samples.std(axis=0, ddof=1), atol=1e-12)
+
+    def test_population_variance_option(self, rng):
+        samples = rng.normal(size=(25, 4))
+        moments = RunningMoments()
+        for sample in samples:
+            moments.update(sample)
+        np.testing.assert_allclose(
+            moments.variance(ddof=0), samples.var(axis=0, ddof=0), atol=1e-12
+        )
+
+    def test_count_tracked(self):
+        moments = RunningMoments()
+        for _ in range(7):
+            moments.update(np.zeros(2))
+        assert moments.count == 7
+
+    def test_preallocated_shape_enforced(self):
+        moments = RunningMoments(shape=(3,))
+        with pytest.raises(AnalysisError):
+            moments.update(np.zeros(4))
+
+    def test_empty_accumulator_raises(self):
+        moments = RunningMoments()
+        with pytest.raises(AnalysisError):
+            _ = moments.mean
+        with pytest.raises(AnalysisError):
+            moments.variance()
+
+    def test_single_sample_variance_is_zero(self):
+        moments = RunningMoments()
+        moments.update(np.array([1.0, 2.0]))
+        np.testing.assert_allclose(moments.variance(ddof=1), 0.0)
+
+    def test_numerical_stability_large_offset(self):
+        """Welford should not lose precision with a large common offset."""
+        moments = RunningMoments()
+        offset = 1e9
+        values = offset + np.array([0.0, 1.0, 2.0, 3.0])
+        for value in values:
+            moments.update(np.array([value]))
+        assert moments.variance(ddof=1)[0] == pytest.approx(np.var(values, ddof=1), rel=1e-9)
+
+
+class TestGermSampler:
+    def test_shape_and_distribution(self, small_system):
+        sampler = GermSampler(small_system, seed=1)
+        samples = sampler.sample(50000)
+        assert samples.shape == (50000, small_system.num_variables)
+        assert abs(samples.mean()) < 0.02
+        assert abs(samples.std() - 1.0) < 0.02
+
+    def test_reproducible_with_seed(self, small_system):
+        a = GermSampler(small_system, seed=42).sample(10)
+        b = GermSampler(small_system, seed=42).sample(10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_antithetic_pairs_sum_to_zero(self, small_system):
+        sampler = GermSampler(small_system, seed=3)
+        samples = sampler.sample_antithetic(10)
+        np.testing.assert_allclose(samples[:5] + samples[5:], 0.0, atol=1e-15)
+
+    def test_antithetic_odd_count(self, small_system):
+        samples = GermSampler(small_system, seed=3).sample_antithetic(7)
+        assert samples.shape[0] == 7
+
+    def test_supports_antithetic_for_gaussian_germs(self, small_system):
+        assert GermSampler(small_system).supports_antithetic
+
+    def test_rejects_zero_samples(self, small_system):
+        with pytest.raises(AnalysisError):
+            GermSampler(small_system).sample(0)
+
+
+class TestMonteCarloDC:
+    def test_mean_close_to_nominal(self, small_system, small_stamped):
+        result = run_monte_carlo_dc(small_system, num_samples=400, t=0.3e-9, seed=2)
+        from repro.sim.dc import dc_operating_point
+
+        nominal = dc_operating_point(small_stamped, t=0.3e-9)
+        worst = np.max(nominal.drops)
+        assert np.max(np.abs(result.mean_voltage - nominal.voltages)) < 0.05 * worst
+
+    def test_variance_positive_for_loaded_nodes(self, small_system):
+        result = run_monte_carlo_dc(small_system, num_samples=200, t=0.3e-9)
+        drops = result.mean_drop
+        hot = drops > 0.5 * drops.max()
+        assert np.all(result.std_drop[hot] > 0)
+
+    def test_requires_two_samples(self, small_system):
+        with pytest.raises(AnalysisError):
+            run_monte_carlo_dc(small_system, num_samples=1)
+
+    def test_wall_time_recorded(self, small_system):
+        result = run_monte_carlo_dc(small_system, num_samples=10)
+        assert result.wall_time > 0
+
+
+class TestMonteCarloTransient:
+    @pytest.fixture(scope="class")
+    def mc_result(self, small_system, fast_transient):
+        config = MonteCarloConfig(
+            transient=fast_transient, num_samples=40, seed=5, store_nodes=(0, 5)
+        )
+        return run_monte_carlo_transient(small_system, config)
+
+    def test_shapes(self, mc_result, small_system, fast_transient):
+        assert mc_result.num_times == fast_transient.num_steps + 1
+        assert mc_result.num_nodes == small_system.num_nodes
+        assert mc_result.num_samples == 40
+
+    def test_std_nonnegative(self, mc_result):
+        assert np.all(mc_result.std_drop >= 0)
+
+    def test_stored_node_waveforms(self, mc_result, fast_transient):
+        samples = mc_result.drop_samples(5)
+        assert samples.shape == (40, fast_transient.num_steps + 1)
+        single_time = mc_result.drop_samples(5, time_index=3)
+        assert single_time.shape == (40,)
+
+    def test_unstored_node_rejected(self, mc_result):
+        with pytest.raises(AnalysisError):
+            mc_result.drop_samples(7)
+
+    def test_stored_samples_consistent_with_statistics(self, mc_result):
+        """The recorded waveforms of a node must reproduce its running stats."""
+        samples = mc_result.drop_samples(5)
+        np.testing.assert_allclose(samples.mean(axis=0), mc_result.mean_drop[:, 5], atol=1e-12)
+        np.testing.assert_allclose(
+            samples.std(axis=0, ddof=1), mc_result.std_drop[:, 5], atol=1e-12
+        )
+
+    def test_antithetic_reduces_mean_error(self, small_system, fast_transient):
+        """Antithetic pairs cancel the odd (linear) error terms, so the mean
+        estimate should be closer to the high-sample reference."""
+        reference = run_opera_mean = None
+        from repro.opera import OperaConfig, run_opera_transient
+
+        reference = run_opera_transient(
+            small_system, OperaConfig(transient=fast_transient, order=2)
+        ).mean_voltage
+        plain = run_monte_carlo_transient(
+            small_system,
+            MonteCarloConfig(transient=fast_transient, num_samples=30, seed=9, antithetic=False),
+        )
+        paired = run_monte_carlo_transient(
+            small_system,
+            MonteCarloConfig(transient=fast_transient, num_samples=30, seed=9, antithetic=True),
+        )
+        error_plain = np.max(np.abs(plain.mean_voltage - reference))
+        error_paired = np.max(np.abs(paired.mean_voltage - reference))
+        assert error_paired < error_plain
+
+    def test_config_validation(self, fast_transient):
+        with pytest.raises(AnalysisError):
+            MonteCarloConfig(transient=fast_transient, num_samples=1)
+
+    def test_wall_time_recorded(self, mc_result):
+        assert mc_result.wall_time > 0

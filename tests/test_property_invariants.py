@@ -1,0 +1,164 @@
+"""Property-based tests of physical and numerical invariants.
+
+These tests use hypothesis to check relations that must hold for *any*
+parameter value in a realistic range: linearity of the resistive network,
+first-order scaling of the response sigma with the variation magnitude,
+positive-definiteness of realised matrices within the 3-sigma box, and
+stability of the fixed-step integrators.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.chaos.basis import PolynomialChaosBasis
+from repro.chaos.projection import lognormal_hermite_coefficients
+from repro.opera import OperaConfig, run_opera_dc, run_opera_transient
+from repro.sim.dc import solve_dc
+from repro.sim.transient import TransientConfig, transient_analysis
+from repro.variation import VariationSpec, build_stochastic_system
+
+COMMON_SETTINGS = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+class TestResistiveNetworkLinearity:
+    @given(scale=st.floats(min_value=0.1, max_value=5.0))
+    @settings(max_examples=10, **COMMON_SETTINGS)
+    def test_dc_drops_scale_linearly_with_current(self, small_stamped, scale):
+        """V = G^-1 U is linear: scaling all drain currents scales all drops."""
+        base_currents = small_stamped.drain_current_vector(0.3e-9)
+        base = solve_dc(small_stamped.conductance, small_stamped.pad_current - base_currents)
+        scaled = solve_dc(
+            small_stamped.conductance, small_stamped.pad_current - scale * base_currents
+        )
+        base_drop = small_stamped.vdd - base
+        scaled_drop = small_stamped.vdd - scaled
+        np.testing.assert_allclose(scaled_drop, scale * base_drop, rtol=1e-9, atol=1e-12)
+
+    @given(scale=st.floats(min_value=0.2, max_value=4.0))
+    @settings(max_examples=8, **COMMON_SETTINGS)
+    def test_scaling_conductance_inversely_scales_drops(self, small_stamped, scale):
+        """Scaling every conductance (wires and pads) by k divides drops by k."""
+        currents = small_stamped.drain_current_vector(0.3e-9)
+        base = small_stamped.vdd - solve_dc(
+            small_stamped.conductance, small_stamped.pad_current - currents
+        )
+        scaled = small_stamped.vdd - solve_dc(
+            scale * small_stamped.conductance,
+            scale * small_stamped.pad_current - currents,
+        )
+        np.testing.assert_allclose(scaled, base / scale, rtol=1e-9, atol=1e-12)
+
+
+class TestVariationScaling:
+    @given(factor=st.floats(min_value=0.25, max_value=1.0))
+    @settings(max_examples=6, **COMMON_SETTINGS)
+    def test_sigma_scales_linearly_with_variation_magnitude(self, small_stamped, factor):
+        """To first order, halving all process sigmas halves the response sigma."""
+        base_spec = VariationSpec.paper_defaults()
+        scaled_spec = VariationSpec(
+            sigma_w=factor * base_spec.sigma_w,
+            sigma_t=factor * base_spec.sigma_t,
+            sigma_l=factor * base_spec.sigma_l,
+            current_leff_sensitivity=base_spec.current_leff_sensitivity,
+        )
+        base = run_opera_dc(build_stochastic_system(small_stamped, base_spec), order=2, t=0.3e-9)
+        scaled = run_opera_dc(
+            build_stochastic_system(small_stamped, scaled_spec), order=2, t=0.3e-9
+        )
+        hot = (base.vdd - base.mean) > 0.25 * np.max(base.vdd - base.mean)
+        ratio = scaled.std[hot] / base.std[hot]
+        np.testing.assert_allclose(ratio, factor, rtol=0.05)
+
+    @given(
+        xi_g=st.floats(min_value=-3.0, max_value=3.0),
+        xi_l=st.floats(min_value=-3.0, max_value=3.0),
+    )
+    @settings(max_examples=20, **COMMON_SETTINGS)
+    def test_realized_matrices_stay_positive_definite(self, small_system, xi_g, xi_l):
+        """Within the 3-sigma box every realised grid is a valid RC network."""
+        G, C = small_system.realize_matrices(np.array([xi_g, xi_l]))
+        g_eigenvalues = np.linalg.eigvalsh(G.toarray())
+        c_eigenvalues = np.linalg.eigvalsh(C.toarray())
+        assert g_eigenvalues.min() > 0
+        assert c_eigenvalues.min() > -1e-20
+
+    @given(xi_g=st.floats(min_value=-3.0, max_value=3.0))
+    @settings(max_examples=10, **COMMON_SETTINGS)
+    def test_higher_conductance_means_lower_dc_drop(self, small_system, xi_g):
+        """Monotonicity: a die with faster (more conductive) metal sees
+        smaller IR drops, all else equal."""
+        xi = np.array([xi_g, 0.0])
+        G, _ = small_system.realize_matrices(xi)
+        rhs = small_system.excitation.sample(0.3e-9, xi)
+        drop = small_system.vdd - solve_dc(G, rhs)
+
+        G_nom, _ = small_system.realize_matrices(np.zeros(2))
+        rhs_nom = small_system.excitation.sample(0.3e-9, np.zeros(2))
+        drop_nom = small_system.vdd - solve_dc(G_nom, rhs_nom)
+
+        worst = np.argmax(drop_nom)
+        if xi_g > 0.05:
+            assert drop[worst] < drop_nom[worst]
+        elif xi_g < -0.05:
+            assert drop[worst] > drop_nom[worst]
+
+
+class TestExpansionInvariants:
+    @given(
+        sigma=st.floats(min_value=0.05, max_value=1.0),
+        degree=st.integers(min_value=4, max_value=10),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_lognormal_truncated_variance_below_exact(self, sigma, degree):
+        """Truncation can only lose variance, never add it."""
+        coefficients = lognormal_hermite_coefficients(sigma, degree)
+        truncated_variance = float(np.sum(coefficients[1:] ** 2))
+        exact_variance = np.exp(sigma**2) * (np.exp(sigma**2) - 1.0)
+        assert truncated_variance <= exact_variance * (1 + 1e-12)
+        # and with degree >= 4 the truncation captures most of it
+        assert truncated_variance > 0.9 * exact_variance
+
+    @given(order=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=8, **COMMON_SETTINGS)
+    def test_variance_never_negative_for_any_order(self, small_system, order):
+        field = run_opera_dc(small_system, order=order, t=0.3e-9)
+        assert np.all(field.variance >= 0)
+
+    @given(order=st.integers(min_value=2, max_value=4))
+    @settings(max_examples=6, **COMMON_SETTINGS)
+    def test_dc_variance_non_decreasing_with_order(self, small_system, order):
+        """Adding basis functions can only add (orthogonal) variance terms for
+        the same Galerkin solution structure; totals stay within a whisker."""
+        low = run_opera_dc(small_system, order=order - 1, t=0.3e-9)
+        high = run_opera_dc(small_system, order=order, t=0.3e-9)
+        hot = (high.vdd - high.mean) > 0.25 * np.max(high.vdd - high.mean)
+        # allow a tiny relative slack: Galerkin coefficients shift slightly
+        assert np.all(high.variance[hot] >= low.variance[hot] * 0.98)
+
+
+class TestIntegratorStability:
+    @given(steps=st.integers(min_value=3, max_value=25))
+    @settings(max_examples=8, **COMMON_SETTINGS)
+    def test_backward_euler_bounded_for_any_step_count(self, small_stamped, steps):
+        """A-stability: voltages never leave the physical [0, VDD] band by
+        more than a numerical whisker, whatever the step size."""
+        config = TransientConfig(t_stop=2.0e-9, dt=2.0e-9 / steps)
+        result = transient_analysis(small_stamped, config)
+        assert np.all(result.voltages <= small_stamped.vdd + 1e-9)
+        assert np.all(result.voltages >= 0.0)
+
+    @given(steps=st.integers(min_value=4, max_value=16))
+    @settings(max_examples=5, **COMMON_SETTINGS)
+    def test_opera_transient_stable_for_any_step_count(self, small_system, steps):
+        config = OperaConfig(
+            transient=TransientConfig(t_stop=2.0e-9, dt=2.0e-9 / steps), order=2
+        )
+        result = run_opera_transient(small_system, config)
+        assert np.all(np.isfinite(result.mean_voltage))
+        assert np.all(result.variance >= 0)
+        assert result.std_drop.max() < 0.2 * small_system.vdd

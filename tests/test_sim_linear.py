@@ -1,0 +1,102 @@
+"""Tests for the sparse linear solver wrappers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import ConvergenceError, SolverError
+from repro.sim.linear import ConjugateGradientSolver, DirectSolver, make_solver
+
+
+def laplacian_spd(n: int) -> sp.csr_matrix:
+    """A small SPD matrix (1-D Laplacian plus identity)."""
+    main = 2.0 * np.ones(n) + 0.5
+    off = -1.0 * np.ones(n - 1)
+    return sp.diags([off, main, off], [-1, 0, 1]).tocsr()
+
+
+class TestDirectSolver:
+    def test_solves_exactly(self):
+        A = laplacian_spd(50)
+        x_true = np.linspace(-1, 1, 50)
+        solver = DirectSolver(A)
+        x = solver.solve(A @ x_true)
+        np.testing.assert_allclose(x, x_true, atol=1e-12)
+
+    def test_solve_many(self):
+        A = laplacian_spd(20)
+        solver = DirectSolver(A)
+        B = np.random.default_rng(0).normal(size=(20, 3))
+        X = solver.solve_many(B)
+        np.testing.assert_allclose(A @ X, B, atol=1e-10)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(SolverError):
+            DirectSolver(sp.csr_matrix(np.ones((3, 4))))
+
+    def test_rejects_singular(self):
+        singular = sp.csr_matrix(np.zeros((4, 4)))
+        with pytest.raises(SolverError):
+            DirectSolver(singular)
+
+    def test_rejects_wrong_rhs_length(self):
+        solver = DirectSolver(laplacian_spd(10))
+        with pytest.raises(SolverError):
+            solver.solve(np.ones(5))
+
+    def test_factors_reused(self):
+        A = laplacian_spd(30)
+        solver = DirectSolver(A)
+        for _ in range(3):
+            b = np.random.default_rng(1).normal(size=30)
+            np.testing.assert_allclose(A @ solver.solve(b), b, atol=1e-10)
+
+
+class TestConjugateGradientSolver:
+    def test_matches_direct(self):
+        A = laplacian_spd(80)
+        b = np.sin(np.arange(80))
+        reference = DirectSolver(A).solve(b)
+        for preconditioner in (None, "jacobi", "ilu"):
+            solver = ConjugateGradientSolver(A, preconditioner=preconditioner, rtol=1e-12)
+            np.testing.assert_allclose(solver.solve(b), reference, atol=1e-8)
+
+    def test_raises_on_non_convergence(self):
+        A = laplacian_spd(100)
+        solver = ConjugateGradientSolver(A, preconditioner=None, rtol=1e-14, maxiter=1)
+        with pytest.raises(ConvergenceError):
+            solver.solve(np.ones(100))
+
+    def test_rejects_unknown_preconditioner(self):
+        with pytest.raises(SolverError):
+            ConjugateGradientSolver(laplacian_spd(5), preconditioner="magic")
+
+    def test_rejects_non_square(self):
+        with pytest.raises(SolverError):
+            ConjugateGradientSolver(sp.csr_matrix(np.ones((3, 4))))
+
+    def test_jacobi_requires_positive_diagonal(self):
+        bad = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(SolverError):
+            ConjugateGradientSolver(bad, preconditioner="jacobi")
+
+
+class TestMakeSolver:
+    def test_direct_default(self):
+        solver = make_solver(laplacian_spd(5))
+        assert isinstance(solver, DirectSolver)
+
+    def test_cg_variants(self):
+        assert isinstance(make_solver(laplacian_spd(5), "cg"), ConjugateGradientSolver)
+        assert isinstance(make_solver(laplacian_spd(5), "ilu-cg"), ConjugateGradientSolver)
+
+    def test_unknown_method(self):
+        with pytest.raises(SolverError):
+            make_solver(laplacian_spd(5), "quantum")
+
+    def test_grid_conductance_solvable_by_all_methods(self, small_stamped):
+        rhs = small_stamped.rhs(0.0)
+        reference = make_solver(small_stamped.conductance).solve(rhs)
+        for method in ("cg", "ilu-cg"):
+            solution = make_solver(small_stamped.conductance, method).solve(rhs)
+            np.testing.assert_allclose(solution, reference, rtol=1e-6, atol=1e-9)

@@ -1,0 +1,244 @@
+"""Tests for parameter distributions, PCA decorrelation and chip regions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import VariationModelError
+from repro.variation.correlation import (
+    correlation_from_distance,
+    decorrelate_gaussian,
+)
+from repro.variation.distributions import (
+    BetaParameter,
+    GammaParameter,
+    GaussianParameter,
+    LognormalParameter,
+    UniformParameter,
+)
+from repro.variation.regions import RegionPartition
+
+
+class TestGaussianParameter:
+    def test_three_sigma_convention(self):
+        """20% 3-sigma variation of the paper -> sigma = mu * 0.2 / 3."""
+        parameter = GaussianParameter.from_three_sigma_percent(mu=0.1, three_sigma_percent=20.0)
+        assert parameter.sigma == pytest.approx(0.1 * 0.2 / 3.0)
+        assert parameter.relative_sigma() == pytest.approx(0.2 / 3.0)
+
+    def test_from_germ_affine(self):
+        parameter = GaussianParameter(mu=2.0, sigma=0.5)
+        np.testing.assert_allclose(parameter.from_germ(np.array([-1.0, 0.0, 2.0])), [1.5, 2.0, 3.0])
+
+    def test_sampling_statistics(self, rng):
+        parameter = GaussianParameter(mu=1.0, sigma=0.1)
+        samples = parameter.sample(rng, 100000)
+        assert np.mean(samples) == pytest.approx(1.0, abs=2e-3)
+        assert np.std(samples) == pytest.approx(0.1, rel=0.03)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(VariationModelError):
+            GaussianParameter(mu=1.0, sigma=-0.1)
+
+    def test_family_is_hermite(self):
+        assert GaussianParameter(1.0, 0.1).germ_family == "hermite"
+
+
+class TestLognormalParameter:
+    def test_mean_and_std_formulas(self):
+        parameter = LognormalParameter(log_mu=0.0, log_sigma=0.5)
+        assert parameter.mean() == pytest.approx(math.exp(0.125))
+        expected_std = parameter.mean() * math.sqrt(math.exp(0.25) - 1.0)
+        assert parameter.std() == pytest.approx(expected_std)
+
+    def test_sampling_matches_moments(self, rng):
+        parameter = LognormalParameter(log_mu=-1.0, log_sigma=0.3)
+        samples = parameter.sample(rng, 200000)
+        assert np.mean(samples) == pytest.approx(parameter.mean(), rel=0.01)
+        assert np.std(samples) == pytest.approx(parameter.std(), rel=0.03)
+
+    def test_samples_positive(self, rng):
+        samples = LognormalParameter(0.0, 1.0).sample(rng, 1000)
+        assert np.all(samples > 0)
+
+    def test_from_median(self):
+        parameter = LognormalParameter.from_median_and_sigma(2.0, 0.4)
+        assert parameter.log_mu == pytest.approx(math.log(2.0))
+        with pytest.raises(VariationModelError):
+            LognormalParameter.from_median_and_sigma(-1.0, 0.4)
+
+
+class TestUniformParameter:
+    def test_moments(self):
+        parameter = UniformParameter(low=1.0, high=3.0)
+        assert parameter.mean() == pytest.approx(2.0)
+        assert parameter.std() == pytest.approx(2.0 / math.sqrt(12.0))
+
+    def test_germ_maps_endpoints(self):
+        parameter = UniformParameter(low=1.0, high=3.0)
+        assert parameter.from_germ(-1.0) == pytest.approx(1.0)
+        assert parameter.from_germ(1.0) == pytest.approx(3.0)
+
+    def test_family_is_legendre(self):
+        assert UniformParameter(0.0, 1.0).germ_family == "legendre"
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(VariationModelError):
+            UniformParameter(low=1.0, high=0.5)
+
+
+class TestGammaAndBeta:
+    def test_gamma_moments(self, rng):
+        parameter = GammaParameter(scale=0.2, shift=1.0)
+        samples = parameter.sample(rng, 200000)
+        assert np.mean(samples) == pytest.approx(parameter.mean(), rel=0.01)
+        assert np.std(samples) == pytest.approx(parameter.std(), rel=0.03)
+
+    def test_gamma_family_is_laguerre(self):
+        assert GammaParameter(scale=1.0).germ_family == "laguerre"
+
+    def test_beta_moments(self, rng):
+        parameter = BetaParameter(low=0.0, high=1.0, alpha=2.0, beta=3.0)
+        samples = parameter.sample(rng, 200000)
+        assert np.mean(samples) == pytest.approx(parameter.mean(), abs=0.005)
+        assert np.std(samples) == pytest.approx(parameter.std(), rel=0.05)
+
+    def test_beta_samples_in_range(self, rng):
+        parameter = BetaParameter(low=-2.0, high=2.0)
+        samples = parameter.sample(rng, 5000)
+        assert samples.min() >= -2.0 and samples.max() <= 2.0
+
+    def test_validation(self):
+        with pytest.raises(VariationModelError):
+            GammaParameter(scale=0.0)
+        with pytest.raises(VariationModelError):
+            BetaParameter(low=0.0, high=1.0, alpha=-2.0)
+
+
+class TestDecorrelation:
+    def test_diagonal_covariance_keeps_sigmas(self):
+        pca = decorrelate_gaussian(np.diag([4.0, 1.0]))
+        reconstructed = pca.transform @ pca.transform.T
+        np.testing.assert_allclose(reconstructed, np.diag([4.0, 1.0]), atol=1e-12)
+
+    def test_reconstructs_full_covariance(self, rng):
+        A = rng.normal(size=(4, 4))
+        covariance = A @ A.T + 0.5 * np.eye(4)
+        pca = decorrelate_gaussian(covariance)
+        np.testing.assert_allclose(pca.transform @ pca.transform.T, covariance, atol=1e-10)
+
+    def test_transformed_samples_have_target_covariance(self, rng):
+        covariance = np.array([[1.0, 0.8], [0.8, 1.0]])
+        pca = decorrelate_gaussian(covariance)
+        xi = rng.standard_normal((200000, pca.num_components))
+        samples = pca.to_parameters(xi)
+        empirical = np.cov(samples.T)
+        np.testing.assert_allclose(empirical, covariance, atol=0.02)
+
+    def test_truncation_keeps_dominant_energy(self):
+        covariance = np.diag([10.0, 1.0, 0.01])
+        pca = decorrelate_gaussian(covariance, num_components=2)
+        assert pca.num_components == 2
+        assert pca.explained_fraction.sum() == pytest.approx(11.0 / 11.01, rel=1e-6)
+
+    def test_eigenvalues_sorted_descending(self, rng):
+        A = rng.normal(size=(5, 5))
+        pca = decorrelate_gaussian(A @ A.T)
+        assert np.all(np.diff(pca.eigenvalues) <= 1e-12)
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(VariationModelError):
+            decorrelate_gaussian(np.array([[1.0, 0.5], [0.0, 1.0]]))
+
+    def test_rejects_indefinite(self):
+        with pytest.raises(VariationModelError):
+            decorrelate_gaussian(np.array([[1.0, 2.0], [2.0, 1.0]]))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(VariationModelError):
+            decorrelate_gaussian(np.ones((2, 3)))
+
+    def test_sensitivity_row(self):
+        pca = decorrelate_gaussian(np.diag([4.0, 1.0]))
+        row = pca.sensitivity_row(0)
+        assert row.shape == (2,)
+
+    @given(
+        sigma=st.floats(min_value=0.05, max_value=2.0),
+        length=st.floats(min_value=0.5, max_value=50.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_distance_correlation_is_valid_covariance(self, sigma, length):
+        positions = [(0.0, 0.0), (1.0, 0.0), (0.0, 2.0), (3.0, 3.0)]
+        covariance = correlation_from_distance(positions, length, sigma)
+        assert covariance.shape == (4, 4)
+        np.testing.assert_allclose(np.diag(covariance), sigma**2)
+        eigenvalues = np.linalg.eigvalsh(covariance)
+        assert eigenvalues.min() > -1e-10
+
+    def test_distance_correlation_decays(self):
+        covariance = correlation_from_distance([(0, 0), (0, 1), (0, 10)], correlation_length=2.0)
+        assert covariance[0, 1] > covariance[0, 2]
+
+    def test_distance_correlation_validation(self):
+        with pytest.raises(VariationModelError):
+            correlation_from_distance([(0, 0)], correlation_length=0.0)
+        with pytest.raises(VariationModelError):
+            correlation_from_distance([0.0, 1.0], correlation_length=1.0)
+
+
+class TestRegionPartition:
+    def test_region_count(self):
+        assert RegionPartition(nx=10, ny=10, region_rows=2, region_cols=3).num_regions == 6
+
+    def test_two_region_split_matches_paper_example(self):
+        """The paper's special-case example divides the chip into 2 regions."""
+        partition = RegionPartition(nx=8, ny=8, region_rows=2, region_cols=1)
+        assert partition.region_of(0, 0) == 0
+        assert partition.region_of(3, 7) == 0
+        assert partition.region_of(4, 0) == 1
+        assert partition.region_of(7, 7) == 1
+
+    def test_every_node_gets_a_region(self):
+        partition = RegionPartition(nx=7, ny=5, region_rows=3, region_cols=2)
+        for row in range(7):
+            for col in range(5):
+                assert 0 <= partition.region_of(row, col) < partition.num_regions
+
+    def test_out_of_range_rejected(self):
+        partition = RegionPartition(nx=4, ny=4)
+        with pytest.raises(VariationModelError):
+            partition.region_of(4, 0)
+
+    def test_node_name_mapping(self):
+        partition = RegionPartition(nx=8, ny=8, region_rows=2, region_cols=2)
+        assert partition.region_of_node_name("n0_0_0") == 0
+        assert partition.region_of_node_name("n0_7_7") == 3
+        assert partition.region_of_node_name("n1_0_0") is None  # upper layer
+
+    def test_bad_node_name_rejected(self):
+        partition = RegionPartition(nx=4, ny=4)
+        with pytest.raises(VariationModelError):
+            partition.region_of_node_name("weird-name")
+
+    def test_region_map_over_generated_grid(self, small_netlist, small_grid_spec):
+        partition = RegionPartition(nx=small_grid_spec.nx, ny=small_grid_spec.ny, region_rows=2, region_cols=2)
+        mapping = partition.region_map(small_netlist.node_names)
+        assert mapping.shape == (small_netlist.num_nodes,)
+        bottom = [name.startswith("n0_") for name in small_netlist.node_names]
+        assert np.all(mapping[np.array(bottom)] >= 0)
+        assert np.all(mapping[~np.array(bottom)] == -1)
+
+    def test_region_centers(self):
+        centers = RegionPartition(nx=10, ny=10, region_rows=2, region_cols=2).region_centers()
+        assert centers.shape == (4, 2)
+        np.testing.assert_allclose(centers[0], [2.5, 2.5])
+
+    def test_validation(self):
+        with pytest.raises(VariationModelError):
+            RegionPartition(nx=2, ny=2, region_rows=3, region_cols=1)
+        with pytest.raises(VariationModelError):
+            RegionPartition(nx=0, ny=2)

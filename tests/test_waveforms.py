@@ -1,0 +1,159 @@
+"""Tests for the time-domain waveform classes."""
+
+import numpy as np
+import pytest
+
+from repro.waveforms import (
+    ClockedActivity,
+    Constant,
+    PeriodicPulse,
+    PiecewiseLinear,
+    Scaled,
+    Summed,
+    as_waveform,
+)
+
+
+class TestConstant:
+    def test_scalar_evaluation(self):
+        assert Constant(3.5)(0.0) == 3.5
+
+    def test_array_evaluation(self):
+        values = Constant(2.0)(np.array([0.0, 1.0, 2.0]))
+        assert np.allclose(values, 2.0)
+        assert values.shape == (3,)
+
+    def test_negative_value_allowed(self):
+        assert Constant(-1.0)(5.0) == -1.0
+
+
+class TestAsWaveform:
+    def test_wraps_number(self):
+        waveform = as_waveform(0.25)
+        assert isinstance(waveform, Constant)
+        assert waveform(1.0) == 0.25
+
+    def test_passes_through_waveform(self):
+        waveform = Constant(1.0)
+        assert as_waveform(waveform) is waveform
+
+
+class TestPiecewiseLinear:
+    def test_interpolates_between_points(self):
+        pwl = PiecewiseLinear([0.0, 1.0, 2.0], [0.0, 10.0, 0.0])
+        assert pwl(0.5) == pytest.approx(5.0)
+        assert pwl(1.5) == pytest.approx(5.0)
+
+    def test_clamps_outside_range(self):
+        pwl = PiecewiseLinear([1.0, 2.0], [3.0, 7.0])
+        assert pwl(0.0) == pytest.approx(3.0)
+        assert pwl(5.0) == pytest.approx(7.0)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear([0.0, 1.0], [1.0])
+
+    def test_rejects_non_increasing_times(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear([0.0, 0.0], [1.0, 2.0])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear([0.0], [1.0])
+
+    def test_vectorized(self):
+        pwl = PiecewiseLinear([0.0, 1.0], [0.0, 1.0])
+        np.testing.assert_allclose(pwl(np.array([0.0, 0.25, 1.0])), [0.0, 0.25, 1.0])
+
+
+class TestPeriodicPulse:
+    def make(self, **overrides):
+        defaults = dict(
+            low=0.0, high=1.0, delay=0.0, rise=0.1, fall=0.1, width=0.3, period=1.0
+        )
+        defaults.update(overrides)
+        return PeriodicPulse(**defaults)
+
+    def test_levels_within_one_period(self):
+        pulse = self.make()
+        assert pulse(0.05) == pytest.approx(0.5)
+        assert pulse(0.2) == pytest.approx(1.0)
+        assert pulse(0.45) == pytest.approx(0.5)
+        assert pulse(0.9) == pytest.approx(0.0)
+
+    def test_periodicity(self):
+        pulse = self.make()
+        t = np.linspace(0, 0.99, 37)
+        np.testing.assert_allclose(pulse(t), pulse(t + 3.0), atol=1e-12)
+
+    def test_before_delay_is_low(self):
+        pulse = self.make(delay=0.5)
+        assert pulse(0.25) == pytest.approx(0.0)
+
+    def test_rejects_overfull_period(self):
+        with pytest.raises(ValueError):
+            self.make(width=0.9, rise=0.1, fall=0.1)
+
+    def test_rejects_non_positive_period(self):
+        with pytest.raises(ValueError):
+            self.make(period=0.0)
+
+    def test_zero_rise_is_step(self):
+        pulse = self.make(rise=0.0)
+        assert pulse(0.0) == pytest.approx(1.0)
+
+
+class TestClockedActivity:
+    def test_peak_scaled_by_activity(self):
+        waveform = ClockedActivity(
+            period=1.0, peak=2.0, activity=(1.0, 0.5), rise_fraction=0.25, duty_fraction=0.5
+        )
+        assert waveform(0.25) == pytest.approx(2.0)
+        assert waveform(1.25) == pytest.approx(1.0)
+
+    def test_zero_before_time_origin(self):
+        waveform = ClockedActivity(period=1.0, peak=1.0, activity=(1.0,))
+        assert waveform(-0.5) == pytest.approx(0.0)
+
+    def test_zero_after_duty_window(self):
+        waveform = ClockedActivity(
+            period=1.0, peak=1.0, activity=(1.0,), rise_fraction=0.2, duty_fraction=0.6
+        )
+        assert waveform(0.8) == pytest.approx(0.0)
+
+    def test_activity_wraps_around(self):
+        waveform = ClockedActivity(period=1.0, peak=1.0, activity=(1.0, 0.25))
+        assert waveform(2.0 + 0.2) == pytest.approx(waveform(0.2))
+
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(ValueError):
+            ClockedActivity(period=1.0, peak=1.0, activity=(1.0,), rise_fraction=0.7, duty_fraction=0.5)
+
+    def test_rejects_empty_activity(self):
+        with pytest.raises(ValueError):
+            ClockedActivity(period=1.0, peak=1.0, activity=())
+
+    def test_max_abs_finds_peak(self):
+        waveform = ClockedActivity(period=1.0, peak=3.0, activity=(0.5, 1.0, 0.2))
+        assert waveform.max_abs(t_end=3.0) == pytest.approx(3.0, rel=1e-2)
+
+
+class TestComposition:
+    def test_scaling_operator(self):
+        doubled = 2.0 * Constant(1.5)
+        assert isinstance(doubled, Scaled)
+        assert doubled(0.0) == pytest.approx(3.0)
+
+    def test_sum_operator(self):
+        total = Constant(1.0) + Constant(2.0)
+        assert isinstance(total, Summed)
+        assert total(0.0) == pytest.approx(3.0)
+
+    def test_sum_vectorized(self):
+        total = Constant(1.0) + PiecewiseLinear([0.0, 1.0], [0.0, 1.0])
+        np.testing.assert_allclose(total(np.array([0.0, 1.0])), [1.0, 2.0])
+
+    def test_scaled_preserves_shape(self):
+        scaled = Constant(1.0).scaled(0.5)
+        values = scaled(np.zeros(4))
+        assert values.shape == (4,)
