@@ -8,6 +8,11 @@ O(r^p).  This bench quantifies both statements on a mid-size benchmark grid:
 * wall time of each order (the cost of the extra accuracy),
 * cost of the combined two-germ model (xi_G, xi_L) versus the separate
   three-germ model (xi_W, xi_T, xi_L) that spans a larger basis.
+
+The order sweep runs on the shared :class:`repro.api.Analysis` session from
+``grid_cache``, so each order's basis/Galerkin assembly is built once and
+repeated runs hit the session cache (the cache counters are written to the
+results file as evidence).
 """
 
 from __future__ import annotations
@@ -15,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.opera import OperaConfig, run_opera_transient
+from repro.api import Analysis
 from repro.variation import VariationSpec, build_stochastic_system
 
 from _bench_config import bench_node_counts, bench_transient, write_result
@@ -24,34 +29,35 @@ ORDERS = (1, 2, 3)
 
 
 @pytest.fixture(scope="module")
-def ablation_grid(grid_cache):
+def ablation_session(grid_cache):
     target = sorted(bench_node_counts())[0]
-    return grid_cache.get(target)
+    session = grid_cache.session(target)
+    session.with_transient(bench_transient())
+    return session
 
 
 @pytest.fixture(scope="module")
-def order_reference(ablation_grid):
+def order_reference(ablation_session):
     """Order-4 result used as the truncation-error reference."""
-    _, _, _, system = ablation_grid
-    return run_opera_transient(
-        system, OperaConfig(transient=bench_transient(), order=4)
-    )
+    return ablation_session.run("opera", order=4).raw
 
 
 @pytest.fixture(scope="module")
-def order_results(ablation_grid):
+def order_results(ablation_session):
     return {}
 
 
 @pytest.mark.parametrize("order", ORDERS)
 def test_expansion_order_cost_and_accuracy(
-    benchmark, ablation_grid, order_reference, order_results, results_dir, order
+    benchmark, ablation_session, order_reference, order_results, results_dir, order
 ):
-    _, _, _, system = ablation_grid
-    config = OperaConfig(transient=bench_transient(), order=order)
-    result = benchmark.pedantic(
-        run_opera_transient, args=(system, config), rounds=1, iterations=1
+    view = benchmark.pedantic(
+        ablation_session.run,
+        kwargs=dict(engine="opera", order=order),
+        rounds=1,
+        iterations=1,
     )
+    result = view.raw
 
     hot = order_reference.std_drop > 0.25 * order_reference.std_drop.max()
     sigma_error = (
@@ -62,7 +68,7 @@ def test_expansion_order_cost_and_accuracy(
     mean_error = (
         100.0
         * np.max(np.abs(result.mean_voltage - order_reference.mean_voltage))
-        / system.vdd
+        / ablation_session.vdd
     )
     order_results[order] = (
         result.basis.size,
@@ -85,26 +91,28 @@ def test_expansion_order_cost_and_accuracy(
         lines.append(
             f"{key:>5}  {size:>5}  {wall:>11.3f}  {avg_err:>15.3f}  {max_err:>15.3f}  {mean_err:>13.5f}"
         )
+    lines.append("")
+    lines.append(f"session caches after the sweep: {ablation_session.cache_info()}")
     write_result(results_dir, "ablation_order.txt", "\n".join(lines) + "\n")
 
 
-def test_combined_versus_separate_germs(benchmark, ablation_grid, results_dir):
+def test_combined_versus_separate_germs(benchmark, grid_cache, results_dir):
     """Eq. (14) ablation: 2-germ combined model vs 3-germ separate model."""
-    _, _, stamped, _ = ablation_grid
+    target = sorted(bench_node_counts())[0]
+    _, netlist, stamped, _ = grid_cache.get(target)
     transient = bench_transient()
 
     combined_system = build_stochastic_system(stamped, VariationSpec(combine_wt=True))
     separate_system = build_stochastic_system(stamped, VariationSpec(combine_wt=False))
+    session = Analysis.from_netlist(netlist, stamped=stamped).with_transient(transient)
 
+    session.with_system(combined_system)
     combined = benchmark.pedantic(
-        run_opera_transient,
-        args=(combined_system, OperaConfig(transient=transient, order=2)),
-        rounds=1,
-        iterations=1,
-    )
-    separate = run_opera_transient(
-        separate_system, OperaConfig(transient=transient, order=2)
-    )
+        session.run, kwargs=dict(engine="opera", order=2), rounds=1, iterations=1
+    ).raw
+
+    session.with_system(separate_system)
+    separate = session.run("opera", order=2).raw
 
     hot = separate.std_drop > 0.25 * separate.std_drop.max()
     sigma_gap = np.abs(combined.std_drop - separate.std_drop)[hot] / separate.std_drop[hot]

@@ -14,8 +14,6 @@ import numpy as np
 import pytest
 
 from repro.analysis import ascii_histogram, drop_distribution_comparison
-from repro.montecarlo import MonteCarloConfig, run_monte_carlo_transient
-from repro.opera import OperaConfig, run_opera_transient
 
 from _bench_config import bench_mc_samples, bench_node_counts, bench_transient, write_result
 
@@ -40,10 +38,10 @@ def _figure_text(comparison, label: str) -> str:
 def figure_setup(grid_cache):
     """OPERA and Monte Carlo results with recorded waveforms at two nodes."""
     target = max(bench_node_counts())
-    _, _, stamped, system = grid_cache.get(target)
-    transient = bench_transient()
+    session = grid_cache.session(target)
+    session.with_transient(bench_transient())
 
-    opera_result = run_opera_transient(system, OperaConfig(transient=transient, order=2))
+    opera_result = session.run("opera", order=2).raw
     worst = int(opera_result.worst_node())
     # Figure 2 uses a second node: the one with the median peak drop among
     # the meaningfully loaded nodes.
@@ -53,16 +51,13 @@ def figure_setup(grid_cache):
     if second == worst and loaded.size > 1:
         second = int(loaded[0])
 
-    mc_result = run_monte_carlo_transient(
-        system,
-        MonteCarloConfig(
-            transient=transient,
-            num_samples=bench_mc_samples(),
-            seed=13,
-            antithetic=True,
-            store_nodes=(worst, second),
-        ),
-    )
+    mc_result = session.run(
+        "montecarlo",
+        samples=bench_mc_samples(),
+        seed=13,
+        antithetic=True,
+        store_nodes=(worst, second),
+    ).raw
     return opera_result, mc_result, worst, second
 
 

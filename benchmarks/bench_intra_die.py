@@ -9,7 +9,6 @@ Monte Carlo sweep at one correlation length.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.analysis import compare_to_monte_carlo

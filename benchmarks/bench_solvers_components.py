@@ -17,11 +17,10 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.chaos.galerkin import assemble_augmented_matrix
 from repro.grid import generate_power_grid, spec_for_node_count, stamp
 from repro.mor import prima_reduce
-from repro.opera import OperaConfig, build_basis, build_galerkin_system, run_opera_transient
-from repro.sim import TransientConfig, make_solver, transient_analysis
+from repro.opera import build_basis, build_galerkin_system
+from repro.sim import make_solver, solver_names, transient_analysis
 
 from _bench_config import bench_node_counts, bench_transient, write_result
 
@@ -55,9 +54,13 @@ def test_galerkin_assembly(benchmark, component_grid):
     assert galerkin.conductance.shape[0] == basis.size * system.num_nodes
 
 
-@pytest.mark.parametrize("method", ["direct", "cg", "ilu-cg"])
+@pytest.mark.parametrize("method", solver_names())
 def test_augmented_solve_by_method(benchmark, component_grid, results_dir, method):
-    """Factorise/precondition + one solve of the augmented conductance system."""
+    """Factorise/precondition + one solve of the augmented conductance system.
+
+    Parametrised over the solver registry, so backends added with
+    ``register_solver`` are picked up automatically.
+    """
     _, _, _, system = component_grid
     basis = build_basis(system, order=2)
     galerkin = build_galerkin_system(system, basis)
@@ -78,14 +81,18 @@ def test_nominal_vs_opera_overhead(benchmark, component_grid, results_dir):
     The augmented system is 6x larger, so a factor of roughly 6-30x is
     expected -- far below the ~1000x of a 1000-sample Monte Carlo.
     """
-    _, _, stamped, system = component_grid
-    transient = bench_transient()
+    from repro.api import Analysis
 
-    opera_result = benchmark.pedantic(
-        run_opera_transient,
-        args=(system, OperaConfig(transient=transient, order=2)),
-        rounds=1,
-        iterations=1,
+    _, netlist, stamped, system = component_grid
+    transient = bench_transient()
+    session = (
+        Analysis.from_netlist(netlist, stamped=stamped)
+        .with_system(system)
+        .with_transient(transient)
+    )
+
+    opera_view = benchmark.pedantic(
+        session.run, kwargs=dict(engine="opera", order=2), rounds=1, iterations=1
     )
     import time
 
@@ -93,11 +100,11 @@ def test_nominal_vs_opera_overhead(benchmark, component_grid, results_dir):
     transient_analysis(stamped, transient)
     nominal_seconds = time.perf_counter() - started
 
-    overhead = opera_result.wall_time / max(nominal_seconds, 1e-9)
+    overhead = (opera_view.wall_time or 0.0) / max(nominal_seconds, 1e-9)
     text = (
         "OPERA overhead relative to one nominal transient (order 2, 2 germs)\n"
         f"nominal transient (s): {nominal_seconds:.3f}\n"
-        f"OPERA transient (s)  : {opera_result.wall_time:.3f}\n"
+        f"OPERA transient (s)  : {opera_view.wall_time:.3f}\n"
         f"overhead factor      : {overhead:.1f}x "
         "(a 1000-sample Monte Carlo costs ~1000x)\n"
     )

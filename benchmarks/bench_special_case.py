@@ -2,12 +2,13 @@
 
 The paper shows that when only the drain currents vary, the Galerkin system
 decouples into independent solves that share a single LU factorisation
-(Eq. (27)).  This bench
+(Eq. (27)).  This bench drives both paths through the engine registry:
 
-* times the decoupled path and the full (force-coupled) augmented solve on
-  the same leakage-variation problem and checks they produce identical
-  statistics -- the decoupled path must also be substantially faster;
-* times the Monte Carlo reference for the speed-up figure;
+* times the ``decoupled`` engine and the ``opera`` engine with
+  ``force_coupled=True`` on the same leakage-variation session and checks
+  they produce identical statistics -- the decoupled path must also be
+  substantially faster;
+* times the ``montecarlo`` engine for the speed-up figure;
 * records the exact moments the special case produces (the improvement the
   paper claims over the variance *bounds* of prior work).
 """
@@ -18,44 +19,42 @@ import numpy as np
 import pytest
 
 from repro.analysis import compare_to_monte_carlo
-from repro.montecarlo import MonteCarloConfig, run_monte_carlo_transient
-from repro.opera import OperaConfig, run_opera_transient
+from repro.api import Analysis
 from repro.variation import LeakageVariationSpec, RegionPartition, build_leakage_system
 
 from _bench_config import bench_mc_samples, bench_node_counts, bench_transient, write_result
 
 
 @pytest.fixture(scope="module")
-def leakage_setup(grid_cache):
+def leakage_session(grid_cache):
     target = sorted(bench_node_counts())[len(bench_node_counts()) // 2]
-    spec, _, stamped, _ = grid_cache.get(target)
+    spec, netlist, stamped, _ = grid_cache.get(target)
     partition = RegionPartition(nx=spec.nx, ny=spec.ny, region_rows=2, region_cols=2)
     system = build_leakage_system(
         stamped, partition, LeakageVariationSpec(vth_sigma=0.03)
     )
-    return stamped, system
+    session = Analysis.from_netlist(netlist, stamped=stamped).with_system(system)
+    session.with_transient(bench_transient())
+    return session
 
 
-def test_decoupled_solver_speed(benchmark, leakage_setup, results_dir):
+def test_decoupled_solver_speed(benchmark, leakage_session, results_dir):
     """Time the decoupled special-case path (single factorisation)."""
-    _, system = leakage_setup
-    transient = bench_transient()
-    config = OperaConfig(transient=transient, order=2)
-
     decoupled = benchmark.pedantic(
-        run_opera_transient, args=(system, config), rounds=1, iterations=1
-    )
+        leakage_session.run,
+        kwargs=dict(engine="decoupled", order=2),
+        rounds=1,
+        iterations=1,
+    ).raw
 
-    coupled = run_opera_transient(
-        system, OperaConfig(transient=transient, order=2, force_coupled=True)
-    )
+    coupled = leakage_session.run("opera", order=2, force_coupled=True).raw
     np.testing.assert_allclose(decoupled.mean_voltage, coupled.mean_voltage, atol=1e-10)
     np.testing.assert_allclose(decoupled.std_drop, coupled.std_drop, atol=1e-12)
     assert decoupled.wall_time < coupled.wall_time
 
     text = (
         "Section 5.1 special case (RHS-only leakage variation)\n"
-        f"grid nodes                 : {system.num_nodes}\n"
+        f"grid nodes                 : {leakage_session.num_nodes}\n"
         f"chaos terms (order 2, r=4) : {decoupled.basis.size}\n"
         f"decoupled wall time  (s)   : {decoupled.wall_time:.3f}\n"
         f"force-coupled wall time (s): {coupled.wall_time:.3f}\n"
@@ -66,26 +65,20 @@ def test_decoupled_solver_speed(benchmark, leakage_setup, results_dir):
     write_result(results_dir, "special_case.txt", text)
 
 
-def test_special_case_accuracy_vs_monte_carlo(benchmark, leakage_setup, results_dir):
+def test_special_case_accuracy_vs_monte_carlo(benchmark, leakage_session, results_dir):
     """Exact moments from the decoupled path vs the Monte Carlo reference."""
-    _, system = leakage_setup
-    transient = bench_transient()
-
     opera_result = benchmark.pedantic(
-        run_opera_transient,
-        args=(system, OperaConfig(transient=transient, order=3)),
+        leakage_session.run,
+        kwargs=dict(engine="opera", order=3),
         rounds=1,
         iterations=1,
-    )
-    mc_result = run_monte_carlo_transient(
-        system,
-        MonteCarloConfig(
-            transient=transient,
-            num_samples=bench_mc_samples(),
-            seed=37,
-            antithetic=True,
-        ),
-    )
+    ).raw
+    mc_result = leakage_session.run(
+        "montecarlo",
+        samples=bench_mc_samples(),
+        seed=37,
+        antithetic=True,
+    ).raw
     metrics = compare_to_monte_carlo(opera_result, mc_result)
     assert metrics.average_mean_error_percent < 2.0
 

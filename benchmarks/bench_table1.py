@@ -1,6 +1,7 @@
 """Table 1 reproduction: OPERA vs Monte Carlo over several grid sizes.
 
-For every benchmark grid this harness
+For every benchmark grid this harness drives the :class:`repro.api.Analysis`
+facade:
 
 * times the OPERA order-2 stochastic transient (the ``benchmark`` fixture
   measures exactly the paper's "CPU time OPERA" column),
@@ -10,6 +11,10 @@ For every benchmark grid this harness
   average +/-3-sigma spread as a percentage of the nominal drop,
 * appends the row to ``benchmarks/results/table1.txt`` next to the paper's
   original Table 1 for shape comparison.
+
+A *fresh* session is used per grid so the timed OPERA run pays for its own
+basis construction, Galerkin assembly and factorisation, as the paper's
+CPU-time column does.
 
 Scale is controlled by the environment variables documented in
 ``benchmarks/conftest.py``; absolute times differ from the 2005 testbed, but
@@ -28,9 +33,7 @@ from repro.analysis import (
     format_table1,
     three_sigma_spread_percent,
 )
-from repro.montecarlo import MonteCarloConfig, run_monte_carlo_transient
-from repro.opera import OperaConfig, run_opera_transient
-from repro.sim import transient_analysis
+from repro.api import Analysis
 
 from _bench_config import (
     bench_mc_samples,
@@ -45,31 +48,34 @@ def test_table1_row(benchmark, grid_cache, table1_rows, results_dir, target_node
     """One row of Table 1: accuracy and speed-up for a single grid."""
     _, netlist, stamped, system = grid_cache.get(target_nodes)
     transient = bench_transient()
-    opera_config = OperaConfig(transient=transient, order=2)
-
-    opera_result = benchmark.pedantic(
-        run_opera_transient, args=(system, opera_config), rounds=1, iterations=1
+    session = (
+        Analysis.from_netlist(netlist, stamped=stamped)
+        .with_system(system)
+        .with_transient(transient)
     )
 
-    mc_config = MonteCarloConfig(
-        transient=transient,
-        num_samples=bench_mc_samples(),
+    opera_view = benchmark.pedantic(
+        session.run, kwargs=dict(engine="opera", order=2), rounds=1, iterations=1
+    )
+
+    mc_view = session.run(
+        "montecarlo",
+        samples=bench_mc_samples(),
         seed=7,
         antithetic=True,
     )
-    mc_result = run_monte_carlo_transient(system, mc_config)
 
-    metrics = compare_to_monte_carlo(opera_result, mc_result)
-    nominal = transient_analysis(stamped, transient)
-    spread = three_sigma_spread_percent(opera_result, nominal)
+    metrics = compare_to_monte_carlo(opera_view.raw, mc_view.raw)
+    nominal = session.nominal_transient()
+    spread = three_sigma_spread_percent(opera_view.raw, nominal)
 
     row = Table1Row.from_metrics(
         name=f"synthetic-{stamped.num_nodes}",
         num_nodes=stamped.num_nodes,
         metrics=metrics,
         three_sigma_spread=spread,
-        monte_carlo_seconds=mc_result.wall_time or 0.0,
-        opera_seconds=opera_result.wall_time or 0.0,
+        monte_carlo_seconds=mc_view.wall_time or 0.0,
+        opera_seconds=opera_view.wall_time or 0.0,
     )
     table1_rows[stamped.num_nodes] = row
 
@@ -86,7 +92,7 @@ def test_table1_row(benchmark, grid_cache, table1_rows, results_dir, target_node
                 rows,
                 title=(
                     "Table 1 (reproduced on synthetic grids; "
-                    f"MC samples = {mc_config.num_samples}, "
+                    f"MC samples = {bench_mc_samples()}, "
                     f"steps = {transient.num_steps}, order-2 expansion)"
                 ),
             ),

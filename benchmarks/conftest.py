@@ -13,6 +13,7 @@ from typing import Dict, Tuple
 
 import pytest
 
+from repro.api import Analysis
 from repro.grid import generate_power_grid, spec_for_node_count, stamp
 from repro.variation import VariationSpec, build_stochastic_system
 
@@ -30,6 +31,7 @@ class GridCache:
 
     def __init__(self):
         self._cache: Dict[int, Tuple] = {}
+        self._sessions: Dict[int, Analysis] = {}
 
     def get(self, target_nodes: int):
         if target_nodes not in self._cache:
@@ -45,6 +47,20 @@ class GridCache:
             system = build_stochastic_system(stamped, VariationSpec.paper_defaults())
             self._cache[target_nodes] = (spec, netlist, stamped, system)
         return self._cache[target_nodes]
+
+    def session(self, target_nodes: int) -> Analysis:
+        """An :class:`Analysis` session sharing the cached grid objects.
+
+        The session's own caches (bases, factorisations, Galerkin
+        assemblies) persist across benches, mirroring how a long-lived
+        analysis service would run many workloads on one grid.
+        """
+        if target_nodes not in self._sessions:
+            _, netlist, stamped, system = self.get(target_nodes)
+            self._sessions[target_nodes] = Analysis.from_netlist(
+                netlist, stamped=stamped
+            ).with_system(system)
+        return self._sessions[target_nodes]
 
 
 @pytest.fixture(scope="session")

@@ -7,7 +7,8 @@ with PCA, and run the same Galerkin projection with the resulting multi-germ
 basis.  This example
 
 1. builds the same grid under three correlation lengths (fully correlated,
-   chip-scale, and nearly local variation),
+   chip-scale, and nearly local variation), injecting each spatial system
+   into one :class:`repro.Analysis` session with ``with_system``,
 2. shows how the voltage-drop sigma shrinks as the variation decorrelates
    (local variations average out across the grid),
 3. uses the Sobol' variance decomposition that the chaos expansion provides
@@ -17,19 +18,14 @@ basis.  This example
 Run with:  python examples/intra_die_spatial.py
 """
 
-import numpy as np
-
 from repro import (
+    Analysis,
     GridSpec,
-    OperaConfig,
     RegionPartition,
     SpatialVariationSpec,
-    TransientConfig,
     VariationSpec,
     build_spatial_stochastic_system,
-    build_stochastic_system,
     generate_power_grid,
-    run_opera_transient,
     stamp,
     transient_total_indices,
 )
@@ -40,7 +36,8 @@ def main() -> None:
     netlist = generate_power_grid(spec)
     stamped = stamp(netlist)
     partition = RegionPartition(nx=spec.nx, ny=spec.ny, region_rows=3, region_cols=3)
-    transient = TransientConfig(t_stop=3.0e-9, dt=0.2e-9)
+    session = Analysis.from_netlist(netlist, stamped=stamped)
+    session.with_transient(t_stop=3.0e-9, dt=0.2e-9)
     print(f"grid: {netlist.stats()}, {partition.num_regions} chip regions")
 
     # --- correlation-length sweep -------------------------------------------
@@ -53,7 +50,8 @@ def main() -> None:
             SpatialVariationSpec(correlation_length=length, energy_fraction=0.98),
             stamped=stamped,
         )
-        result = run_opera_transient(system, OperaConfig(transient=transient, order=2))
+        session.with_system(system)
+        result = session.run("opera", order=2).raw
         worst = result.worst_node()
         step = result.peak_time_index(worst)
         print(
@@ -63,8 +61,9 @@ def main() -> None:
 
     # --- variance attribution at the worst node ------------------------------
     print("\nvariance attribution (inter-die model, order 2)")
-    inter = build_stochastic_system(stamped, VariationSpec.paper_defaults())
-    result = run_opera_transient(inter, OperaConfig(transient=transient, order=2))
+    session.with_variation(VariationSpec.paper_defaults())
+    inter = session.system
+    result = session.run("opera", order=2).raw
     worst = result.worst_node()
     indices = transient_total_indices(
         result, worst, variable_names=inter.variable_names()

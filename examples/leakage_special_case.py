@@ -8,25 +8,23 @@ approaches the paper cites (which bound the variance), the expansion gives the
 moments exactly -- this script prints them and cross-checks against Monte
 Carlo.
 
+The prebuilt leakage system is injected into an :class:`repro.Analysis`
+session with ``with_system``, after which the ``decoupled`` and
+``montecarlo`` engines (and the comparison metrics) run as usual.
+
 Run with:  python examples/leakage_special_case.py [--regions 2] [--vth-sigma 0.03]
 """
 
 import argparse
 
-import numpy as np
-
 from repro import (
+    Analysis,
     GridSpec,
     LeakageVariationSpec,
-    MonteCarloConfig,
-    OperaConfig,
     RegionPartition,
-    TransientConfig,
     build_leakage_system,
     compare_to_monte_carlo,
     generate_power_grid,
-    run_monte_carlo_transient,
-    run_opera_transient,
     stamp,
 )
 
@@ -47,15 +45,18 @@ def main() -> None:
     )
     leakage_spec = LeakageVariationSpec(vth_sigma=args.vth_sigma)
     system = build_leakage_system(stamped, partition, leakage_spec)
+
+    session = Analysis.from_netlist(netlist, stamped=stamped).with_system(system)
+    session.with_transient(t_stop=3.0e-9, dt=0.2e-9)
     print(f"grid: {netlist.stats()}")
     print(
         f"leakage model: {partition.num_regions} regions, "
         f"lognormal sigma s = {leakage_spec.lognormal_sigma:.3f}"
     )
 
-    transient = TransientConfig(t_stop=3.0e-9, dt=0.2e-9)
-    opera_result = run_opera_transient(system, OperaConfig(transient=transient, order=3))
-    print(f"OPERA (decoupled special case) finished in {opera_result.wall_time:.2f} s")
+    opera_view = session.run("decoupled", order=3)
+    opera_result = opera_view.raw
+    print(f"OPERA (decoupled special case) finished in {opera_view.wall_time:.2f} s")
 
     worst = int(opera_result.worst_node())
     step = opera_result.peak_time_index(worst)
@@ -71,15 +72,12 @@ def main() -> None:
 
     print()
     print(f"running Monte Carlo ({args.samples} samples) for cross-check ...")
-    mc_result = run_monte_carlo_transient(
-        system,
-        MonteCarloConfig(transient=transient, num_samples=args.samples, seed=3, antithetic=True),
-    )
-    metrics = compare_to_monte_carlo(opera_result, mc_result)
+    mc_view = session.run("montecarlo", samples=args.samples, seed=3, antithetic=True)
+    metrics = compare_to_monte_carlo(opera_result, mc_view.raw)
     print(f"  {metrics}")
     print(
         f"  speed-up over this Monte Carlo: "
-        f"{mc_result.wall_time / opera_result.wall_time:.0f}x"
+        f"{mc_view.wall_time / opera_view.wall_time:.0f}x"
     )
 
 

@@ -1,34 +1,18 @@
 """OPERA versus Monte Carlo: regenerate one row of Table 1.
 
-The script builds a synthetic grid (size selectable), runs the order-2 OPERA
-analysis and a Monte Carlo sweep with the same time axis, and prints the
-accuracy / speed-up row in the layout of Table 1 of the paper, followed by
-the voltage-drop distribution comparison of Figure 1 at the worst node.
+The script builds a synthetic grid (size selectable) and calls
+:meth:`repro.Analysis.compare`, which runs the order-2 OPERA analysis and a
+Monte Carlo sweep with the same time axis and assembles the accuracy /
+speed-up row in the layout of Table 1 of the paper.  The comparison
+automatically records the worst node's Monte Carlo waveforms, so the
+voltage-drop distribution comparison of Figure 1 follows without a re-run.
 
 Run with:  python examples/opera_vs_montecarlo.py [--nodes 1500] [--samples 100]
 """
 
 import argparse
 
-from repro import (
-    MonteCarloConfig,
-    OperaConfig,
-    Table1Row,
-    TransientConfig,
-    VariationSpec,
-    ascii_histogram,
-    build_stochastic_system,
-    compare_to_monte_carlo,
-    drop_distribution_comparison,
-    format_table1,
-    generate_power_grid,
-    run_monte_carlo_transient,
-    run_opera_transient,
-    spec_for_node_count,
-    stamp,
-    three_sigma_spread_percent,
-    transient_analysis,
-)
+from repro import Analysis, ascii_histogram, drop_distribution_comparison
 
 
 def main() -> None:
@@ -38,50 +22,28 @@ def main() -> None:
     parser.add_argument("--order", type=int, default=2, help="chaos expansion order")
     args = parser.parse_args()
 
-    netlist = generate_power_grid(spec_for_node_count(args.nodes, seed=5))
-    stamped = stamp(netlist)
-    system = build_stochastic_system(stamped, VariationSpec.paper_defaults())
-    print(f"grid: {netlist.stats()}")
+    session = Analysis.from_spec(args.nodes, seed=5)
+    session.with_transient(t_stop=3.0e-9, dt=0.2e-9)
+    print(f"grid: {session.netlist.stats()}")
 
-    transient = TransientConfig(t_stop=3.0e-9, dt=0.2e-9)
-
-    print(f"running OPERA (order {args.order}) ...")
-    opera_result = run_opera_transient(
-        system, OperaConfig(transient=transient, order=args.order)
-    )
-    print(f"  done in {opera_result.wall_time:.2f} s")
-
-    worst = int(opera_result.worst_node())
-    print(f"running Monte Carlo ({args.samples} samples) ...")
-    mc_result = run_monte_carlo_transient(
-        system,
-        MonteCarloConfig(
-            transient=transient,
-            num_samples=args.samples,
-            seed=11,
-            antithetic=True,
-            store_nodes=(worst,),
-        ),
-    )
-    print(f"  done in {mc_result.wall_time:.2f} s")
-
-    metrics = compare_to_monte_carlo(opera_result, mc_result)
-    nominal = transient_analysis(stamped, transient)
-    spread = three_sigma_spread_percent(opera_result, nominal)
-    row = Table1Row.from_metrics(
+    print(f"running OPERA (order {args.order}) and Monte Carlo ({args.samples} samples) ...")
+    comparison = session.compare(
+        order=args.order,
+        samples=args.samples,
+        seed=11,
         name="example",
-        num_nodes=system.num_nodes,
-        metrics=metrics,
-        three_sigma_spread=spread,
-        monte_carlo_seconds=mc_result.wall_time,
-        opera_seconds=opera_result.wall_time,
     )
+    print(f"  OPERA {comparison.reference.wall_time:.2f} s, "
+          f"Monte Carlo {comparison.baseline.wall_time:.2f} s")
     print()
-    print(format_table1([row], title="Table 1 row for this grid"))
+    print(comparison.table(title="Table 1 row for this grid"))
 
+    worst = int(comparison.reference.raw.worst_node())
     print()
-    comparison = drop_distribution_comparison(opera_result, mc_result, node=worst)
-    print(ascii_histogram(comparison))
+    figure = drop_distribution_comparison(
+        comparison.reference.raw, comparison.baseline.raw, node=worst
+    )
+    print(ascii_histogram(figure))
 
 
 if __name__ == "__main__":

@@ -1,6 +1,7 @@
 """Quickstart: stochastic IR-drop analysis of a synthetic power grid.
 
-This is the 60-second tour of the library:
+This is the 60-second tour of the library, driven through the
+:class:`repro.Analysis` session facade:
 
 1. synthesise a two-layer power grid with functional-block loads,
 2. attach the paper's inter-die process variation model
@@ -11,38 +12,25 @@ This is the 60-second tour of the library:
 Run with:  python examples/quickstart.py
 """
 
-from repro import (
-    GridSpec,
-    OperaConfig,
-    TransientConfig,
-    VariationSpec,
-    build_stochastic_system,
-    generate_power_grid,
-    run_opera_transient,
-    stamp,
-    summarize,
-    transient_analysis,
-)
+from repro import Analysis, GridSpec, VariationSpec
 
 
 def main() -> None:
-    # 1. A small synthetic grid (use spec_for_node_count for bigger ones).
+    # 1. A small synthetic grid (Analysis.from_spec also accepts a node count).
     spec = GridSpec(nx=20, ny=20, num_layers=2, num_blocks=6, pad_spacing=2, seed=1)
-    netlist = generate_power_grid(spec)
-    print(f"generated grid: {netlist.stats()}")
+    session = Analysis.from_spec(spec, variation=VariationSpec.paper_defaults())
+    session.with_transient(t_stop=4.0e-9, dt=0.2e-9)
+    print(f"generated grid: {session.netlist.stats()}")
 
-    # 2. Stamp the MNA matrices and attach the paper's variation model.
-    stamped = stamp(netlist)
-    system = build_stochastic_system(stamped, VariationSpec.paper_defaults())
-    print(f"random variables: {system.variable_names()}")
+    # 2. The stamped MNA matrices and the stochastic system are built lazily.
+    print(f"random variables: {session.system.variable_names()}")
 
     # 3. OPERA stochastic transient analysis (order-2 Hermite chaos).
-    transient = TransientConfig(t_stop=4.0e-9, dt=0.2e-9)
-    result = run_opera_transient(system, OperaConfig(transient=transient, order=2))
+    result = session.run("opera", order=2)
 
-    # 4. Report: the paper's headline is the ~+/-35 % 3-sigma spread.
-    nominal = transient_analysis(stamped, transient)
-    report = summarize(result, nominal)
+    # 4. Report: the paper's headline is the ~+/-35 % 3-sigma spread.  The
+    #    nominal reference transient comes from the session cache.
+    report = session.summarize(result)
     print()
     print(report)
     print()

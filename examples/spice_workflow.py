@@ -4,9 +4,10 @@ Industrial flows exchange power grids as flat SPICE decks.  This example
 shows the interoperability path:
 
 1. synthesise a grid and write it as a SPICE-subset deck (R/C/I/V cards),
-2. read the deck back (as a sign-off tool would receive it),
-3. run the nominal IR-drop analysis and the OPERA stochastic analysis on the
-   re-imported netlist,
+2. read the deck back through ``Analysis.from_spice`` (as a sign-off tool
+   would receive it),
+3. run the nominal DC analysis and the OPERA stochastic analysis on the
+   re-imported netlist -- two engines, one session,
 4. show the equivalent ``opera-run`` command line.
 
 Run with:  python examples/spice_workflow.py [--keep deck.sp]
@@ -16,20 +17,7 @@ import argparse
 import os
 import tempfile
 
-from repro import (
-    GridSpec,
-    OperaConfig,
-    TransientConfig,
-    VariationSpec,
-    build_stochastic_system,
-    dc_operating_point,
-    generate_power_grid,
-    read_spice,
-    run_opera_transient,
-    stamp,
-    summarize,
-    write_spice,
-)
+from repro import Analysis, GridSpec, generate_power_grid, write_spice
 
 
 def main() -> None:
@@ -50,24 +38,22 @@ def main() -> None:
     print(f"wrote {original.stats()}")
     print(f"  -> {deck_path} ({os.path.getsize(deck_path) / 1024:.1f} KiB)")
 
-    # 2. re-import
-    imported = read_spice(deck_path, name="imported-grid")
-    print(f"re-imported: {imported.stats()}")
+    # 2. re-import into a fresh analysis session
+    session = Analysis.from_spice(deck_path)
+    session.with_transient(t_stop=3.0e-9, dt=0.2e-9)
+    print(f"re-imported: {session.netlist.stats()}")
 
-    # 3. nominal and stochastic analysis on the imported netlist
-    stamped = stamp(imported)
-    dc = dc_operating_point(stamped, t=0.3e-9)
+    # 3. nominal and stochastic analysis on the same session
+    dc = session.run("deterministic", mode="dc", t=0.3e-9)
+    worst = int(dc.raw.worst_node())
     print(
-        f"nominal DC worst drop: {1e3 * dc.worst_drop:.1f} mV at node "
-        f"{stamped.node_names[dc.worst_node()]}"
+        f"nominal DC worst drop: {1e3 * dc.raw.worst_drop:.1f} mV at node "
+        f"{session.stamped.node_names[worst]}"
     )
 
-    system = build_stochastic_system(stamped, VariationSpec.paper_defaults())
-    result = run_opera_transient(
-        system, OperaConfig(transient=TransientConfig(t_stop=3.0e-9, dt=0.2e-9), order=2)
-    )
+    result = session.run("opera", order=2)
     print()
-    print(summarize(result))
+    print(session.summarize(result))
 
     # 4. the same flow from the command line
     print()

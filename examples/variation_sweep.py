@@ -7,34 +7,31 @@ Two questions a power-grid designer asks of a tool like OPERA:
 * what expansion order do I need?  (order 2 is enough at realistic
   magnitudes; the sweep shows how the order-1/2/3 sigmas converge).
 
+Both sweeps run on a single :class:`repro.Analysis` session:
+``with_variation`` swaps the variation model in place, and the order sweep
+reuses the session's cached chaos bases and factorisations.
+
 Run with:  python examples/variation_sweep.py
 """
 
 import numpy as np
 
 from repro import (
+    Analysis,
     GridSpec,
-    OperaConfig,
-    TransientConfig,
     VariationSpec,
-    build_stochastic_system,
-    generate_power_grid,
-    run_opera_transient,
-    stamp,
     three_sigma_spread_percent,
-    transient_analysis,
 )
 
 
 def main() -> None:
     spec = GridSpec(nx=16, ny=16, num_layers=2, num_blocks=6, pad_spacing=2, seed=21)
-    netlist = generate_power_grid(spec)
-    stamped = stamp(netlist)
-    transient = TransientConfig(t_stop=3.0e-9, dt=0.2e-9)
-    nominal = transient_analysis(stamped, transient)
-    print(f"grid: {netlist.stats()}")
+    session = Analysis.from_spec(spec)
+    session.with_transient(t_stop=3.0e-9, dt=0.2e-9)
+    nominal = session.nominal_transient()
+    print(f"grid: {session.netlist.stats()}")
     print(f"nominal worst drop: {1e3 * nominal.worst_drop():.1f} mV "
-          f"({100 * nominal.worst_drop() / stamped.vdd:.1f}% of VDD)")
+          f"({100 * nominal.worst_drop() / session.vdd:.1f}% of VDD)")
 
     # --- sweep 1: variation magnitude --------------------------------------
     print("\nsweep 1: 3-sigma variation magnitude (W/T/Leff scaled together)")
@@ -45,23 +42,23 @@ def main() -> None:
             sigma_t=scale * 0.15 / 3.0,
             sigma_l=scale * 0.20 / 3.0,
         )
-        system = build_stochastic_system(stamped, variation)
-        result = run_opera_transient(system, OperaConfig(transient=transient, order=2))
-        spread = three_sigma_spread_percent(result, nominal)
+        session.with_variation(variation)
+        result = session.run("opera", order=2)
+        spread = three_sigma_spread_percent(result.raw, nominal)
         print(
             f"  {scale:5.2f}   {100 * 3 * variation.sigma_w:9.1f}   "
             f"{100 * 3 * variation.sigma_l:9.1f}   {spread:27.1f}   "
-            f"{1e3 * result.std_drop.max():15.3f}"
+            f"{1e3 * result.raw.std_drop.max():15.3f}"
         )
 
     # --- sweep 2: expansion order -------------------------------------------
     print("\nsweep 2: expansion order (paper default variation)")
-    system = build_stochastic_system(stamped, VariationSpec.paper_defaults())
-    reference = run_opera_transient(system, OperaConfig(transient=transient, order=4))
+    session.with_variation(VariationSpec.paper_defaults())
+    reference = session.run("opera", order=4).raw
     hot = reference.std_drop > 0.25 * reference.std_drop.max()
     print("  order   terms   wall time (s)   avg |sigma error| vs order-4 (%)")
     for order in (1, 2, 3):
-        result = run_opera_transient(system, OperaConfig(transient=transient, order=order))
+        result = session.run("opera", order=order).raw
         error = 100 * np.mean(
             np.abs(result.std_drop - reference.std_drop)[hot] / reference.std_drop[hot]
         )

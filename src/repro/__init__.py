@@ -15,9 +15,35 @@ Variations" (Ghanta, Vrudhula, Panda, Wang -- DATE 2005).  It contains:
 * :mod:`repro.montecarlo` -- the Monte Carlo reference;
 * :mod:`repro.analysis` -- accuracy metrics, Table-1 assembly and the
   Figure-1/2 distribution comparisons;
-* :mod:`repro.mor` -- PRIMA-style model order reduction (extension).
+* :mod:`repro.mor` -- PRIMA-style model order reduction (extension);
+* :mod:`repro.api` -- the unified :class:`~repro.api.Analysis` session
+  facade, the engine/solver registries and the shared result protocol.
 
-Quick start::
+Quick start -- the :class:`~repro.api.Analysis` facade is the recommended
+entry point.  A session owns the grid, the variation model and a cache of
+expensive intermediates (chaos bases, factorisations, Galerkin assemblies),
+so repeated runs reuse work::
+
+    from repro import Analysis, GridSpec
+
+    session = Analysis.from_spec(GridSpec(nx=30, ny=30, seed=1))
+    session.with_transient(t_stop=8e-9, dt=0.2e-9)
+
+    opera = session.run("opera", order=2)          # chaos expansion
+    mc = session.run("montecarlo", samples=200)    # sampling reference
+    print(session.summarize(opera))                # worst node, 3-sigma spread
+    print(session.compare(samples=200))            # Table-1 accuracy/speed-up row
+
+Every engine (``opera``, ``decoupled``, ``montecarlo``, ``deterministic``,
+``randomwalk``, plus anything added with :func:`~repro.api.register_engine`)
+returns an :class:`~repro.api.AnalysisResult`: uniform ``mean()``, ``std()``,
+``worst_drop()``, ``wall_time`` and ``to_dict()``, with the engine-native
+result reachable as ``result.raw``.  Linear-solver backends are pluggable the
+same way through :func:`~repro.api.register_solver`.
+
+The underlying free functions (``run_opera_transient``,
+``run_monte_carlo_transient``, ``transient_analysis``, ...) remain available
+for fine-grained control and backwards compatibility::
 
     from repro import (
         GridSpec, generate_power_grid, stamp,
@@ -28,10 +54,21 @@ Quick start::
     netlist = generate_power_grid(GridSpec(nx=30, ny=30, seed=1))
     system = build_stochastic_system(stamp(netlist), VariationSpec.paper_defaults())
     config = OperaConfig(transient=TransientConfig(t_stop=8e-9, dt=0.2e-9), order=2)
-    result = run_opera_transient(system, config)
-    print(summarize(result))
+    print(summarize(run_opera_transient(system, config)))
 """
 
+from .api import (
+    Analysis,
+    AnalysisResult,
+    ComparisonResult,
+    compare,
+    engine_names,
+    register_engine,
+    register_solver,
+    solver_names,
+    unregister_engine,
+    unregister_solver,
+)
 from .analysis import (
     AccuracyMetrics,
     SobolIndices,
@@ -94,6 +131,16 @@ from .waveforms import ClockedActivity, Constant, PeriodicPulse, PiecewiseLinear
 __version__ = "0.1.0"
 
 __all__ = [
+    "Analysis",
+    "AnalysisResult",
+    "ComparisonResult",
+    "compare",
+    "engine_names",
+    "register_engine",
+    "register_solver",
+    "solver_names",
+    "unregister_engine",
+    "unregister_solver",
     "AccuracyMetrics",
     "Table1Row",
     "ascii_histogram",

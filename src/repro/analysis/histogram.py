@@ -10,7 +10,7 @@ ASCII chart for terminal inspection.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Optional
 
 import numpy as np
 

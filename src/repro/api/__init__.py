@@ -1,0 +1,51 @@
+"""Unified analysis facade: sessions, engine registry, result protocol.
+
+This package is the recommended entry point of the library::
+
+    from repro.api import Analysis
+
+    session = Analysis.from_spec(GridSpec(nx=20, ny=20, seed=1))
+    result = session.run("opera", order=2)        # -> AnalysisResult
+    print(session.compare(samples=200))           # Table-1 style row
+
+See :class:`Analysis` for session construction and caching,
+:func:`register_engine` / :func:`register_solver` for adding backends, and
+:class:`AnalysisResult` for the uniform result protocol.
+"""
+
+from ..sim.linear import (
+    register_solver,
+    solver_names,
+    unregister_solver,
+)
+from .compare import ComparisonResult, compare
+from .engines import engine_names, get_engine, register_engine, unregister_engine
+from .result import (
+    AnalysisResult,
+    DeterministicResultView,
+    EngineResult,
+    MonteCarloResultView,
+    RandomWalkResultView,
+    StochasticResultView,
+)
+from .session import DEFAULT_TRANSIENT, Analysis
+
+__all__ = [
+    "Analysis",
+    "DEFAULT_TRANSIENT",
+    "AnalysisResult",
+    "EngineResult",
+    "StochasticResultView",
+    "MonteCarloResultView",
+    "DeterministicResultView",
+    "RandomWalkResultView",
+    "ComparisonResult",
+    "compare",
+    "register_engine",
+    "unregister_engine",
+    "engine_names",
+    "get_engine",
+    "register_solver",
+    "unregister_solver",
+    "solver_names",
+]

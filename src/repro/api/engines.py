@@ -1,0 +1,304 @@
+"""The analysis-engine registry and the five built-in engines.
+
+An *engine* is a callable ``engine(session, mode=None, **options)`` that runs
+one kind of analysis on an :class:`~repro.api.session.Analysis` session and
+returns an object satisfying the :class:`~repro.api.result.AnalysisResult`
+protocol.  Engines are looked up by name through
+:meth:`Analysis.run(engine=...) <repro.api.session.Analysis.run>`, and new
+backends plug in with a decorator::
+
+    @register_engine("my-sampler")
+    def run_my_sampler(session, mode=None, **options):
+        ...
+
+Built-ins:
+
+``opera``
+    The paper's stochastic Galerkin method (transient or DC), automatically
+    using the decoupled special case when only the excitation varies.
+``decoupled``
+    The Section-5.1 special case explicitly (errors on matrix variation).
+``montecarlo``
+    The sampling reference (transient or DC).
+``deterministic``
+    A single nominal run with every germ at zero (transient or DC).
+``randomwalk``
+    Localised single-node DC estimates via random walks (DC only).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Optional
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..montecarlo.engine import (
+    MonteCarloConfig,
+    run_monte_carlo_dc,
+    run_monte_carlo_transient,
+)
+from ..opera.config import OperaConfig
+from ..opera.engine import run_opera_dc, run_opera_transient
+from ..opera.special_case import run_decoupled_transient
+from ..registry import Registry
+from ..sim.dc import dc_operating_point
+from ..sim.randomwalk import RandomWalkSolver
+from ..sim.transient import TransientConfig
+from .result import (
+    DeterministicResultView,
+    MonteCarloResultView,
+    RandomWalkResultView,
+    StochasticResultView,
+)
+
+__all__ = [
+    "register_engine",
+    "unregister_engine",
+    "engine_names",
+    "get_engine",
+]
+
+_ENGINES = Registry("engine", AnalysisError)
+
+
+def register_engine(name: str, runner=None, *, overwrite: bool = False):
+    """Register an engine ``runner(session, mode=None, **options)``.
+
+    Usable directly or as a decorator; registered names become valid
+    arguments to :meth:`Analysis.run` and the CLI ``--engine`` flag.
+    """
+    return _ENGINES.register(name, runner, overwrite=overwrite)
+
+
+def unregister_engine(name: str) -> None:
+    """Remove a registered engine."""
+    _ENGINES.unregister(name)
+
+
+def engine_names() -> tuple:
+    """Names of all registered engines, sorted."""
+    return _ENGINES.names()
+
+
+def get_engine(name: str):
+    """Resolve an engine name (raises :class:`AnalysisError` with a listing)."""
+    return _ENGINES.get(name)
+
+
+# ---------------------------------------------------------------------------
+# Shared option handling
+# ---------------------------------------------------------------------------
+_TRANSIENT_OVERRIDES = ("t_stop", "dt", "t_start", "method")
+
+
+def _resolve_transient(session, options: dict) -> TransientConfig:
+    """Pop time-axis options and merge them over the session default."""
+    base = options.pop("transient", None)
+    if base is None:
+        base = session.transient
+    overrides = {
+        key: options.pop(key) for key in _TRANSIENT_OVERRIDES if key in options
+    }
+    if overrides:
+        base = dataclasses.replace(base, **overrides)
+    return base
+
+
+def _reject_unknown(options: dict, engine: str, mode: str) -> None:
+    if options:
+        unknown = ", ".join(sorted(options))
+        raise AnalysisError(
+            f"unknown option(s) for engine {engine!r} (mode {mode!r}): {unknown}"
+        )
+
+
+def _check_mode(engine: str, mode: str, supported: tuple) -> None:
+    if mode not in supported:
+        raise AnalysisError(
+            f"engine {engine!r} supports mode(s) {', '.join(map(repr, supported))}; "
+            f"got {mode!r}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Built-in engines
+# ---------------------------------------------------------------------------
+@register_engine("opera")
+def _run_opera_engine(session, mode: Optional[str] = None, **options):
+    """Stochastic Galerkin analysis (chaos expansion of the response)."""
+    mode = mode or "transient"
+    _check_mode("opera", mode, ("transient", "dc"))
+    order = int(options.pop("order", 2))
+    solver = options.pop("solver", None)
+    system = session.system
+    basis = session.basis(order)
+
+    if mode == "dc":
+        t = float(options.pop("t", 0.0))
+        _reject_unknown(options, "opera", mode)
+        started = time.perf_counter()
+        field = run_opera_dc(
+            system,
+            order=order,
+            t=t,
+            solver=solver or "direct",
+            basis=basis,
+            solver_factory=session.solver,
+        )
+        elapsed = time.perf_counter() - started
+        return StochasticResultView("opera", "dc", field, system.vdd, wall_time=elapsed)
+
+    transient = _resolve_transient(session, options)
+    config = OperaConfig(
+        transient=transient,
+        order=order,
+        solver=solver,
+        store_coefficients=bool(options.pop("store_coefficients", True)),
+        force_coupled=bool(options.pop("force_coupled", False)),
+    )
+    _reject_unknown(options, "opera", mode)
+    galerkin = None
+    if system.has_matrix_variation or config.force_coupled:
+        galerkin = session.galerkin(order)
+    result = run_opera_transient(
+        system, config, basis=basis, solver_factory=session.solver, galerkin=galerkin
+    )
+    view = StochasticResultView("opera", "transient", result, system.vdd)
+    view.transient = transient
+    return view
+
+
+@register_engine("decoupled")
+def _run_decoupled_engine(session, mode: Optional[str] = None, **options):
+    """Section-5.1 decoupled special case (RHS-only variation, explicit)."""
+    mode = mode or "transient"
+    _check_mode("decoupled", mode, ("transient",))
+    order = int(options.pop("order", 2))
+    solver = options.pop("solver", None)
+    transient = _resolve_transient(session, options)
+    config = OperaConfig(
+        transient=transient,
+        order=order,
+        solver=solver,
+        store_coefficients=bool(options.pop("store_coefficients", True)),
+    )
+    _reject_unknown(options, "decoupled", mode)
+    system = session.system
+    result = run_decoupled_transient(
+        system, config, basis=session.basis(order), solver_factory=session.solver
+    )
+    view = StochasticResultView("decoupled", "transient", result, system.vdd)
+    view.transient = transient
+    return view
+
+
+@register_engine("montecarlo")
+def _run_montecarlo_engine(session, mode: Optional[str] = None, **options):
+    """Monte Carlo reference (full deterministic run per germ sample)."""
+    mode = mode or "transient"
+    _check_mode("montecarlo", mode, ("transient", "dc"))
+    samples = options.pop("samples", None)
+    if samples is None:
+        samples = options.pop("num_samples", 200)
+    samples = int(samples)
+    seed = int(options.pop("seed", 0))
+    solver = options.pop("solver", None) or "direct"
+    system = session.system
+
+    if mode == "dc":
+        t = float(options.pop("t", 0.0))
+        _reject_unknown(options, "montecarlo", mode)
+        result = run_monte_carlo_dc(
+            system, num_samples=samples, t=t, seed=seed, solver=solver
+        )
+        return MonteCarloResultView("montecarlo", "dc", result, system.vdd)
+
+    transient = _resolve_transient(session, options)
+    config = MonteCarloConfig(
+        transient=transient,
+        num_samples=samples,
+        seed=seed,
+        antithetic=bool(options.pop("antithetic", False)),
+        store_nodes=tuple(options.pop("store_nodes", ())),
+        solver=solver,
+    )
+    _reject_unknown(options, "montecarlo", mode)
+    result = run_monte_carlo_transient(system, config)
+    view = MonteCarloResultView("montecarlo", "transient", result, system.vdd)
+    view.transient = transient
+    return view
+
+
+@register_engine("deterministic")
+def _run_deterministic_engine(session, mode: Optional[str] = None, **options):
+    """Nominal analysis with every germ at zero (no variation)."""
+    mode = mode or "transient"
+    _check_mode("deterministic", mode, ("transient", "dc"))
+    solver = options.pop("solver", None)
+
+    if mode == "dc":
+        t = float(options.pop("t", 0.0))
+        _reject_unknown(options, "deterministic", mode)
+        started = time.perf_counter()
+        result = dc_operating_point(session.stamped, t=t, solver=solver or "direct")
+        elapsed = time.perf_counter() - started
+        return DeterministicResultView(
+            "deterministic", "dc", result, session.stamped.vdd, wall_time=elapsed
+        )
+
+    transient = _resolve_transient(session, options)
+    if solver is not None and solver != transient.solver:
+        transient = dataclasses.replace(transient, solver=solver)
+    _reject_unknown(options, "deterministic", mode)
+    started = time.perf_counter()
+    result = session.nominal_transient(transient)
+    elapsed = time.perf_counter() - started
+    view = DeterministicResultView(
+        "deterministic", "transient", result, result.vdd, wall_time=elapsed
+    )
+    view.transient = transient
+    return view
+
+
+@register_engine("randomwalk")
+def _run_randomwalk_engine(session, mode: Optional[str] = None, **options):
+    """Localised DC voltage estimates via random walks (Qian et al., DAC'03).
+
+    Options: ``nodes`` (index, sequence of indices, or ``None`` for the node
+    with the largest drain current), ``num_walks``, ``seed``, ``t`` and
+    ``max_walk_length``.
+    """
+    mode = mode or "dc"
+    _check_mode("randomwalk", mode, ("dc",))
+    t = float(options.pop("t", 0.0))
+    nodes = options.pop("nodes", None)
+    num_walks = int(options.pop("num_walks", 400))
+    seed = options.pop("seed", 0)
+    max_walk_length = int(options.pop("max_walk_length", 100000))
+    _reject_unknown(options, "randomwalk", mode)
+
+    stamped = session.stamped
+    if nodes is None:
+        nodes = (int(np.argmax(stamped.drain_current_vector(t))),)
+    elif isinstance(nodes, (int, np.integer)):
+        nodes = (int(nodes),)
+    else:
+        nodes = tuple(int(node) for node in nodes)
+
+    started = time.perf_counter()
+    walker = RandomWalkSolver(
+        stamped, t=t, max_walk_length=max_walk_length, seed=seed
+    )
+    estimates = tuple(walker.estimate(node, num_walks=num_walks) for node in nodes)
+    elapsed = time.perf_counter() - started
+    return RandomWalkResultView(
+        "randomwalk",
+        "dc",
+        estimates,
+        stamped.vdd,
+        wall_time=elapsed,
+        nodes=nodes,
+    )

@@ -16,13 +16,12 @@ with Gauss quadrature of sufficient order (the integrands are polynomials).
 
 from __future__ import annotations
 
-from math import factorial, lgamma
+from math import lgamma
 from typing import Union
 
 import numpy as np
 
 from ..errors import BasisError
-from .quadrature import gauss_jacobi_rule, gauss_laguerre_rule, gauss_legendre_rule
 
 __all__ = [
     "legendre_value",

@@ -32,7 +32,7 @@ from .askey import (
     legendre_value,
 )
 from .hermite import hermite_norm_squared, hermite_triple_product, hermite_value
-from .multiindex import MultiIndex, multi_index_count, total_degree_multi_indices
+from .multiindex import MultiIndex, total_degree_multi_indices
 from .quadrature import (
     gauss_hermite_rule,
     gauss_jacobi_rule,

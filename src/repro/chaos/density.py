@@ -10,8 +10,7 @@ by the Figure 1 / Figure 2 reproductions.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 

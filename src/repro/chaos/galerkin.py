@@ -21,7 +21,7 @@ sparsity of the grid matrices is preserved exactly.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Mapping, Optional
+from typing import Callable, Mapping
 
 import numpy as np
 import scipy.sparse as sp

@@ -14,7 +14,7 @@ with tensor-product Gauss quadrature.
 from __future__ import annotations
 
 import math
-from typing import Callable, Union
+from typing import Callable
 
 import numpy as np
 

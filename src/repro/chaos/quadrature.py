@@ -9,7 +9,7 @@ excitations onto the chaos basis.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 from scipy import special as sps

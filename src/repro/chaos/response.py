@@ -14,7 +14,7 @@ microseconds instead of a grid solve per sample.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 

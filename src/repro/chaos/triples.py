@@ -11,9 +11,8 @@ Kronecker products ``sum_m kron(T_m, A_m)``.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping
+from typing import Dict, Iterable
 
-import numpy as np
 import scipy.sparse as sp
 
 from ..errors import BasisError

@@ -6,12 +6,18 @@ Three sub-commands cover the typical flow of the tool:
     Synthesise a power grid and write it as a SPICE-subset deck.
 
 ``opera-run analyze``
-    Run the OPERA stochastic transient analysis on a SPICE deck (or a
-    freshly generated grid) and print the variation report.
+    Run a stochastic analysis on a SPICE deck (or a freshly generated grid)
+    and print the variation report.  ``--engine`` selects any registered
+    analysis engine (``opera``, ``decoupled``, ``montecarlo``, ...) and
+    ``--solver`` any registered linear-solver backend.
 
 ``opera-run compare``
-    Run OPERA and the Monte Carlo reference on the same grid and print the
-    Table-1 style accuracy/speed-up row.
+    Run the stochastic engine and the Monte Carlo reference on the same grid
+    and print the Table-1 style accuracy/speed-up row.
+
+All analysis work is routed through the :class:`repro.api.Analysis` session
+facade, so the sub-commands are thin argument adapters; unknown engine or
+solver names produce the registry's listing of valid choices.
 """
 
 from __future__ import annotations
@@ -20,12 +26,12 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from .analysis import Table1Row, compare_to_monte_carlo, format_table1, three_sigma_spread_percent
-from .grid import GridSpec, generate_power_grid, read_spice, spec_for_node_count, stamp, write_spice
-from .montecarlo import MonteCarloConfig, run_monte_carlo_transient
-from .opera import OperaConfig, run_opera_transient, summarize
-from .sim import TransientConfig, transient_analysis
-from .variation import VariationSpec, build_stochastic_system
+from .api import Analysis, engine_names, get_engine, solver_names
+from .errors import ReproError
+from .grid import generate_power_grid, spec_for_node_count, write_spice
+from .sim import TransientConfig
+from .sim.linear import solver_factory
+from .variation import VariationSpec
 
 __all__ = ["main", "build_parser"]
 
@@ -54,9 +60,20 @@ def build_parser() -> argparse.ArgumentParser:
             help="generate a synthetic grid with roughly this many nodes",
         )
         sub.add_argument("--seed", type=int, default=0, help="synthetic grid seed")
-        sub.add_argument("--order", type=int, default=2, help="chaos expansion order")
+        sub.add_argument(
+            "--order",
+            type=int,
+            default=None,
+            help="chaos expansion order (engine default: 2)",
+        )
         sub.add_argument("--t-stop", type=float, default=8e-9, help="transient horizon (s)")
         sub.add_argument("--dt", type=float, default=0.2e-9, help="transient step (s)")
+        sub.add_argument(
+            "--solver",
+            default=None,
+            metavar="NAME",
+            help=f"linear solver backend (registered: {', '.join(solver_names())})",
+        )
         sub.add_argument(
             "--three-sigma",
             nargs=3,
@@ -66,8 +83,20 @@ def build_parser() -> argparse.ArgumentParser:
             help="3-sigma variation percentages for W, T and Leff",
         )
 
-    analyze = subparsers.add_parser("analyze", help="run the OPERA stochastic analysis")
+    analyze = subparsers.add_parser("analyze", help="run a stochastic analysis")
     add_analysis_arguments(analyze)
+    analyze.add_argument(
+        "--engine",
+        default="opera",
+        metavar="NAME",
+        help=f"analysis engine (registered: {', '.join(engine_names())})",
+    )
+    analyze.add_argument(
+        "--samples",
+        type=int,
+        default=None,
+        help="sample count for the montecarlo engine (engine default: 200)",
+    )
 
     compare = subparsers.add_parser("compare", help="compare OPERA against Monte Carlo")
     add_analysis_arguments(compare)
@@ -76,19 +105,27 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_grid(args: argparse.Namespace):
-    if getattr(args, "spice", None):
-        return read_spice(args.spice)
-    spec = spec_for_node_count(args.synthetic_nodes, seed=args.seed)
-    return generate_power_grid(spec)
-
-
-def _build_system(args: argparse.Namespace):
-    netlist = _load_grid(args)
-    stamped = stamp(netlist)
+def _build_session(args: argparse.Namespace) -> Analysis:
+    """An :class:`Analysis` session from the common sub-command arguments."""
     w, t, l = args.three_sigma
-    spec = VariationSpec.from_three_sigma_percent(w=w, t=t, l=l)
-    return stamped, build_stochastic_system(stamped, spec)
+    variation = VariationSpec.from_three_sigma_percent(w=w, t=t, l=l)
+    transient = TransientConfig(t_stop=args.t_stop, dt=args.dt)
+    if getattr(args, "spice", None):
+        return Analysis.from_spice(args.spice, variation=variation, transient=transient)
+    spec = spec_for_node_count(args.synthetic_nodes, seed=args.seed)
+    return Analysis.from_spec(spec, variation=variation, transient=transient)
+
+
+def _check_names(args: argparse.Namespace) -> None:
+    """Fail fast on unknown engine/solver names, before any expensive setup.
+
+    Both registries are consulted through their own (case-normalising)
+    lookups, so the CLI accepts exactly what the library accepts.
+    """
+    if args.solver is not None:
+        solver_factory(args.solver)  # raises SolverError with a listing
+    if getattr(args, "engine", None) is not None:
+        get_engine(args.engine)  # raises AnalysisError with a listing
 
 
 def _command_generate(args: argparse.Namespace) -> int:
@@ -102,36 +139,45 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 
 def _command_analyze(args: argparse.Namespace) -> int:
-    stamped, system = _build_system(args)
-    transient = TransientConfig(t_stop=args.t_stop, dt=args.dt)
-    config = OperaConfig(transient=transient, order=args.order)
-    result = run_opera_transient(system, config)
-    nominal = transient_analysis(stamped, transient)
-    print(summarize(result, nominal))
+    _check_names(args)
+    session = _build_session(args)
+    # Only user-supplied options are forwarded, so every registered engine
+    # works with its own defaults, and an engine that does not understand an
+    # explicit option rejects it with a clear AnalysisError instead of the
+    # CLI silently dropping it.
+    options = {}
+    if args.solver is not None:
+        options["solver"] = args.solver
+    if args.order is not None:
+        options["order"] = args.order
+    if args.samples is not None:
+        options["samples"] = args.samples
+    result = session.run(args.engine, **options)
+
+    if hasattr(result.raw, "basis"):
+        # Chaos-expansion engines get the full designer-facing report.
+        print(session.summarize(result))
+    else:
+        summary = result.to_dict()
+        print(f"engine {result.engine} ({result.mode} mode)")
+        for key, value in summary.items():
+            if key in ("engine", "mode"):
+                continue
+            print(f"  {key:12s}: {value}")
     return 0
 
 
 def _command_compare(args: argparse.Namespace) -> int:
-    stamped, system = _build_system(args)
-    transient = TransientConfig(t_stop=args.t_stop, dt=args.dt)
-    opera_result = run_opera_transient(
-        system, OperaConfig(transient=transient, order=args.order)
+    _check_names(args)
+    session = _build_session(args)
+    solver_options = {"solver": args.solver} if args.solver is not None else {}
+    comparison = session.compare(
+        order=args.order if args.order is not None else 2,
+        samples=args.samples if args.samples is not None else 200,
+        reference_options=solver_options,
+        baseline_options=solver_options,
     )
-    monte_carlo = run_monte_carlo_transient(
-        system, MonteCarloConfig(transient=transient, num_samples=args.samples)
-    )
-    metrics = compare_to_monte_carlo(opera_result, monte_carlo)
-    nominal = transient_analysis(stamped, transient)
-    spread = three_sigma_spread_percent(opera_result, nominal)
-    row = Table1Row.from_metrics(
-        name="cli",
-        num_nodes=system.num_nodes,
-        metrics=metrics,
-        three_sigma_spread=spread,
-        monte_carlo_seconds=monte_carlo.wall_time or 0.0,
-        opera_seconds=opera_result.wall_time or 0.0,
-    )
-    print(format_table1([row], title="OPERA vs Monte Carlo"))
+    print(comparison.table(title="OPERA vs Monte Carlo"))
     return 0
 
 
@@ -144,7 +190,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "analyze": _command_analyze,
         "compare": _command_compare,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"opera-run: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

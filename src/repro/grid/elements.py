@@ -14,7 +14,7 @@ the stamping and simulation layers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..errors import NetlistError

@@ -18,20 +18,14 @@ IR drop is a requested fraction of VDD (the paper keeps it below 10 %).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 import numpy as np
 import scipy.sparse.linalg as spla
 
 from ..errors import NetlistError
-from .blocks import (
-    BlockCurrentConfig,
-    FunctionalBlock,
-    block_leakage_waveform,
-    block_waveform,
-    place_blocks,
-)
+from .blocks import BlockCurrentConfig, block_leakage_waveform, block_waveform, place_blocks
 from .elements import ResistorKind
 from .netlist import PowerGridNetlist
 from .stamping import stamp

@@ -9,7 +9,7 @@ no numerics; matrix assembly lives in :mod:`repro.grid.stamping`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..errors import NetlistError
 from ..waveforms import Waveform, as_waveform

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import os
 import re
-from typing import Dict, Iterable, List, Optional, TextIO, Tuple, Union
+from typing import Dict, Iterable, List, TextIO, Tuple, Union
 
 import numpy as np
 

@@ -11,7 +11,7 @@ a few selected nodes (used for the distribution plots of Figures 1-2).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np

@@ -9,7 +9,7 @@ variance-reduction option for symmetric germ densities.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Sequence
+from typing import Optional
 
 import numpy as np
 

@@ -19,7 +19,7 @@ first ``q`` block moments of the original transfer function.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable
 
 import numpy as np
 import scipy.sparse as sp

@@ -20,8 +20,9 @@ Section 5.1, which reuses a single factorisation of the nominal matrix.
 
 from __future__ import annotations
 
+import dataclasses
 import time
-from typing import Dict, Mapping, Optional
+from typing import Callable, Dict, Mapping, Optional
 
 import numpy as np
 import scipy.sparse as sp
@@ -29,7 +30,6 @@ import scipy.sparse as sp
 from ..chaos.basis import PolynomialChaosBasis
 from ..chaos.galerkin import GalerkinSystem, assemble_augmented_matrix, assemble_augmented_rhs
 from ..chaos.response import StochasticField, StochasticTransientResult
-from ..errors import AnalysisError
 from ..sim.linear import make_solver
 from ..sim.transient import run_transient
 from ..variation.model import StochasticSystem
@@ -88,16 +88,20 @@ def run_opera_dc(
     order: int = 2,
     t: float = 0.0,
     solver: str = "direct",
+    basis: Optional[PolynomialChaosBasis] = None,
+    solver_factory: Optional[Callable] = None,
 ) -> StochasticField:
     """Stochastic DC analysis: chaos expansion of the steady-state voltages."""
-    basis = build_basis(system, order)
+    if basis is None:
+        basis = build_basis(system, order)
+    factory = solver_factory if solver_factory is not None else make_solver
     augmented_conductance = assemble_augmented_matrix(
         basis, _matrix_coefficients(basis, system.g_nominal, system.g_sensitivities)
     )
     rhs = assemble_augmented_rhs(
         basis, system.excitation.pc_coefficients(basis, t), system.num_nodes
     )
-    solution = make_solver(augmented_conductance, method=solver).solve(rhs)
+    solution = factory(augmented_conductance, method=solver).solve(rhs)
     coefficients = solution.reshape(basis.size, system.num_nodes)
     return StochasticField(
         basis, coefficients, vdd=system.vdd, node_names=system.node_names
@@ -105,20 +109,30 @@ def run_opera_dc(
 
 
 def run_opera_transient(
-    system: StochasticSystem, config: OperaConfig
+    system: StochasticSystem,
+    config: OperaConfig,
+    basis: Optional[PolynomialChaosBasis] = None,
+    solver_factory: Optional[Callable] = None,
+    galerkin: Optional[GalerkinSystem] = None,
 ) -> StochasticTransientResult:
     """Stochastic transient analysis of a power grid (the OPERA method).
 
     Returns the chaos coefficients of every node voltage at every time point
     (or mean/variance only, when ``config.store_coefficients`` is false).
+    ``basis``, ``solver_factory`` and ``galerkin`` let a caching caller (the
+    :class:`repro.api.Analysis` facade) supply precomputed intermediates.
     """
-    basis = build_basis(system, config.order)
+    if basis is None:
+        basis = build_basis(system, config.order)
 
     if not system.has_matrix_variation and not config.force_coupled:
-        return run_decoupled_transient(system, config, basis=basis)
+        return run_decoupled_transient(
+            system, config, basis=basis, solver_factory=solver_factory
+        )
 
     started = time.perf_counter()
-    galerkin = build_galerkin_system(system, basis)
+    if galerkin is None:
+        galerkin = build_galerkin_system(system, basis)
     times = config.transient.times()
     num_nodes = system.num_nodes
 
@@ -140,13 +154,7 @@ def run_opera_transient(
 
     transient = config.transient
     if config.solver is not None and config.solver != transient.solver:
-        transient = type(transient)(
-            t_stop=transient.t_stop,
-            dt=transient.dt,
-            t_start=transient.t_start,
-            method=transient.method,
-            solver=config.solver,
-        )
+        transient = dataclasses.replace(transient, solver=config.solver)
 
     run_transient(
         galerkin.conductance,
@@ -156,6 +164,7 @@ def run_opera_transient(
         vdd=system.vdd,
         callback=collect,
         store=False,
+        solver_factory=solver_factory,
     )
     elapsed = time.perf_counter() - started
 

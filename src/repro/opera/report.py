@@ -9,7 +9,7 @@ about +/-35 % of the nominal drop, making variation-aware sign-off necessary.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 

@@ -16,7 +16,7 @@ makes this special case almost as cheap as a single nominal simulation.
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
@@ -34,11 +34,14 @@ def run_decoupled_transient(
     system: StochasticSystem,
     config: OperaConfig,
     basis: Optional[PolynomialChaosBasis] = None,
+    solver_factory: Optional[Callable] = None,
 ) -> StochasticTransientResult:
     """Stochastic transient analysis with deterministic G and C.
 
     Raises :class:`AnalysisError` if the system actually has matrix
-    variation; use the general engine in that case.
+    variation; use the general engine in that case.  ``solver_factory``
+    optionally supplies (possibly cached) linear solvers in place of
+    :func:`~repro.sim.linear.make_solver`.
     """
     if system.has_matrix_variation:
         raise AnalysisError(
@@ -67,9 +70,10 @@ def run_decoupled_transient(
     else:  # trapezoidal
         lhs = conductance + 2.0 * scaled_capacitance
 
+    factory = solver_factory if solver_factory is not None else make_solver
     solver_name = config.effective_solver
-    dc_solver = make_solver(conductance, method=solver_name)
-    step_solver = make_solver(lhs, method=solver_name)
+    dc_solver = factory(conductance, method=solver_name)
+    step_solver = factory(lhs, method=solver_name)
 
     # The set of active chaos coefficients is fixed by the excitation structure.
     initial_coefficients = system.excitation.pc_coefficients(basis, float(times[0]))

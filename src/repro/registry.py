@@ -1,0 +1,110 @@
+"""A small named-factory registry shared by the solver and engine layers.
+
+Both pluggable backends of the library -- linear solvers
+(:mod:`repro.sim.linear`) and analysis engines (:mod:`repro.api.engines`) --
+follow the same pattern: a string name maps to a factory/runner callable, the
+built-ins are registered at import time, and user code can add its own
+entries with a decorator::
+
+    @register_solver("my-solver")
+    def build_my_solver(matrix, **options):
+        ...
+
+Lookups of unknown names raise the registry's error class with a message
+listing every registered name, so typos fail with an actionable hint instead
+of a bare ``KeyError``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional, Tuple, Type
+
+__all__ = ["Registry"]
+
+
+class Registry:
+    """A case-insensitive mapping from names to factory callables.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable noun used in error messages (``"solver"``,
+        ``"engine"``).
+    error_class:
+        Exception type raised on unknown names and duplicate registrations.
+    """
+
+    def __init__(self, kind: str, error_class: Type[Exception]):
+        self.kind = kind
+        self._error_class = error_class
+        self._entries: Dict[str, Callable] = {}
+
+    @staticmethod
+    def _normalize(name: str) -> str:
+        return str(name).strip().lower()
+
+    # ------------------------------------------------------------ registration
+    def register(
+        self,
+        name: str,
+        obj: Optional[Callable] = None,
+        *,
+        overwrite: bool = False,
+    ) -> Callable:
+        """Register ``obj`` under ``name``; usable directly or as a decorator.
+
+        Raises the registry's error class if the name is already taken and
+        ``overwrite`` is false.
+        """
+        key = self._normalize(name)
+        if not key:
+            raise self._error_class(f"{self.kind} names must be non-empty")
+
+        def decorate(target: Callable) -> Callable:
+            if not callable(target):
+                raise self._error_class(
+                    f"{self.kind} {name!r} must be callable, got {type(target).__name__}"
+                )
+            if key in self._entries and not overwrite:
+                raise self._error_class(
+                    f"{self.kind} {name!r} is already registered; "
+                    f"pass overwrite=True to replace it"
+                )
+            self._entries[key] = target
+            return target
+
+        if obj is None:
+            return decorate
+        return decorate(obj)
+
+    def unregister(self, name: str) -> None:
+        """Remove an entry (unknown names raise the registry's error class)."""
+        key = self._normalize(name)
+        if key not in self._entries:
+            raise self._error_class(self._unknown_message(name))
+        del self._entries[key]
+
+    # ------------------------------------------------------------------ lookup
+    def get(self, name: str) -> Callable:
+        """Resolve a name to its callable, with a listing on failure."""
+        try:
+            return self._entries[self._normalize(name)]
+        except KeyError:
+            raise self._error_class(self._unknown_message(name)) from None
+
+    def names(self) -> Tuple[str, ...]:
+        """All registered names, sorted."""
+        return tuple(sorted(self._entries))
+
+    def _unknown_message(self, name: str) -> str:
+        known = ", ".join(self.names()) or "(none)"
+        return f"unknown {self.kind} {name!r}; registered {self.kind}s: {known}"
+
+    def __contains__(self, name: str) -> bool:
+        return self._normalize(name) in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,7 +1,16 @@
 """Deterministic circuit simulation substrate: DC, transient, linear solvers."""
 
 from .dc import dc_operating_point, solve_dc
-from .linear import ConjugateGradientSolver, DirectSolver, LinearSolver, make_solver
+from .linear import (
+    ConjugateGradientSolver,
+    DirectSolver,
+    LinearSolver,
+    make_solver,
+    matrix_fingerprint,
+    register_solver,
+    solver_names,
+    unregister_solver,
+)
 from .mna import MNASystem
 from .randomwalk import RandomWalkEstimate, RandomWalkSolver
 from .results import DCResult, TransientResult
@@ -16,6 +25,10 @@ __all__ = [
     "DirectSolver",
     "LinearSolver",
     "make_solver",
+    "matrix_fingerprint",
+    "register_solver",
+    "solver_names",
+    "unregister_solver",
     "MNASystem",
     "DCResult",
     "TransientResult",

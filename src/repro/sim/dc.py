@@ -8,7 +8,6 @@ grids, and to provide initial conditions for the transient integrator.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 import scipy.sparse as sp

@@ -8,11 +8,17 @@ special-case analysis of Section 5.1 of the paper.  Conjugate-gradient
 solvers with Jacobi or ILU preconditioning are provided for large systems
 where factorisation memory is a concern (the iterative-solver route the
 paper mentions in its implementation notes).
+
+Solvers are pluggable: each backend registers a factory under a name with
+:func:`register_solver`, and :func:`make_solver` resolves names through the
+registry, so new backends (e.g. multigrid, GPU solvers) can be added without
+touching the engines that consume them.
 """
 
 from __future__ import annotations
 
 import abc
+import hashlib
 from typing import Optional
 
 import numpy as np
@@ -20,12 +26,18 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from ..errors import ConvergenceError, SolverError
+from ..registry import Registry
 
 __all__ = [
     "LinearSolver",
     "DirectSolver",
     "ConjugateGradientSolver",
     "make_solver",
+    "register_solver",
+    "unregister_solver",
+    "solver_names",
+    "solver_factory",
+    "matrix_fingerprint",
 ]
 
 
@@ -46,6 +58,21 @@ class LinearSolver(abc.ABC):
 
 class DirectSolver(LinearSolver):
     """Sparse LU factorisation (SuperLU) with cached factors."""
+
+    def solve_many(self, rhs_columns: np.ndarray) -> np.ndarray:
+        """Solve for all columns in one SuperLU call (2-D RHS support)."""
+        rhs_columns = np.asarray(rhs_columns, dtype=float)
+        if rhs_columns.ndim == 1:
+            return self.solve(rhs_columns)
+        if rhs_columns.shape[0] != self.shape[0]:
+            raise SolverError(
+                f"right-hand sides have length {rhs_columns.shape[0]}, "
+                f"expected {self.shape[0]}"
+            )
+        solution = self._lu.solve(rhs_columns)
+        if not np.all(np.isfinite(solution)):
+            raise SolverError("direct solve produced non-finite values")
+        return solution
 
     def __init__(self, matrix: sp.spmatrix):
         matrix = sp.csc_matrix(matrix)
@@ -132,6 +159,43 @@ class ConjugateGradientSolver(LinearSolver):
         return solution
 
 
+# ---------------------------------------------------------------------------
+# Solver registry
+# ---------------------------------------------------------------------------
+_SOLVERS = Registry("solver", SolverError)
+
+
+def register_solver(name: str, factory=None, *, overwrite: bool = False):
+    """Register a solver factory ``factory(matrix, **options) -> LinearSolver``.
+
+    Usable as a decorator::
+
+        @register_solver("amg")
+        def build_amg(matrix, **options):
+            return MyAMGSolver(matrix, **options)
+
+    After registration the backend is available everywhere a solver name is
+    accepted (``make_solver``, ``TransientConfig.solver``, the ``--solver``
+    CLI flag, ...).
+    """
+    return _SOLVERS.register(name, factory, overwrite=overwrite)
+
+
+def unregister_solver(name: str) -> None:
+    """Remove a registered solver backend."""
+    _SOLVERS.unregister(name)
+
+
+def solver_names() -> tuple:
+    """Names of all registered solver backends, sorted."""
+    return _SOLVERS.names()
+
+
+def solver_factory(method: str):
+    """Resolve a solver name to its factory (raises :class:`SolverError`)."""
+    return _SOLVERS.get(method)
+
+
 def make_solver(matrix: sp.spmatrix, method: str = "direct", **options) -> LinearSolver:
     """Construct a linear solver for ``matrix``.
 
@@ -140,17 +204,47 @@ def make_solver(matrix: sp.spmatrix, method: str = "direct", **options) -> Linea
     matrix:
         System matrix.
     method:
-        ``"direct"`` (sparse LU), ``"cg"`` (Jacobi-preconditioned CG) or
-        ``"ilu-cg"`` (ILU-preconditioned CG).
+        Name of a registered backend; the built-ins are ``"direct"``
+        (sparse LU), ``"cg"`` (Jacobi-preconditioned CG) and ``"ilu-cg"``
+        (ILU-preconditioned CG).
     options:
-        Forwarded to the solver constructor (e.g. ``rtol``, ``maxiter``).
+        Forwarded to the solver factory (e.g. ``rtol``, ``maxiter``).
     """
-    if method == "direct":
-        return DirectSolver(matrix)
-    if method == "cg":
-        options.setdefault("preconditioner", "jacobi")
-        return ConjugateGradientSolver(matrix, **options)
-    if method == "ilu-cg":
-        options["preconditioner"] = "ilu"
-        return ConjugateGradientSolver(matrix, **options)
-    raise SolverError(f"unknown solver method {method!r}")
+    return _SOLVERS.get(method)(matrix, **options)
+
+
+@register_solver("direct")
+def _build_direct(matrix: sp.spmatrix, **options) -> DirectSolver:
+    return DirectSolver(matrix, **options)
+
+
+@register_solver("cg")
+def _build_cg(matrix: sp.spmatrix, **options) -> ConjugateGradientSolver:
+    options.setdefault("preconditioner", "jacobi")
+    return ConjugateGradientSolver(matrix, **options)
+
+
+@register_solver("ilu-cg")
+def _build_ilu_cg(matrix: sp.spmatrix, **options) -> ConjugateGradientSolver:
+    options["preconditioner"] = "ilu"
+    return ConjugateGradientSolver(matrix, **options)
+
+
+def matrix_fingerprint(matrix: sp.spmatrix) -> str:
+    """Content hash of a sparse matrix, usable as a factorisation cache key.
+
+    Two matrices with identical shape, sparsity structure and values map to
+    the same fingerprint, so a cache keyed by it can recognise "the same
+    system matrix" across independently assembled objects (e.g. the stepping
+    matrix ``G + C/h`` rebuilt by two runs with identical settings).
+    """
+    # Copy before canonicalising: sum_duplicates() would otherwise rewrite
+    # the caller's matrix in place when it is already CSR.
+    matrix = sp.csr_matrix(matrix, copy=True)
+    matrix.sum_duplicates()
+    digest = hashlib.sha1()
+    digest.update(repr(matrix.shape).encode())
+    digest.update(matrix.indptr.tobytes())
+    digest.update(matrix.indices.tobytes())
+    digest.update(matrix.data.tobytes())
+    return digest.hexdigest()

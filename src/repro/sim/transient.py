@@ -75,6 +75,12 @@ class TransientConfig:
         return self.t_start + self.dt * np.arange(self.num_steps + 1)
 
 
+#: Signature of a solver provider: ``solver_factory(matrix, method=..., **options)``.
+#: Defaults to :func:`~repro.sim.linear.make_solver`; the :class:`repro.api.Analysis`
+#: facade injects a caching provider so repeated runs reuse factorisations.
+SolverFactory = Callable[..., "object"]
+
+
 def run_transient(
     conductance: sp.spmatrix,
     capacitance: sp.spmatrix,
@@ -84,6 +90,7 @@ def run_transient(
     vdd: float = 1.0,
     callback: Optional[StepCallback] = None,
     store: bool = True,
+    solver_factory: Optional[SolverFactory] = None,
 ) -> TransientResult:
     """Integrate ``C dx/dt + G x = rhs(t)`` with a fixed step.
 
@@ -105,18 +112,23 @@ def run_transient(
     store:
         When false, voltage waveforms are not retained (streaming mode);
         the result then only carries the time axis.
+    solver_factory:
+        Optional provider of linear solvers with the signature of
+        :func:`~repro.sim.linear.make_solver`; a caching provider lets
+        repeated runs share factorisations.
     """
     conductance = sp.csr_matrix(conductance)
     capacitance = sp.csr_matrix(capacitance)
     if conductance.shape != capacitance.shape:
         raise SolverError("G and C must have identical shapes")
     n = conductance.shape[0]
+    factory = solver_factory if solver_factory is not None else make_solver
 
     times = config.times()
     h = config.dt
 
     if x0 is None:
-        dc_solver = make_solver(conductance, method=config.solver)
+        dc_solver = factory(conductance, method=config.solver)
         x = dc_solver.solve(np.asarray(rhs_function(times[0]), dtype=float))
     else:
         x = np.asarray(x0, dtype=float).copy()
@@ -127,7 +139,7 @@ def run_transient(
         lhs = conductance + capacitance / h
     else:  # trapezoidal
         lhs = conductance + 2.0 * capacitance / h
-    step_solver = make_solver(lhs, method=config.solver)
+    step_solver = factory(lhs, method=config.solver)
 
     history = np.empty((times.size, n)) if store else None
     if store:
@@ -160,6 +172,7 @@ def transient_analysis(
     config: TransientConfig,
     callback: Optional[StepCallback] = None,
     store: bool = True,
+    solver_factory: Optional[SolverFactory] = None,
 ) -> TransientResult:
     """Nominal (deterministic) transient analysis of a stamped power grid."""
     return run_transient(
@@ -170,4 +183,5 @@ def transient_analysis(
         vdd=system.vdd,
         callback=callback,
         store=store,
+        solver_factory=solver_factory,
     )

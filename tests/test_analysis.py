@@ -1,6 +1,5 @@
 """Tests for accuracy metrics, Table-1 assembly and distribution comparisons."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.histogram import ascii_histogram, drop_distribution_comparison

@@ -1,6 +1,5 @@
 """Tests for the non-Gaussian Askey families and the quadrature rules."""
 
-import math
 
 import numpy as np
 import pytest

@@ -11,7 +11,6 @@ from repro.montecarlo.engine import (
 )
 from repro.montecarlo.sampler import GermSampler
 from repro.montecarlo.statistics import RunningMoments
-from repro.sim.transient import TransientConfig
 
 
 class TestRunningMoments:

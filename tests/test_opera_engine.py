@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.chaos.basis import PolynomialChaosBasis
 from repro.errors import AnalysisError
 from repro.opera.config import OperaConfig
 from repro.opera.engine import (

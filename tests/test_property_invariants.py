@@ -8,11 +8,9 @@ stability of the fixed-step integrators.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.chaos.basis import PolynomialChaosBasis
 from repro.chaos.projection import lognormal_hermite_coefficients
 from repro.opera import OperaConfig, run_opera_dc, run_opera_transient
 from repro.sim.dc import solve_dc

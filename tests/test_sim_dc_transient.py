@@ -11,7 +11,7 @@ from repro.sim.dc import dc_operating_point, solve_dc
 from repro.sim.mna import MNASystem
 from repro.sim.results import DCResult, TransientResult
 from repro.sim.transient import TransientConfig, run_transient, transient_analysis
-from repro.waveforms import Constant, PeriodicPulse
+from repro.waveforms import PeriodicPulse
 
 
 @pytest.fixture(scope="module")

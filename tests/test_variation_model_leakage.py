@@ -9,11 +9,7 @@ from repro.chaos.basis import PolynomialChaosBasis
 from repro.errors import VariationModelError
 from repro.grid.netlist import PowerGridNetlist
 from repro.grid.stamping import stamp
-from repro.variation.leakage import (
-    LeakageVariationSpec,
-    RegionLeakageExcitation,
-    build_leakage_system,
-)
+from repro.variation.leakage import LeakageVariationSpec, RegionLeakageExcitation
 from repro.variation.model import (
     AffineExcitation,
     GermVariable,
