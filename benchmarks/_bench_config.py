@@ -6,6 +6,10 @@ in minutes; set these environment variables for larger runs:
 ``OPERA_BENCH_NODE_COUNTS``  comma-separated grid sizes  (default ``600,1200,2500``)
 ``OPERA_BENCH_MC_SAMPLES``   Monte Carlo samples          (default ``60``; paper: 1000)
 ``OPERA_BENCH_STEPS``        transient steps              (default ``12``)
+``OPERA_BENCH_WORKERS``      sweep worker processes       (default ``1``)
+
+The same variables scale the CI ``bench-smoke`` job (see
+``benchmarks/smoke_sweep.py``), which runs the sweep on tiny grids.
 """
 
 from __future__ import annotations
@@ -45,6 +49,11 @@ def bench_mc_samples() -> int:
 def bench_num_steps() -> int:
     """Number of fixed transient steps."""
     return max(_env_int("OPERA_BENCH_STEPS", 12), 4)
+
+
+def bench_workers() -> int:
+    """Worker processes used by the sweep-driven benches."""
+    return max(_env_int("OPERA_BENCH_WORKERS", 1), 1)
 
 
 def bench_transient() -> TransientConfig:

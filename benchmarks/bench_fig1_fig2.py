@@ -6,6 +6,12 @@ OPERA expansion; the curves coincide.  This harness does the same on the
 largest benchmark grid: the node with the worst drop (Figure 1) and a second,
 moderately loaded node (Figure 2).  The histogram series and an ASCII
 rendering are written to ``benchmarks/results/``.
+
+Both engine runs go through the :mod:`repro.sweep` runner (with
+``keep_raw=True``, since the distribution comparison samples the chaos
+expansion and reads the recorded Monte Carlo waveforms): first the OPERA
+case, whose result selects the two nodes, then the Monte Carlo case with
+``store_nodes`` pinned to them.
 """
 
 from __future__ import annotations
@@ -14,8 +20,15 @@ import numpy as np
 import pytest
 
 from repro.analysis import ascii_histogram, drop_distribution_comparison
+from repro.sweep import SweepCase, SweepPlan, SweepRunner, grid_seed_for
 
-from _bench_config import bench_mc_samples, bench_node_counts, bench_transient, write_result
+from _bench_config import (
+    bench_mc_samples,
+    bench_node_counts,
+    bench_transient,
+    bench_workers,
+    write_result,
+)
 
 
 def _figure_text(comparison, label: str) -> str:
@@ -35,13 +48,21 @@ def _figure_text(comparison, label: str) -> str:
 
 
 @pytest.fixture(scope="module")
-def figure_setup(grid_cache):
+def figure_setup():
     """OPERA and Monte Carlo results with recorded waveforms at two nodes."""
     target = max(bench_node_counts())
-    session = grid_cache.session(target)
-    session.with_transient(bench_transient())
+    transient = bench_transient()
+    grid_seed = grid_seed_for(target)
+    # retain_sessions: the MC stage reuses the grid the OPERA stage built.
+    runner = SweepRunner(workers=bench_workers(), keep_raw=True, retain_sessions=True)
 
-    opera_result = session.run("opera", order=2).raw
+    opera_case = SweepCase(
+        engine="opera", nodes=target, grid_seed=grid_seed, order=2
+    )
+    opera_result = runner.run(
+        SweepPlan(cases=(opera_case,), transient=transient)
+    ).results[0].raw
+
     worst = int(opera_result.worst_node())
     # Figure 2 uses a second node: the one with the median peak drop among
     # the meaningfully loaded nodes.
@@ -51,13 +72,19 @@ def figure_setup(grid_cache):
     if second == worst and loaded.size > 1:
         second = int(loaded[0])
 
-    mc_result = session.run(
-        "montecarlo",
-        samples=bench_mc_samples(),
-        seed=13,
+    mc_case = SweepCase(
+        engine="montecarlo",
+        nodes=target,
+        grid_seed=grid_seed,
+        samples=bench_mc_samples() + bench_mc_samples() % 2,
         antithetic=True,
         store_nodes=(worst, second),
-    ).raw
+        workers=bench_workers(),
+        seed=13,
+    )
+    mc_result = runner.run(
+        SweepPlan(cases=(mc_case,), transient=transient)
+    ).results[0].raw
     return opera_result, mc_result, worst, second
 
 

@@ -1,25 +1,26 @@
 """Table 1 reproduction: OPERA vs Monte Carlo over several grid sizes.
 
-For every benchmark grid this harness drives the :class:`repro.api.Analysis`
-facade:
+This harness drives the :mod:`repro.sweep` subsystem: one
+:class:`~repro.sweep.SweepPlan` covers every benchmark grid with an OPERA
+order-2 case and a Monte Carlo case, executed by a
+:class:`~repro.sweep.SweepRunner` (``OPERA_BENCH_WORKERS`` controls the
+process-pool width; the statistics are identical for any worker count).
+From the sweep results each test then
 
-* times the OPERA order-2 stochastic transient (the ``benchmark`` fixture
-  measures exactly the paper's "CPU time OPERA" column),
-* runs the Monte Carlo reference once and records its wall time ("CPU time
-  Monte"),
 * computes the average/maximum percentage errors of mu and sigma and the
   average +/-3-sigma spread as a percentage of the nominal drop,
 * appends the row to ``benchmarks/results/table1.txt`` next to the paper's
-  original Table 1 for shape comparison.
+  original Table 1 for shape comparison,
 
-A *fresh* session is used per grid so the timed OPERA run pays for its own
-basis construction, Galerkin assembly and factorisation, as the paper's
-CPU-time column does.
+and the module fixture writes the sweep's :class:`~repro.sweep.BenchRecord`
+artifact (wall times, worst drops, OPERA-vs-MC speedups) to
+``benchmarks/results/table1_sweep.json``.
 
 Scale is controlled by the environment variables documented in
-``benchmarks/conftest.py``; absolute times differ from the 2005 testbed, but
-the shape (mu errors << sigma errors, spreads around +/-30-45 %, OPERA much
-faster than Monte Carlo) is what the reproduction checks.
+``benchmarks/_bench_config.py``; absolute times differ from the 2005
+testbed, but the shape (mu errors << sigma errors, spreads around
++/-30-45 %, OPERA much faster than Monte Carlo) is what the reproduction
+checks.
 """
 
 from __future__ import annotations
@@ -34,50 +35,73 @@ from repro.analysis import (
     three_sigma_spread_percent,
 )
 from repro.api import Analysis
+from repro.sweep import SweepPlan, SweepRunner, record_from_outcome
+from repro.sweep.plan import corner_spec
 
 from _bench_config import (
     bench_mc_samples,
     bench_node_counts,
     bench_transient,
+    bench_workers,
     write_result,
 )
 
+#: Base seed of the Table-1 sweep plan (fixed for reproducible rows).
+BASE_SEED = 7
+
+
+@pytest.fixture(scope="module")
+def table1_sweep(results_dir):
+    """One sweep over all benchmark grids: OPERA order-2 + Monte Carlo."""
+    plan = SweepPlan.grid(
+        bench_node_counts(),
+        engines=("opera", "montecarlo"),
+        orders=(2,),
+        samples=bench_mc_samples(),
+        mc_workers=bench_workers(),
+        transient=bench_transient(),
+        base_seed=BASE_SEED,
+    )
+    runner = SweepRunner(workers=bench_workers(), keep_statistics=True)
+    outcome = runner.run(plan)
+    record = record_from_outcome(outcome, config={"suite": "table1"})
+    record.write(results_dir / "table1_sweep.json")
+    return outcome
+
+
+def _nominal_transient(outcome, nodes: int):
+    """The nominal (no-variation) transient of the sweep's grid for ``nodes``."""
+    case = next(
+        case for case in outcome.plan.cases if case.engine == "opera" and case.nodes == nodes
+    )
+    session = Analysis.from_spec(
+        case.nodes,
+        seed=case.grid_seed,
+        variation=corner_spec(case.corner),
+        transient=outcome.plan.transient,
+    )
+    return session.nominal_transient()
+
 
 @pytest.mark.parametrize("target_nodes", bench_node_counts())
-def test_table1_row(benchmark, grid_cache, table1_rows, results_dir, target_nodes):
+def test_table1_row(table1_sweep, table1_rows, results_dir, target_nodes):
     """One row of Table 1: accuracy and speed-up for a single grid."""
-    _, netlist, stamped, system = grid_cache.get(target_nodes)
-    transient = bench_transient()
-    session = (
-        Analysis.from_netlist(netlist, stamped=stamped)
-        .with_system(system)
-        .with_transient(transient)
-    )
+    opera = table1_sweep.case(engine="opera", nodes=target_nodes)
+    mc = table1_sweep.case(engine="montecarlo", nodes=target_nodes)
 
-    opera_view = benchmark.pedantic(
-        session.run, kwargs=dict(engine="opera", order=2), rounds=1, iterations=1
-    )
-
-    mc_view = session.run(
-        "montecarlo",
-        samples=bench_mc_samples(),
-        seed=7,
-        antithetic=True,
-    )
-
-    metrics = compare_to_monte_carlo(opera_view.raw, mc_view.raw)
-    nominal = session.nominal_transient()
-    spread = three_sigma_spread_percent(opera_view.raw, nominal)
+    metrics = compare_to_monte_carlo(opera, mc)
+    nominal = _nominal_transient(table1_sweep, target_nodes)
+    spread = three_sigma_spread_percent(opera, nominal)
 
     row = Table1Row.from_metrics(
-        name=f"synthetic-{stamped.num_nodes}",
-        num_nodes=stamped.num_nodes,
+        name=f"synthetic-{opera.num_nodes}",
+        num_nodes=opera.num_nodes,
         metrics=metrics,
         three_sigma_spread=spread,
-        monte_carlo_seconds=mc_view.wall_time or 0.0,
-        opera_seconds=opera_view.wall_time or 0.0,
+        monte_carlo_seconds=mc.wall_time,
+        opera_seconds=opera.wall_time,
     )
-    table1_rows[stamped.num_nodes] = row
+    table1_rows[opera.num_nodes] = row
 
     # Shape assertions mirroring the paper's findings.
     assert metrics.average_mean_error_percent < 1.0
@@ -85,6 +109,7 @@ def test_table1_row(benchmark, grid_cache, table1_rows, results_dir, target_node
     assert 20.0 < spread < 60.0
     assert row.speedup > 3.0
 
+    transient = table1_sweep.plan.transient
     rows = [table1_rows[key] for key in sorted(table1_rows)]
     text = "\n\n".join(
         [
@@ -93,7 +118,8 @@ def test_table1_row(benchmark, grid_cache, table1_rows, results_dir, target_node
                 title=(
                     "Table 1 (reproduced on synthetic grids; "
                     f"MC samples = {bench_mc_samples()}, "
-                    f"steps = {transient.num_steps}, order-2 expansion)"
+                    f"steps = {transient.num_steps}, order-2 expansion, "
+                    f"sweep workers = {bench_workers()})"
                 ),
             ),
             format_table1(PAPER_TABLE1, title="Table 1 (paper, for shape comparison)"),

@@ -1,0 +1,118 @@
+"""CI smoke sweep: run the sweep runner on tiny grids and emit an artifact.
+
+This is the entry point of the ``bench-smoke`` CI job.  Scale comes from the
+``OPERA_BENCH_*`` environment variables shared by every bench module (see
+``_bench_config.py``); the job sets them to tiny values, runs this script,
+uploads the emitted :class:`~repro.sweep.BenchRecord` JSON as a workflow
+artifact, and gates it against the committed baseline
+``benchmarks/results/smoke_baseline.json``.
+
+Regenerate the baseline after an intentional perf change with the same
+environment the CI job uses::
+
+    OPERA_BENCH_NODE_COUNTS=120,250 OPERA_BENCH_MC_SAMPLES=16 \
+    OPERA_BENCH_STEPS=6 OPERA_BENCH_WORKERS=2 PYTHONPATH=src \
+    python benchmarks/smoke_sweep.py --output benchmarks/results/smoke_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.sweep import (
+    BenchRecord,
+    SweepPlan,
+    SweepRunner,
+    compare_records,
+    record_from_outcome,
+)
+
+from _bench_config import (
+    RESULTS_DIR,
+    bench_mc_samples,
+    bench_node_counts,
+    bench_transient,
+    bench_workers,
+)
+
+#: Base seed of the smoke plan; fixed so baseline and current runs match.
+BASE_SEED = 11
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=RESULTS_DIR / "smoke_sweep.json",
+        help="where to write the BenchRecord JSON (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="gate against this baseline artifact (exit 1 on regression)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=300.0,
+        metavar="PCT",
+        help="allowed wall-time growth vs the baseline, percent "
+        "(generous: CI runners vary; default %(default)s)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.5,
+        metavar="S",
+        help="clamp wall times up to this floor before comparing; generous "
+        "because baseline and current run on different hardware "
+        "(default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    plan = SweepPlan.grid(
+        bench_node_counts(),
+        engines=("opera", "montecarlo"),
+        orders=(2,),
+        samples=bench_mc_samples(),
+        mc_workers=bench_workers(),
+        # Small chunks so even the tiny CI sample counts split into several
+        # chunks and the job genuinely exercises the process-pool path.
+        mc_chunk_size=8,
+        transient=bench_transient(),
+        base_seed=BASE_SEED,
+    )
+    outcome = SweepRunner(workers=bench_workers()).run(plan)
+    record = record_from_outcome(outcome, config={"suite": "smoke"})
+
+    speedups = outcome.speedups()
+    print(f"smoke sweep: {len(outcome)} case(s), wall {outcome.wall_time:.2f}s")
+    for result in outcome:
+        speed = speedups.get(result.name)
+        suffix = f"  speedup vs MC {speed:.2f}x" if speed is not None else ""
+        print(f"  {result.name:40s} {result.wall_time:8.3f}s{suffix}")
+
+    path = record.write(args.output)
+    print(f"wrote {path}")
+
+    if args.baseline is not None:
+        report = compare_records(
+            BenchRecord.load(args.baseline),
+            record,
+            max_regression_percent=args.max_regression,
+            min_seconds=args.min_seconds,
+        )
+        print()
+        print(report.format())
+        if not report.ok:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,7 +17,11 @@ Variations" (Ghanta, Vrudhula, Panda, Wang -- DATE 2005).  It contains:
   Figure-1/2 distribution comparisons;
 * :mod:`repro.mor` -- PRIMA-style model order reduction (extension);
 * :mod:`repro.api` -- the unified :class:`~repro.api.Analysis` session
-  facade, the engine/solver registries and the shared result protocol.
+  facade, the engine/solver registries and the shared result protocol;
+* :mod:`repro.sweep` -- parallel execution of many analyses (node counts x
+  engines x chaos orders x variation corners) over a process pool, with
+  versioned benchmark artifacts and a wall-time regression gate
+  (``opera-run sweep``).
 
 Quick start -- the :class:`~repro.api.Analysis` facade is the recommended
 entry point.  A session owns the grid, the variation model and a cache of
@@ -117,6 +121,7 @@ from .opera import (
     summarize,
 )
 from .sim import MNASystem, TransientConfig, dc_operating_point, transient_analysis
+from .sweep import BenchRecord, SweepCase, SweepPlan, SweepRunner
 from .variation import (
     LeakageVariationSpec,
     RegionPartition,
@@ -141,6 +146,10 @@ __all__ = [
     "solver_names",
     "unregister_engine",
     "unregister_solver",
+    "BenchRecord",
+    "SweepCase",
+    "SweepPlan",
+    "SweepRunner",
     "AccuracyMetrics",
     "Table1Row",
     "ascii_histogram",

@@ -206,13 +206,23 @@ def _run_montecarlo_engine(session, mode: Optional[str] = None, **options):
     samples = int(samples)
     seed = int(options.pop("seed", 0))
     solver = options.pop("solver", None) or "direct"
+    workers = int(options.pop("workers", 1))
+    chunk_size = options.pop("chunk_size", None)
+    if chunk_size is not None:
+        chunk_size = int(chunk_size)
     system = session.system
 
     if mode == "dc":
         t = float(options.pop("t", 0.0))
         _reject_unknown(options, "montecarlo", mode)
         result = run_monte_carlo_dc(
-            system, num_samples=samples, t=t, seed=seed, solver=solver
+            system,
+            num_samples=samples,
+            t=t,
+            seed=seed,
+            solver=solver,
+            workers=workers,
+            chunk_size=chunk_size,
         )
         return MonteCarloResultView("montecarlo", "dc", result, system.vdd)
 
@@ -224,6 +234,8 @@ def _run_montecarlo_engine(session, mode: Optional[str] = None, **options):
         antithetic=bool(options.pop("antithetic", False)),
         store_nodes=tuple(options.pop("store_nodes", ())),
         solver=solver,
+        workers=workers,
+        chunk_size=chunk_size,
     )
     _reject_unknown(options, "montecarlo", mode)
     result = run_monte_carlo_transient(system, config)

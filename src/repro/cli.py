@@ -1,6 +1,6 @@
 """Command-line interface of the OPERA reproduction.
 
-Three sub-commands cover the typical flow of the tool:
+Four sub-commands cover the typical flow of the tool:
 
 ``opera-run generate``
     Synthesise a power grid and write it as a SPICE-subset deck.
@@ -15,6 +15,12 @@ Three sub-commands cover the typical flow of the tool:
     Run the stochastic engine and the Monte Carlo reference on the same grid
     and print the Table-1 style accuracy/speed-up row.
 
+``opera-run sweep``
+    Fan a grid of cases (node counts x engines x chaos orders x variation
+    corners) out over worker processes, print the per-case wall times and
+    speedups, and optionally emit a ``BenchRecord`` JSON artifact and gate
+    it against a baseline artifact (see :mod:`repro.sweep`).
+
 All analysis work is routed through the :class:`repro.api.Analysis` session
 facade, so the sub-commands are thin argument adapters; unknown engine or
 solver names produce the registry's listing of valid choices.
@@ -24,7 +30,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from .api import Analysis, engine_names, get_engine, solver_names
 from .errors import ReproError
@@ -34,6 +40,22 @@ from .sim.linear import solver_factory
 from .variation import VariationSpec
 
 __all__ = ["main", "build_parser"]
+
+
+def _int_list(text: str) -> List[int]:
+    """Parse a comma-separated list of integers (argparse type)."""
+    values = [int(token) for token in text.split(",") if token.strip()]
+    if not values:
+        raise argparse.ArgumentTypeError("expected a comma-separated list of integers")
+    return values
+
+
+def _str_list(text: str) -> List[str]:
+    """Parse a comma-separated list of names (argparse type)."""
+    values = [token.strip() for token in text.split(",") if token.strip()]
+    if not values:
+        raise argparse.ArgumentTypeError("expected a comma-separated list of names")
+    return values
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -97,10 +119,89 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="sample count for the montecarlo engine (engine default: 200)",
     )
+    analyze.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the montecarlo engine (chunked sampling)",
+    )
 
     compare = subparsers.add_parser("compare", help="compare OPERA against Monte Carlo")
     add_analysis_arguments(compare)
     compare.add_argument("--samples", type=int, default=200, help="Monte Carlo sample count")
+
+    from .sweep.plan import corner_names  # deferred: keeps CLI import light
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="run a parallel analysis sweep and emit a benchmark artifact",
+    )
+    sweep.add_argument(
+        "--nodes",
+        type=_int_list,
+        default=[600, 1200, 2500],
+        metavar="N,N,...",
+        help="target node counts of the synthetic grids (default: 600,1200,2500)",
+    )
+    sweep.add_argument(
+        "--engines",
+        type=_str_list,
+        default=["opera", "montecarlo"],
+        metavar="NAME,NAME,...",
+        help=f"engines to sweep (registered: {', '.join(engine_names())})",
+    )
+    sweep.add_argument(
+        "--orders",
+        type=_int_list,
+        default=[2],
+        metavar="K,K,...",
+        help="chaos expansion orders for the chaos engines (default: 2)",
+    )
+    sweep.add_argument(
+        "--corners",
+        type=_str_list,
+        default=["paper"],
+        metavar="NAME,NAME,...",
+        help=f"variation corners (known: {', '.join(corner_names())})",
+    )
+    sweep.add_argument(
+        "--samples", type=int, default=200, help="Monte Carlo sample count per MC case"
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=1, help="worker processes for the sweep"
+    )
+    sweep.add_argument(
+        "--mc-workers",
+        type=int,
+        default=None,
+        help="chunk workers inside each Monte Carlo case (default: --workers)",
+    )
+    sweep.add_argument(
+        "--steps", type=int, default=12, help="transient steps of every case"
+    )
+    sweep.add_argument(
+        "--dt", type=float, default=0.2e-9, help="transient step size (s)"
+    )
+    sweep.add_argument("--base-seed", type=int, default=0, help="plan base seed")
+    sweep.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the BenchRecord JSON artifact here",
+    )
+    sweep.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="gate the sweep against this baseline BenchRecord (exit 1 on regression)",
+    )
+    sweep.add_argument(
+        "--max-regression",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="allowed wall-time growth vs the baseline, percent (default: 75)",
+    )
 
     return parser
 
@@ -152,6 +253,8 @@ def _command_analyze(args: argparse.Namespace) -> int:
         options["order"] = args.order
     if args.samples is not None:
         options["samples"] = args.samples
+    if args.workers is not None:
+        options["workers"] = args.workers
     result = session.run(args.engine, **options)
 
     if hasattr(result.raw, "basis"):
@@ -181,6 +284,66 @@ def _command_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_sweep(args: argparse.Namespace) -> int:
+    from .sweep import (
+        SweepPlan,
+        SweepRunner,
+        BenchRecord,
+        compare_records,
+        record_from_outcome,
+    )
+    from .sweep.regress import DEFAULT_MAX_REGRESSION_PERCENT
+
+    for engine in args.engines:
+        get_engine(engine)  # fail fast with the registry's listing
+    transient = TransientConfig(t_stop=args.steps * args.dt, dt=args.dt)
+    plan = SweepPlan.grid(
+        args.nodes,
+        engines=args.engines,
+        orders=args.orders,
+        corners=args.corners,
+        samples=args.samples,
+        mc_workers=args.mc_workers if args.mc_workers is not None else args.workers,
+        transient=transient,
+        base_seed=args.base_seed,
+    )
+    runner = SweepRunner(workers=args.workers)
+    outcome = runner.run(plan)
+    record = record_from_outcome(outcome)
+
+    speedups = outcome.speedups()
+    print(
+        f"sweep: {len(outcome)} case(s), workers={args.workers}, "
+        f"wall {outcome.wall_time:.2f}s"
+    )
+    for result in outcome:
+        speed = speedups.get(result.name)
+        suffix = f"  speedup vs MC {speed:6.2f}x" if speed is not None else ""
+        print(
+            f"  {result.name:40s} {result.num_nodes:6d} nodes  "
+            f"{result.wall_time:8.3f}s  worst drop {result.worst_drop:.4f}V{suffix}"
+        )
+
+    if args.output:
+        path = record.write(args.output)
+        print(f"wrote benchmark artifact to {path}")
+
+    if args.baseline:
+        threshold = (
+            args.max_regression
+            if args.max_regression is not None
+            else DEFAULT_MAX_REGRESSION_PERCENT
+        )
+        report = compare_records(
+            BenchRecord.load(args.baseline), record, max_regression_percent=threshold
+        )
+        print()
+        print(report.format())
+        if not report.ok:
+            return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point used by the ``opera-run`` console script."""
     parser = build_parser()
@@ -189,6 +352,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "generate": _command_generate,
         "analyze": _command_analyze,
         "compare": _command_compare,
+        "sweep": _command_sweep,
     }
     try:
         return handlers[args.command](args)

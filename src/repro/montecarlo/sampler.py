@@ -9,7 +9,7 @@ variance-reduction option for symmetric germ densities.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Union
 
 import numpy as np
 
@@ -23,9 +23,19 @@ _SYMMETRIC_FAMILIES = {"hermite", "legendre"}
 
 
 class GermSampler:
-    """Draws germ vectors consistent with a stochastic system's variables."""
+    """Draws germ vectors consistent with a stochastic system's variables.
 
-    def __init__(self, system: StochasticSystem, seed: Optional[int] = 0):
+    ``seed`` accepts anything :func:`numpy.random.default_rng` does -- in
+    particular a :class:`numpy.random.SeedSequence`, which is how the chunked
+    Monte Carlo engine hands each worker chunk its own independent stream
+    (children spawned from one parent sequence never overlap).
+    """
+
+    def __init__(
+        self,
+        system: StochasticSystem,
+        seed: Union[int, np.random.SeedSequence, None] = 0,
+    ):
         self._families = [family_for(name) for name in system.variable_families()]
         self._rng = np.random.default_rng(seed)
 

@@ -4,6 +4,12 @@ Monte Carlo over a power grid produces one full voltage waveform matrix per
 sample; storing them all is wasteful, so the engine accumulates running
 moments with Welford's algorithm (numerically stable single-pass mean and
 variance) over arrays of arbitrary shape.
+
+Accumulators built independently -- e.g. one per worker process of a chunked
+Monte Carlo sweep -- combine losslessly with :meth:`RunningMoments.merge`,
+which applies the parallel variance formula of Chan, Golub and LeVeque; the
+merged moments match a single-stream accumulation of the concatenated
+samples up to floating-point round-off.
 """
 
 from __future__ import annotations
@@ -49,6 +55,86 @@ class RunningMoments:
         delta = sample - self._mean
         self._mean += delta / self._count
         self._m2 += delta * (sample - self._mean)
+
+    def merge(self, other: "RunningMoments") -> "RunningMoments":
+        """Fold another accumulator into this one (parallel variance combine).
+
+        Implements the pairwise update of Chan, Golub & LeVeque (1983): with
+        partial counts ``n_a``/``n_b``, means and second central moments, the
+        combined statistics are
+
+        ``n = n_a + n_b``,
+        ``mean = mean_a + delta * n_b / n``,
+        ``M2 = M2_a + M2_b + delta**2 * n_a * n_b / n``
+
+        where ``delta = mean_b - mean_a``.  The result matches accumulating
+        every sample through a single :meth:`update` stream up to
+        floating-point round-off, so independently accumulated worker chunks
+        merge losslessly.  Returns ``self`` for chaining; ``other`` is left
+        untouched.  Empty accumulators merge as no-ops.
+        """
+        if not isinstance(other, RunningMoments):
+            raise AnalysisError(
+                f"can only merge RunningMoments, got {type(other).__name__}"
+            )
+        if other._count == 0:
+            return self
+        if self._shape is not None and other._shape != self._shape:
+            raise AnalysisError(
+                f"cannot merge accumulator of shape {other._shape} into "
+                f"accumulator of shape {self._shape}"
+            )
+        if self._count == 0:
+            self._shape = other._shape
+            self._mean = other._mean.copy()
+            self._m2 = other._m2.copy()
+            self._count = other._count
+            return self
+        count = self._count + other._count
+        delta = other._mean - self._mean
+        self._mean = self._mean + delta * (other._count / count)
+        self._m2 = (
+            self._m2
+            + other._m2
+            + delta * delta * (self._count * other._count / count)
+        )
+        self._count = count
+        return self
+
+    def state(self) -> Tuple[int, Optional[np.ndarray], Optional[np.ndarray]]:
+        """The accumulator's ``(count, mean, M2)`` triple (copies).
+
+        Together with :meth:`from_state` this gives a compact, picklable
+        transfer format for shipping per-chunk moments between worker
+        processes without serialising the accumulator object itself.
+        """
+        if self._count == 0:
+            return 0, None, None
+        return self._count, self._mean.copy(), self._m2.copy()
+
+    @classmethod
+    def from_state(
+        cls,
+        count: int,
+        mean: Optional[np.ndarray],
+        m2: Optional[np.ndarray],
+    ) -> "RunningMoments":
+        """Rebuild an accumulator from a :meth:`state` triple."""
+        moments = cls()
+        if count:
+            if mean is None or m2 is None:
+                raise AnalysisError("non-empty state needs mean and M2 arrays")
+            mean = np.asarray(mean, dtype=float)
+            m2 = np.asarray(m2, dtype=float)
+            if mean.shape != m2.shape:
+                raise AnalysisError(
+                    f"state mean shape {mean.shape} does not match M2 shape {m2.shape}"
+                )
+            moments._count = int(count)
+            moments._shape = mean.shape
+            moments._mean = mean.copy()
+            moments._m2 = m2.copy()
+        return moments
 
     @property
     def mean(self) -> np.ndarray:

@@ -1,0 +1,12 @@
+"""``python -m repro.sweep``: the benchmark regression gate.
+
+Equivalent to ``python -m repro.sweep.regress`` but without runpy's
+re-import warning (the package ``__init__`` already imports ``regress``).
+"""
+
+import sys
+
+from .regress import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,259 @@
+"""Sweep plans: declarative grids of analysis cases.
+
+A :class:`SweepCase` is a small, picklable description of one engine run --
+which synthetic grid (target node count + generator seed), which engine,
+which chaos order or sample count, and which *variation corner* (a named
+:class:`~repro.variation.model.VariationSpec`).  A :class:`SweepPlan` is an
+ordered collection of cases sharing one transient configuration, typically
+built as the cartesian product ``node counts x engines x orders x corners``
+via :meth:`SweepPlan.grid`.
+
+Cases are deterministic: every case carries a seed derived (stably, via
+CRC-32 of its identity) from the plan's ``base_seed``, so a case produces
+the same numbers whether it runs serially, on a process pool, or alone --
+and the same numbers tomorrow.  The runner lives in
+:mod:`repro.sweep.runner`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+from ..errors import AnalysisError
+from ..montecarlo.engine import DEFAULT_CHUNK_SIZE
+from ..sim.transient import TransientConfig
+from ..variation.model import VariationSpec
+
+__all__ = [
+    "SweepCase",
+    "SweepPlan",
+    "corner_spec",
+    "corner_names",
+    "grid_seed_for",
+    "DEFAULT_SWEEP_TRANSIENT",
+]
+
+#: Default time axis of sweep plans (short: sweeps time many engine runs).
+DEFAULT_SWEEP_TRANSIENT = TransientConfig(t_stop=2.4e-9, dt=0.2e-9)
+
+#: Engines whose options include a chaos expansion order.
+_CHAOS_ENGINES = ("opera", "decoupled")
+
+# Named variation corners.  "paper" is the experiment setting of Section 6;
+# "wide"/"tight" bracket it; "rhs-only" disables matrix variation so the
+# decoupled special case applies.
+_CORNERS: Dict[str, Dict] = {
+    "paper": {},
+    "wide": {"w": 30.0, "t": 20.0, "l": 30.0},
+    "tight": {"w": 10.0, "t": 8.0, "l": 10.0},
+    "rhs-only": {"vary_conductance": False, "vary_capacitance": False},
+}
+
+
+def corner_names() -> Tuple[str, ...]:
+    """Names of all predefined variation corners, sorted."""
+    return tuple(sorted(_CORNERS))
+
+
+def corner_spec(name: str) -> VariationSpec:
+    """The :class:`VariationSpec` of a named corner."""
+    key = str(name).strip().lower()
+    if key not in _CORNERS:
+        known = ", ".join(corner_names())
+        raise AnalysisError(f"unknown variation corner {name!r}; known corners: {known}")
+    overrides = dict(_CORNERS[key])
+    if not overrides:
+        return VariationSpec.paper_defaults()
+    sigma = {
+        field: overrides.pop(field) for field in ("w", "t", "l") if field in overrides
+    }
+    if sigma:
+        return VariationSpec.from_three_sigma_percent(**sigma, **overrides)
+    return dataclasses.replace(VariationSpec.paper_defaults(), **overrides)
+
+
+@dataclass(frozen=True)
+class SweepCase:
+    """One engine run of a sweep: grid, engine, settings, deterministic seed.
+
+    ``workers`` applies to the ``montecarlo`` engine only: the case's sample
+    sweep is chunked (fixed ``chunk_size``-sample chunks, independently
+    seeded streams) and fanned over that many processes.  Monte Carlo cases
+    always run the chunked path -- even with ``workers=1`` -- so their
+    statistics never depend on the worker count; ``workers`` is therefore
+    excluded from the case identity (:meth:`key`, :attr:`name`, seeds).
+    """
+
+    engine: str
+    nodes: int
+    grid_seed: int = 0
+    corner: str = "paper"
+    order: Optional[int] = None
+    samples: Optional[int] = None
+    antithetic: bool = False
+    store_nodes: Tuple[int, ...] = ()
+    workers: int = 1
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.nodes < 4:
+            raise AnalysisError(f"cases need at least 4 nodes, got {self.nodes}")
+        if self.workers < 1:
+            raise AnalysisError(f"workers must be at least 1, got {self.workers}")
+        corner_spec(self.corner)  # validate eagerly, before any worker sees it
+        if self.engine == "montecarlo" and self.antithetic:
+            # Mirror MonteCarloConfig's chunked-antithetic parity rules here
+            # so a bad case fails at plan construction, not inside a worker.
+            if self.chunk_size % 2:
+                raise AnalysisError(
+                    "antithetic Monte Carlo cases need an even chunk_size; "
+                    f"got {self.chunk_size}"
+                )
+            if (self.samples or 200) % 2:
+                raise AnalysisError(
+                    "antithetic Monte Carlo cases need an even sample count; "
+                    f"got {self.samples}"
+                )
+
+    @property
+    def name(self) -> str:
+        """Stable human-readable case label, e.g. ``opera-n600-o2-paper``."""
+        parts = [self.engine, f"n{self.nodes}"]
+        if self.order is not None:
+            parts.append(f"o{self.order}")
+        if self.samples is not None:
+            parts.append(f"s{self.samples}")
+        parts.append(self.corner)
+        return "-".join(parts)
+
+    def key(self) -> Tuple:
+        """Identity used to match cases across sweeps (excludes seeds)."""
+        return (self.engine, self.nodes, self.order, self.samples, self.corner)
+
+    def run_options(self) -> Dict:
+        """Options forwarded to :meth:`repro.api.Analysis.run`."""
+        options: Dict = {}
+        if self.order is not None:
+            options["order"] = int(self.order)
+        if self.engine == "montecarlo":
+            options["samples"] = int(self.samples or 200)
+            options["seed"] = int(self.seed)
+            options["antithetic"] = bool(self.antithetic)
+            # Always chunked (even serially) so the statistics are invariant
+            # to the worker count; see the class docstring.
+            options["workers"] = int(self.workers)
+            options["chunk_size"] = int(self.chunk_size)
+            if self.store_nodes:
+                options["store_nodes"] = tuple(
+                    int(node) for node in self.store_nodes
+                )
+        return options
+
+
+def _case_seed(base_seed: int, identity: Tuple) -> int:
+    """A stable per-case seed: CRC-32 of the case identity under ``base_seed``."""
+    text = f"{base_seed}|" + "|".join(str(part) for part in identity)
+    return zlib.crc32(text.encode("utf-8")) & 0x7FFFFFFF
+
+
+def grid_seed_for(nodes: int, base_seed: int = 0) -> int:
+    """The generator seed :meth:`SweepPlan.grid` assigns to a grid size.
+
+    Exposed so callers (e.g. the benchmark harnesses) can rebuild the exact
+    grid a sweep case ran on.
+    """
+    return _case_seed(base_seed, ("grid", nodes)) % 10_000
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """An ordered set of :class:`SweepCase` sharing one transient config."""
+
+    cases: Tuple[SweepCase, ...]
+    transient: TransientConfig = DEFAULT_SWEEP_TRANSIENT
+    base_seed: int = 0
+
+    def __post_init__(self):
+        if not self.cases:
+            raise AnalysisError("a sweep plan needs at least one case")
+        names = [case.name for case in self.cases]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise AnalysisError(
+                f"duplicate case(s) in sweep plan: {', '.join(sorted(duplicates))}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.cases)
+
+    def __iter__(self) -> Iterator[SweepCase]:
+        return iter(self.cases)
+
+    @classmethod
+    def grid(
+        cls,
+        node_counts: Sequence[int],
+        engines: Sequence[str] = ("opera", "montecarlo"),
+        orders: Sequence[int] = (2,),
+        corners: Sequence[str] = ("paper",),
+        samples: int = 200,
+        antithetic: bool = True,
+        mc_workers: int = 1,
+        mc_chunk_size: int = DEFAULT_CHUNK_SIZE,
+        transient: Optional[TransientConfig] = None,
+        base_seed: int = 0,
+    ) -> "SweepPlan":
+        """The cartesian product ``node_counts x engines x orders x corners``.
+
+        Chaos engines (``opera``, ``decoupled``) get one case per expansion
+        order; sampling and deterministic engines get a single case per grid
+        and corner.  Every case receives a deterministic seed derived from
+        ``base_seed`` and its identity, and every grid a generator seed
+        derived from its node count, so plans are reproducible end to end.
+
+        ``mc_workers`` chunks each Monte Carlo case over that many processes
+        (the dominant wall-time lever: a sweep's critical path is usually
+        its largest MC case, which case-level parallelism alone cannot
+        split); ``mc_chunk_size`` sets the chunk granularity (statistics
+        depend on it, but never on ``mc_workers``).  With ``antithetic``,
+        ``samples`` is rounded up to even so (xi, -xi) pairs fill whole
+        chunks.
+        """
+        if not node_counts:
+            raise AnalysisError("grid plans need at least one node count")
+        if not engines:
+            raise AnalysisError("grid plans need at least one engine")
+        if antithetic and samples % 2:
+            samples += 1
+        cases = []
+        for corner in corners:
+            for nodes in node_counts:
+                grid_seed = grid_seed_for(nodes, base_seed)
+                for engine in engines:
+                    engine_orders = orders if engine in _CHAOS_ENGINES else (None,)
+                    for order in engine_orders:
+                        engine_samples = samples if engine == "montecarlo" else None
+                        identity = (engine, nodes, order, engine_samples, corner)
+                        cases.append(
+                            SweepCase(
+                                engine=engine,
+                                nodes=int(nodes),
+                                grid_seed=grid_seed,
+                                corner=str(corner),
+                                order=None if order is None else int(order),
+                                samples=engine_samples,
+                                antithetic=bool(antithetic) if engine == "montecarlo" else False,
+                                workers=int(mc_workers) if engine == "montecarlo" else 1,
+                                chunk_size=int(mc_chunk_size),
+                                seed=_case_seed(base_seed, identity),
+                            )
+                        )
+        return cls(
+            cases=tuple(cases),
+            transient=transient if transient is not None else DEFAULT_SWEEP_TRANSIENT,
+            base_seed=int(base_seed),
+        )

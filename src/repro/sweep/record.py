@@ -1,0 +1,178 @@
+"""Benchmark artifacts: serialising sweep outcomes with a stable schema.
+
+A :class:`BenchRecord` is the JSON artifact one sweep run emits -- the CI
+``bench-smoke`` job uploads it on every push and the
+:mod:`repro.sweep.regress` checker compares two of them.  The schema (see
+the ``SCHEMA`` constant and :mod:`repro.sweep` for the field-by-field
+description) is versioned: readers reject records whose ``schema`` string
+they do not understand, so silent drift is impossible.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import AnalysisError
+
+__all__ = ["SCHEMA", "BenchRecord", "record_from_outcome"]
+
+#: Schema identifier of the artifact format this module reads and writes.
+SCHEMA = "repro.sweep/bench-record/v1"
+
+#: Keys every case entry must carry (``speedup_vs_mc`` may be ``None``).
+_CASE_KEYS = (
+    "name",
+    "engine",
+    "nodes",
+    "num_nodes",
+    "corner",
+    "order",
+    "samples",
+    "seed",
+    "wall_time_s",
+    "worst_drop_v",
+    "max_std_v",
+    "speedup_vs_mc",
+)
+
+
+def _environment() -> Dict[str, str]:
+    import numpy
+    import scipy
+
+    return {
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "numpy": numpy.__version__,
+        "scipy": scipy.__version__,
+    }
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One sweep run's benchmark artifact (schema ``repro.sweep/bench-record/v1``)."""
+
+    cases: Tuple[Dict, ...]
+    config: Dict = field(default_factory=dict)
+    environment: Dict = field(default_factory=dict)
+    created_unix: Optional[float] = None
+    schema: str = SCHEMA
+
+    def __post_init__(self):
+        if self.schema != SCHEMA:
+            raise AnalysisError(
+                f"unsupported benchmark artifact schema {self.schema!r}; "
+                f"this build reads {SCHEMA!r}"
+            )
+        for case in self.cases:
+            missing = [key for key in _CASE_KEYS if key not in case]
+            if missing:
+                raise AnalysisError(
+                    f"benchmark case {case.get('name', '<unnamed>')!r} lacks "
+                    f"schema field(s): {', '.join(missing)}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.cases)
+
+    def case_map(self) -> Dict[Tuple, Dict]:
+        """Cases keyed by their cross-sweep identity (engine/grid/settings)."""
+        return {
+            (
+                case["engine"],
+                case["nodes"],
+                case["order"],
+                case["samples"],
+                case["corner"],
+            ): case
+            for case in self.cases
+        }
+
+    # ------------------------------------------------------------- round trip
+    def to_dict(self) -> Dict:
+        return {
+            "schema": self.schema,
+            "created_unix": self.created_unix,
+            "config": dict(self.config),
+            "environment": dict(self.environment),
+            "cases": [dict(case) for case in self.cases],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "BenchRecord":
+        if not isinstance(payload, dict):
+            raise AnalysisError(
+                f"benchmark artifact must be a JSON object, got {type(payload).__name__}"
+            )
+        return cls(
+            cases=tuple(payload.get("cases", ())),
+            config=dict(payload.get("config", {})),
+            environment=dict(payload.get("environment", {})),
+            created_unix=payload.get("created_unix"),
+            schema=payload.get("schema", "<missing>"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "BenchRecord":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise AnalysisError(f"benchmark artifact is not valid JSON: {exc}") from None
+        return cls.from_dict(payload)
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Write the artifact; parent directories are created as needed."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json(), encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "BenchRecord":
+        path = Path(path)
+        if not path.exists():
+            raise AnalysisError(f"benchmark artifact {path} does not exist")
+        return cls.from_json(path.read_text(encoding="utf-8"))
+
+
+def record_from_outcome(outcome, config: Optional[Dict] = None) -> BenchRecord:
+    """Build the artifact of a :class:`~repro.sweep.runner.SweepOutcome`.
+
+    Every non-Monte-Carlo case gets its wall-time ``speedup_vs_mc`` against
+    the ``montecarlo`` case of the same grid and corner (``None`` when the
+    plan has no such baseline).
+    """
+    speedups = outcome.speedups()
+    cases: List[Dict] = []
+    for result in outcome.results:
+        entry = result.to_record()
+        entry["speedup_vs_mc"] = speedups.get(result.name)
+        cases.append(entry)
+    merged_config = {
+        "workers": outcome.workers,
+        "base_seed": outcome.plan.base_seed,
+        "num_cases": len(outcome.results),
+        "sweep_wall_time_s": float(outcome.wall_time),
+        "transient": {
+            "t_stop": outcome.plan.transient.t_stop,
+            "dt": outcome.plan.transient.dt,
+            "steps": outcome.plan.transient.num_steps,
+        },
+    }
+    merged_config.update(config or {})
+    return BenchRecord(
+        cases=tuple(cases),
+        config=merged_config,
+        environment=_environment(),
+        created_unix=time.time(),
+    )

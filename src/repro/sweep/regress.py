@@ -1,0 +1,207 @@
+"""Benchmark regression checking between two sweep artifacts.
+
+``compare_records`` matches the cases of two :class:`~repro.sweep.record.BenchRecord`
+artifacts by identity (engine, grid size, order, samples, corner) and flags
+every case whose wall time grew by more than the allowed percentage.  Tiny
+absolute times are noise on shared CI runners, so cases below a configurable
+floor are never flagged (both sides are clamped to the floor before the
+ratio is taken).
+
+The module doubles as the CI gate::
+
+    python -m repro.sweep baseline.json current.json --max-regression 75
+
+exits non-zero when a regression (or a vanished case) is detected and prints
+a per-case report either way.  (``python -m repro.sweep`` delegates here;
+running ``repro.sweep.regress`` with ``-m`` directly also works but triggers
+runpy's re-import warning.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import AnalysisError
+from .record import BenchRecord
+
+__all__ = ["CaseDelta", "RegressionReport", "compare_records", "main"]
+
+#: Default allowed wall-time growth, percent.  Generous on purpose: CI
+#: runners are shared and the smoke grids are tiny.
+DEFAULT_MAX_REGRESSION_PERCENT = 75.0
+
+#: Wall times below this floor (seconds) are clamped before comparing.
+DEFAULT_MIN_SECONDS = 0.05
+
+
+@dataclass(frozen=True)
+class CaseDelta:
+    """Wall-time comparison of one case across two artifacts."""
+
+    name: str
+    baseline_s: float
+    current_s: float
+    ratio: float
+    regressed: bool
+
+    def format(self) -> str:
+        marker = "REGRESSED" if self.regressed else "ok"
+        return (
+            f"{self.name:40s} {self.baseline_s:9.3f}s -> {self.current_s:9.3f}s "
+            f"({self.ratio:6.2f}x)  {marker}"
+        )
+
+
+@dataclass(frozen=True)
+class RegressionReport:
+    """Outcome of comparing a current artifact against a baseline."""
+
+    deltas: Tuple[CaseDelta, ...]
+    missing: Tuple[str, ...]
+    added: Tuple[str, ...]
+    max_regression_percent: float
+
+    @property
+    def regressions(self) -> Tuple[CaseDelta, ...]:
+        return tuple(delta for delta in self.deltas if delta.regressed)
+
+    @property
+    def ok(self) -> bool:
+        """True when no case regressed and no baseline case vanished."""
+        return not self.regressions and not self.missing
+
+    def format(self) -> str:
+        lines = [
+            f"benchmark regression check (threshold +{self.max_regression_percent:.0f}%)",
+            "",
+        ]
+        lines.extend(delta.format() for delta in self.deltas)
+        if self.missing:
+            lines.append("")
+            lines.append(
+                "missing from current run (present in baseline): "
+                + ", ".join(self.missing)
+            )
+        if self.added:
+            lines.append("")
+            lines.append("new in current run (not gated): " + ", ".join(self.added))
+        lines.append("")
+        if self.ok:
+            lines.append(f"OK: {len(self.deltas)} case(s) within threshold")
+        else:
+            lines.append(
+                f"FAIL: {len(self.regressions)} regression(s), "
+                f"{len(self.missing)} missing case(s)"
+            )
+        return "\n".join(lines)
+
+
+def compare_records(
+    baseline: BenchRecord,
+    current: BenchRecord,
+    max_regression_percent: float = DEFAULT_MAX_REGRESSION_PERCENT,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> RegressionReport:
+    """Compare ``current`` against ``baseline`` case by case.
+
+    A case regresses when ``clamp(current) > clamp(baseline) * (1 + p/100)``
+    with both wall times clamped up to ``min_seconds`` first.  Cases present
+    only in the baseline are reported as missing (and fail the check); cases
+    present only in the current run are reported but never gate.
+
+    Records that declare different transient configurations are rejected:
+    their wall times measure different work, and matching them by case
+    identity would produce phantom regressions (or mask real ones).
+    """
+    if max_regression_percent < 0:
+        raise ValueError("max_regression_percent must be non-negative")
+    base_transient = baseline.config.get("transient")
+    cur_transient = current.config.get("transient")
+    if base_transient and cur_transient and base_transient != cur_transient:
+        raise AnalysisError(
+            "benchmark artifacts use different transient configurations "
+            f"({base_transient} vs {cur_transient}); wall times are not "
+            "comparable -- regenerate the baseline with the current settings"
+        )
+    baseline_cases = baseline.case_map()
+    current_cases = current.case_map()
+
+    deltas: List[CaseDelta] = []
+    limit = 1.0 + max_regression_percent / 100.0
+    for key, base_case in baseline_cases.items():
+        if key not in current_cases:
+            continue
+        base_s = max(float(base_case["wall_time_s"]), min_seconds)
+        cur_s = max(float(current_cases[key]["wall_time_s"]), min_seconds)
+        ratio = cur_s / base_s
+        deltas.append(
+            CaseDelta(
+                name=str(base_case["name"]),
+                baseline_s=float(base_case["wall_time_s"]),
+                current_s=float(current_cases[key]["wall_time_s"]),
+                ratio=ratio,
+                regressed=ratio > limit,
+            )
+        )
+    missing = tuple(
+        str(case["name"])
+        for key, case in baseline_cases.items()
+        if key not in current_cases
+    )
+    added = tuple(
+        str(case["name"])
+        for key, case in current_cases.items()
+        if key not in baseline_cases
+    )
+    return RegressionReport(
+        deltas=tuple(deltas),
+        missing=missing,
+        added=added,
+        max_regression_percent=float(max_regression_percent),
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: compare two artifact files, exit 1 on regression."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweep",
+        description="Fail when a sweep benchmark artifact regresses against a baseline.",
+    )
+    parser.add_argument("baseline", type=Path, help="baseline BenchRecord JSON")
+    parser.add_argument("current", type=Path, help="current BenchRecord JSON")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=DEFAULT_MAX_REGRESSION_PERCENT,
+        metavar="PCT",
+        help="allowed wall-time growth in percent (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=DEFAULT_MIN_SECONDS,
+        metavar="S",
+        help="clamp wall times up to this floor before comparing (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        report = compare_records(
+            BenchRecord.load(args.baseline),
+            BenchRecord.load(args.current),
+            max_regression_percent=args.max_regression,
+            min_seconds=args.min_seconds,
+        )
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.format())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,304 @@
+"""Parallel execution of sweep plans.
+
+:class:`SweepRunner` fans the cases of a :class:`~repro.sweep.plan.SweepPlan`
+out over a :class:`concurrent.futures.ProcessPoolExecutor`.  Cases -- not
+Monte Carlo samples -- are the unit of parallelism here; each case runs one
+engine end to end through the :class:`repro.api.Analysis` facade.  Every
+worker process keeps a session cache keyed by ``(nodes, grid_seed, corner,
+transient)``, so the cases that share a grid reuse the session's chaos
+bases, factorisations and Galerkin assemblies exactly as a serial run would.
+
+Because every case carries its own deterministic seed (see
+:mod:`repro.sweep.plan`), the *numbers* a sweep produces are identical for
+any ``workers`` count; only the wall times change.  Results come back in
+plan order regardless of completion order.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..sim.transient import TransientConfig
+from .plan import SweepCase, SweepPlan, corner_spec
+
+__all__ = ["SweepRunner", "SweepCaseResult", "SweepOutcome"]
+
+
+@dataclass(frozen=True)
+class SweepCaseResult:
+    """Summary of one executed case (plus optional full statistics).
+
+    ``times`` / ``mean`` / ``std`` are populated only when the runner was
+    built with ``keep_statistics=True``; they allow accuracy comparisons
+    (e.g. Table-1 error metrics) between cases without re-running anything.
+    """
+
+    engine: str
+    nodes: int
+    corner: str
+    order: Optional[int]
+    samples: Optional[int]
+    seed: int
+    name: str
+    num_nodes: int
+    wall_time: float
+    worst_drop: float
+    max_std: float
+    vdd: float = 1.0
+    times: Optional[np.ndarray] = field(default=None, repr=False)
+    mean: Optional[np.ndarray] = field(default=None, repr=False)
+    std: Optional[np.ndarray] = field(default=None, repr=False)
+    raw: Optional[object] = field(default=None, repr=False)
+
+    def key(self) -> Tuple:
+        """Identity used to match results across sweeps (excludes seeds)."""
+        return (self.engine, self.nodes, self.order, self.samples, self.corner)
+
+    @property
+    def has_statistics(self) -> bool:
+        return self.mean is not None
+
+    @property
+    def mean_drop(self) -> np.ndarray:
+        """Mean voltage drop (requires ``keep_statistics``)."""
+        return self.vdd - self._require_statistics("mean_drop")[0]
+
+    @property
+    def std_drop(self) -> np.ndarray:
+        """Standard deviation of the drop (requires ``keep_statistics``)."""
+        return self._require_statistics("std_drop")[1]
+
+    def _require_statistics(self, what: str) -> Tuple[np.ndarray, np.ndarray]:
+        if self.mean is None or self.std is None:
+            raise AnalysisError(
+                f"{what} needs full statistics; run the sweep with "
+                "SweepRunner(keep_statistics=True)"
+            )
+        return self.mean, self.std
+
+    def to_record(self) -> Dict:
+        """The case's :mod:`repro.sweep.record` artifact entry."""
+        return {
+            "name": self.name,
+            "engine": self.engine,
+            "nodes": int(self.nodes),
+            "num_nodes": int(self.num_nodes),
+            "corner": self.corner,
+            "order": None if self.order is None else int(self.order),
+            "samples": None if self.samples is None else int(self.samples),
+            "seed": int(self.seed),
+            "wall_time_s": float(self.wall_time),
+            "worst_drop_v": float(self.worst_drop),
+            "max_std_v": float(self.max_std),
+        }
+
+
+# --------------------------------------------------------------------------
+# Worker side
+# --------------------------------------------------------------------------
+#: Per-process cache of Analysis sessions, keyed by grid identity.  Worker
+#: processes are long-lived within one sweep, so cases sharing a grid reuse
+#: chaos bases, LU factorisations and Galerkin assemblies.
+_WORKER_SESSIONS: Dict[Tuple, object] = {}
+
+
+def _session_for(case: SweepCase, transient: TransientConfig):
+    from ..api import Analysis  # deferred: workers import lazily
+
+    key = (case.nodes, case.grid_seed, case.corner, transient)
+    session = _WORKER_SESSIONS.get(key)
+    if session is None:
+        session = Analysis.from_spec(
+            case.nodes,
+            seed=case.grid_seed,
+            variation=corner_spec(case.corner),
+            transient=transient,
+        )
+        _WORKER_SESSIONS[key] = session
+    return session
+
+
+def _execute_case(args) -> SweepCaseResult:
+    """Run one case (module-level so process pools can pickle it)."""
+    case, transient, keep_statistics, keep_raw = args
+    session = _session_for(case, transient)
+    started = time.perf_counter()
+    view = session.run(case.engine, mode="transient", **case.run_options())
+    elapsed = time.perf_counter() - started
+    mean = view.mean()
+    std = view.std()
+    wall = view.wall_time if view.wall_time is not None else elapsed
+    return SweepCaseResult(
+        engine=case.engine,
+        nodes=case.nodes,
+        corner=case.corner,
+        order=case.order,
+        samples=case.samples,
+        seed=case.seed,
+        name=case.name,
+        num_nodes=int(mean.shape[-1]),
+        wall_time=float(wall),
+        worst_drop=float(view.worst_drop()),
+        max_std=float(np.max(std)) if std.size else 0.0,
+        vdd=float(session.vdd),
+        times=np.asarray(view.raw.times, dtype=float)
+        if keep_statistics and hasattr(view.raw, "times")
+        else None,
+        mean=np.asarray(mean, dtype=float) if keep_statistics else None,
+        std=np.asarray(std, dtype=float) if keep_statistics else None,
+        raw=view.raw if keep_raw else None,
+    )
+
+
+# --------------------------------------------------------------------------
+# Driver side
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepOutcome:
+    """All case results of one executed plan, in plan order."""
+
+    results: Tuple[SweepCaseResult, ...]
+    plan: SweepPlan
+    workers: int
+    wall_time: float
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[SweepCaseResult]:
+        return iter(self.results)
+
+    def case(self, **criteria) -> SweepCaseResult:
+        """The unique result matching the given attribute values."""
+        matches = [
+            result
+            for result in self.results
+            if all(getattr(result, key) == value for key, value in criteria.items())
+        ]
+        if not matches:
+            raise AnalysisError(f"no sweep case matches {criteria!r}")
+        if len(matches) > 1:
+            names = ", ".join(result.name for result in matches)
+            raise AnalysisError(f"criteria {criteria!r} are ambiguous: {names}")
+        return matches[0]
+
+    def speedups(self) -> Dict[str, float]:
+        """Wall-time speedup of every non-Monte-Carlo case vs its MC baseline.
+
+        The baseline of a case is the ``montecarlo`` case on the same grid
+        and corner; grids without an MC case contribute nothing.
+        """
+        baselines = {
+            (result.nodes, result.corner): result.wall_time
+            for result in self.results
+            if result.engine == "montecarlo"
+        }
+        speedups: Dict[str, float] = {}
+        for result in self.results:
+            if result.engine == "montecarlo":
+                continue
+            baseline = baselines.get((result.nodes, result.corner))
+            if baseline is None or result.wall_time <= 0:
+                continue
+            speedups[result.name] = baseline / result.wall_time
+        return speedups
+
+
+class SweepRunner:
+    """Executes :class:`SweepPlan` objects, optionally over a process pool.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes; ``1`` runs in-process (and still reuses
+        sessions across cases through the same cache).
+    keep_statistics:
+        Ship the full mean/std arrays (and the time axis) back with every
+        case.  Costs bandwidth on big grids; needed for accuracy metrics.
+    keep_raw:
+        Ship the engine-native raw result back with every case (chaos
+        coefficients, recorded Monte Carlo waveforms, ...); the heaviest
+        option, used by the Figure-1/2 distribution benches.
+    retain_sessions:
+        Keep driver-side sessions cached across :meth:`run` calls.  By
+        default the cache is cleared after every run so long-lived driver
+        processes do not accumulate factorisations; staged sweeps that run
+        several plans on the same grids (e.g. the Figure-1/2 bench) opt in
+        to reuse the grid setup.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        keep_statistics: bool = False,
+        keep_raw: bool = False,
+        retain_sessions: bool = False,
+    ):
+        if workers < 1:
+            raise AnalysisError(f"workers must be at least 1, got {workers}")
+        self.workers = int(workers)
+        self.keep_statistics = bool(keep_statistics)
+        self.keep_raw = bool(keep_raw)
+        self.retain_sessions = bool(retain_sessions)
+
+    def run(self, plan: SweepPlan) -> SweepOutcome:
+        """Execute every case of ``plan``; results come back in plan order.
+
+        Scheduling: Monte Carlo cases that chunk over their own worker pool
+        (``case.workers > 1``) execute in the driver process, one at a time,
+        while every other case fans out over the case pool.  Process counts
+        therefore *add* (``workers + mc workers``) instead of multiplying --
+        nesting a chunk pool per pool worker would oversubscribe the
+        machine -- and the sweep's critical path (usually its largest MC
+        case) still gets split across processes.
+        """
+        jobs = [
+            (case, plan.transient, self.keep_statistics, self.keep_raw)
+            for case in plan.cases
+        ]
+        started = time.perf_counter()
+        driver_indices = [
+            index
+            for index, case in enumerate(plan.cases)
+            if case.engine == "montecarlo" and case.workers > 1
+        ]
+        pooled_indices = [
+            index for index in range(len(jobs)) if index not in set(driver_indices)
+        ]
+        results: List[Optional[SweepCaseResult]] = [None] * len(jobs)
+        try:
+            if self.workers > 1 and len(pooled_indices) > 1:
+                with ProcessPoolExecutor(
+                    max_workers=min(self.workers, len(pooled_indices))
+                ) as pool:
+                    futures = {
+                        index: pool.submit(_execute_case, jobs[index])
+                        for index in pooled_indices
+                    }
+                    # Driver-side MC cases overlap with the pool's work.
+                    for index in driver_indices:
+                        results[index] = _execute_case(jobs[index])
+                    for index, future in futures.items():
+                        results[index] = future.result()
+            else:
+                for index in range(len(jobs)):
+                    results[index] = _execute_case(jobs[index])
+        finally:
+            # Cases executed in this process cached their sessions in the
+            # module-global; drop them so long-lived drivers do not leak
+            # factorisations and Galerkin assemblies across sweeps.
+            if not self.retain_sessions:
+                _WORKER_SESSIONS.clear()
+        elapsed = time.perf_counter() - started
+        return SweepOutcome(
+            results=tuple(results),
+            plan=plan,
+            workers=self.workers,
+            wall_time=elapsed,
+        )

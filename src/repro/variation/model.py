@@ -44,6 +44,8 @@ __all__ = [
     "StochasticExcitation",
     "AffineExcitation",
     "SummedExcitation",
+    "ConstantSensitivity",
+    "ScaledDrainCurrentSensitivity",
     "StochasticSystem",
     "build_stochastic_system",
 ]
@@ -181,6 +183,38 @@ class StochasticExcitation(abc.ABC):
     @abc.abstractmethod
     def num_variables(self) -> int:
         """Number of germ variables this excitation depends on."""
+
+
+class ConstantSensitivity:
+    """A time-independent sensitivity vector as a callable of time.
+
+    A plain class (rather than a closure) so that excitations built from it
+    -- and hence whole :class:`StochasticSystem` objects -- can be pickled
+    and shipped to worker processes by the chunked Monte Carlo engine and
+    the :mod:`repro.sweep` runner.
+    """
+
+    def __init__(self, vector: np.ndarray):
+        self.vector = np.asarray(vector, dtype=float)
+
+    def __call__(self, t: float) -> np.ndarray:
+        return self.vector
+
+
+class ScaledDrainCurrentSensitivity:
+    """``t -> -scale * i(t)``: drain-current sensitivity to the Leff germ.
+
+    ``U = G1*VDD - i(t)`` gives ``dU/dxi_L = -dI/dxi_L = -scale * i(t)``.
+    Implemented as a picklable class for the same reason as
+    :class:`ConstantSensitivity`.
+    """
+
+    def __init__(self, stamped: StampedSystem, scale: float):
+        self.stamped = stamped
+        self.scale = float(scale)
+
+    def __call__(self, t: float) -> np.ndarray:
+        return -self.scale * self.stamped.drain_current_vector(t)
 
 
 class AffineExcitation(StochasticExcitation):
@@ -426,13 +460,9 @@ def build_stochastic_system(
                 gate_cap = spec.gate_cap_fraction * stamped.capacitance
             c_sens[index] = (spec.sigma_l * gate_cap).tocsr()
         if spec.vary_currents:
-            sensitivity = spec.current_leff_sensitivity * spec.sigma_l
-
-            def current_sensitivity(t: float, _scale=sensitivity) -> np.ndarray:
-                # U = G1*VDD - i(t);   dU/dxi_L = -dI/dxi_L = -scale * i(t)
-                return -_scale * stamped.drain_current_vector(t)
-
-            rhs_sens[index] = current_sensitivity
+            rhs_sens[index] = ScaledDrainCurrentSensitivity(
+                stamped, spec.current_leff_sensitivity * spec.sigma_l
+            )
 
     if not variables:
         raise VariationModelError(
@@ -458,6 +488,5 @@ def build_stochastic_system(
 
 
 def _scaled_constant(vector: np.ndarray) -> Callable[[float], np.ndarray]:
-    """Time-independent sensitivity vector as a callable of time."""
-    vector = np.asarray(vector, dtype=float)
-    return lambda t: vector
+    """Time-independent sensitivity vector as a (picklable) callable of time."""
+    return ConstantSensitivity(vector)

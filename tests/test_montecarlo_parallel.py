@@ -1,0 +1,290 @@
+"""Tests for chunked / parallel Monte Carlo: moment merging and seeding.
+
+Covers the three guarantees the chunked engine makes:
+
+* :meth:`RunningMoments.merge` combines independently accumulated chunks
+  into exactly the statistics of the concatenated stream;
+* the chunk layout (and hence every statistic) depends only on the seed,
+  the sample count and the chunk size -- never on the worker count;
+* configuration errors (``workers < 1``, antithetic with odd chunks) are
+  rejected eagerly, before any work is done.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import Analysis
+from repro.errors import AnalysisError
+from repro.montecarlo.engine import (
+    DEFAULT_CHUNK_SIZE,
+    MonteCarloConfig,
+    run_monte_carlo_dc,
+    run_monte_carlo_transient,
+)
+from repro.montecarlo.statistics import RunningMoments
+from repro.variation.model import AffineExcitation, StochasticSystem
+
+
+class TestRunningMomentsMerge:
+    def test_merged_chunks_match_single_stream(self, rng):
+        """Chunked accumulation + merge == one accumulator over all samples."""
+        samples = rng.normal(size=(60, 4, 3))
+        single = RunningMoments()
+        for sample in samples:
+            single.update(sample)
+
+        merged = RunningMoments()
+        for chunk in np.array_split(samples, 7):
+            part = RunningMoments()
+            for sample in chunk:
+                part.update(sample)
+            merged.merge(part)
+
+        assert merged.count == single.count == 60
+        np.testing.assert_allclose(merged.mean, single.mean, rtol=1e-13, atol=1e-15)
+        np.testing.assert_allclose(
+            merged.variance(ddof=1), single.variance(ddof=1), rtol=1e-12, atol=1e-18
+        )
+
+    def test_merge_matches_numpy(self, rng):
+        samples = rng.normal(loc=3.0, size=(50, 5))
+        merged = RunningMoments()
+        for chunk in np.array_split(samples, 4):
+            part = RunningMoments()
+            for sample in chunk:
+                part.update(sample)
+            merged.merge(part)
+        np.testing.assert_allclose(merged.mean, samples.mean(axis=0), atol=1e-12)
+        np.testing.assert_allclose(
+            merged.variance(ddof=1), samples.var(axis=0, ddof=1), atol=1e-12
+        )
+
+    def test_merge_into_empty_copies(self, rng):
+        part = RunningMoments()
+        for sample in rng.normal(size=(5, 3)):
+            part.update(sample)
+        merged = RunningMoments().merge(part)
+        assert merged.count == 5
+        np.testing.assert_array_equal(merged.mean, part.mean)
+        # the merge must copy, not alias
+        part.update(np.zeros(3))
+        assert merged.count == 5
+
+    def test_merge_empty_other_is_noop(self, rng):
+        moments = RunningMoments()
+        moments.update(np.ones(3))
+        before = moments.mean
+        moments.merge(RunningMoments())
+        assert moments.count == 1
+        np.testing.assert_array_equal(moments.mean, before)
+
+    def test_merge_returns_self_for_chaining(self):
+        a, b = RunningMoments(), RunningMoments()
+        b.update(np.ones(2))
+        assert a.merge(b) is a
+
+    def test_merge_shape_mismatch_rejected(self):
+        a, b = RunningMoments(), RunningMoments()
+        a.update(np.zeros(3))
+        b.update(np.zeros(4))
+        with pytest.raises(AnalysisError):
+            a.merge(b)
+
+    def test_merge_shape_mismatch_against_preallocated(self):
+        a = RunningMoments(shape=(3,))
+        b = RunningMoments()
+        b.update(np.zeros(4))
+        with pytest.raises(AnalysisError):
+            a.merge(b)
+
+    def test_merge_wrong_type_rejected(self):
+        with pytest.raises(AnalysisError):
+            RunningMoments().merge(np.zeros(3))
+
+    def test_state_round_trip(self, rng):
+        moments = RunningMoments()
+        for sample in rng.normal(size=(9, 2, 2)):
+            moments.update(sample)
+        rebuilt = RunningMoments.from_state(*moments.state())
+        assert rebuilt.count == moments.count
+        np.testing.assert_array_equal(rebuilt.mean, moments.mean)
+        np.testing.assert_array_equal(rebuilt.variance(), moments.variance())
+
+    def test_empty_state_round_trip(self):
+        rebuilt = RunningMoments.from_state(*RunningMoments().state())
+        assert rebuilt.count == 0
+
+    def test_from_state_validation(self):
+        with pytest.raises(AnalysisError):
+            RunningMoments.from_state(3, None, None)
+        with pytest.raises(AnalysisError):
+            RunningMoments.from_state(3, np.zeros(2), np.zeros(3))
+
+
+class TestMonteCarloConfigValidation:
+    def test_workers_floor(self, fast_transient):
+        with pytest.raises(AnalysisError):
+            MonteCarloConfig(transient=fast_transient, num_samples=8, workers=0)
+
+    def test_chunk_size_floor(self, fast_transient):
+        with pytest.raises(AnalysisError):
+            MonteCarloConfig(transient=fast_transient, num_samples=8, chunk_size=1)
+
+    def test_antithetic_odd_chunk_size_rejected(self, fast_transient):
+        with pytest.raises(AnalysisError, match="even chunk_size"):
+            MonteCarloConfig(
+                transient=fast_transient,
+                num_samples=12,
+                antithetic=True,
+                workers=2,
+                chunk_size=3,
+            )
+
+    def test_antithetic_odd_num_samples_rejected_when_chunked(self, fast_transient):
+        with pytest.raises(AnalysisError, match="even num_samples"):
+            MonteCarloConfig(
+                transient=fast_transient,
+                num_samples=11,
+                antithetic=True,
+                workers=2,
+            )
+
+    def test_antithetic_odd_num_samples_allowed_unchunked(self, fast_transient):
+        config = MonteCarloConfig(
+            transient=fast_transient, num_samples=11, antithetic=True
+        )
+        assert not config.chunked
+
+    def test_chunk_layout_ignores_workers(self, fast_transient):
+        sizes = [
+            MonteCarloConfig(
+                transient=fast_transient, num_samples=50, workers=w, chunk_size=16
+            ).chunk_sizes()
+            for w in (1, 2, 5)
+        ]
+        assert sizes[0] == sizes[1] == sizes[2] == (16, 16, 16, 2)
+
+    def test_unchunked_layout_is_one_chunk(self, fast_transient):
+        config = MonteCarloConfig(transient=fast_transient, num_samples=50)
+        assert not config.chunked
+        assert config.chunk_sizes() == (50,)
+
+    def test_default_chunk_size_is_even(self):
+        assert DEFAULT_CHUNK_SIZE % 2 == 0
+
+
+class TestChunkSeeding:
+    """Same seed + any worker count -> identical statistics."""
+
+    def _run(self, system, transient, **kwargs):
+        config = MonteCarloConfig(
+            transient=transient, num_samples=24, seed=42, chunk_size=8, **kwargs
+        )
+        return run_monte_carlo_transient(system, config)
+
+    def test_transient_workers_invariant(self, small_system, fast_transient):
+        serial = self._run(small_system, fast_transient, workers=1)
+        parallel = self._run(small_system, fast_transient, workers=3)
+        assert serial.num_samples == parallel.num_samples == 24
+        np.testing.assert_array_equal(serial.mean_voltage, parallel.mean_voltage)
+        np.testing.assert_array_equal(serial.variance, parallel.variance)
+
+    def test_transient_stored_nodes_workers_invariant(
+        self, small_system, fast_transient
+    ):
+        serial = self._run(small_system, fast_transient, workers=1, store_nodes=(0, 3))
+        parallel = self._run(
+            small_system, fast_transient, workers=2, store_nodes=(0, 3)
+        )
+        np.testing.assert_array_equal(
+            serial.drop_samples(3), parallel.drop_samples(3)
+        )
+
+    def test_transient_antithetic_workers_invariant(
+        self, small_system, fast_transient
+    ):
+        serial = self._run(small_system, fast_transient, workers=1, antithetic=True)
+        parallel = self._run(small_system, fast_transient, workers=2, antithetic=True)
+        np.testing.assert_array_equal(serial.mean_voltage, parallel.mean_voltage)
+        np.testing.assert_array_equal(serial.variance, parallel.variance)
+
+    def test_chunked_stats_close_to_single_stream(self, small_system, fast_transient):
+        """Chunked streams differ from the legacy stream but estimate the
+        same distribution: means agree to Monte-Carlo accuracy."""
+        legacy = run_monte_carlo_transient(
+            small_system,
+            MonteCarloConfig(transient=fast_transient, num_samples=64, seed=3),
+        )
+        chunked = run_monte_carlo_transient(
+            small_system,
+            MonteCarloConfig(
+                transient=fast_transient, num_samples=64, seed=3, chunk_size=16
+            ),
+        )
+        scale = np.max(np.abs(legacy.mean_drop))
+        assert np.max(np.abs(legacy.mean_voltage - chunked.mean_voltage)) < 0.5 * scale
+
+    def test_dc_workers_invariant(self, small_system):
+        serial = run_monte_carlo_dc(
+            small_system, num_samples=30, seed=4, chunk_size=8, workers=1
+        )
+        parallel = run_monte_carlo_dc(
+            small_system, num_samples=30, seed=4, chunk_size=8, workers=3
+        )
+        np.testing.assert_array_equal(serial.mean_voltage, parallel.mean_voltage)
+        np.testing.assert_array_equal(serial.variance, parallel.variance)
+
+    def test_dc_validation(self, small_system):
+        with pytest.raises(AnalysisError):
+            run_monte_carlo_dc(small_system, num_samples=10, workers=0)
+        with pytest.raises(AnalysisError):
+            run_monte_carlo_dc(small_system, num_samples=10, chunk_size=1)
+
+
+class TestEngineOptionRouting:
+    def test_session_run_accepts_workers(self, small_netlist, fast_transient):
+        session = Analysis.from_netlist(small_netlist).with_transient(fast_transient)
+        serial = session.run("montecarlo", samples=16, seed=2, chunk_size=8, workers=1)
+        parallel = session.run(
+            "montecarlo", samples=16, seed=2, chunk_size=8, workers=2
+        )
+        np.testing.assert_array_equal(serial.mean(), parallel.mean())
+        np.testing.assert_array_equal(serial.std(), parallel.std())
+
+    def test_session_run_dc_accepts_workers(self, small_netlist):
+        session = Analysis.from_netlist(small_netlist)
+        result = session.run("montecarlo", mode="dc", samples=12, workers=2, chunk_size=6)
+        assert result.raw.num_samples == 12
+
+    def test_invalid_workers_propagates(self, small_netlist, fast_transient):
+        session = Analysis.from_netlist(small_netlist).with_transient(fast_transient)
+        with pytest.raises(AnalysisError):
+            session.run("montecarlo", samples=16, workers=0)
+
+
+class TestUnpicklableFallback:
+    def test_falls_back_to_serial_with_warning(self, small_system, fast_transient):
+        """Systems that cannot cross process boundaries still run chunked."""
+        hostile = StochasticSystem(
+            variables=small_system.variables,
+            g_nominal=small_system.g_nominal,
+            c_nominal=small_system.c_nominal,
+            g_sensitivities=small_system.g_sensitivities,
+            c_sensitivities=small_system.c_sensitivities,
+            excitation=AffineExcitation(
+                nominal=lambda t: small_system.excitation.nominal(t),
+                sensitivities={},
+                num_variables=small_system.num_variables,
+            ),
+            vdd=small_system.vdd,
+            node_names=small_system.node_names,
+        )
+        config = MonteCarloConfig(
+            transient=fast_transient, num_samples=12, seed=1, workers=2, chunk_size=4
+        )
+        with pytest.warns(RuntimeWarning, match="cannot be pickled"):
+            result = run_monte_carlo_transient(hostile, config)
+        assert result.num_samples == 12
+        assert np.all(np.isfinite(result.mean_voltage))

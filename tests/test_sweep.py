@@ -1,0 +1,404 @@
+"""Tests for the repro.sweep subsystem: plans, runner, artifacts, regress gate."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.errors import AnalysisError
+from repro.sim import TransientConfig
+from repro.sweep import (
+    SCHEMA,
+    BenchRecord,
+    SweepCase,
+    SweepPlan,
+    SweepRunner,
+    compare_records,
+    corner_names,
+    corner_spec,
+    grid_seed_for,
+    record_from_outcome,
+)
+
+FAST_TRANSIENT = TransientConfig(t_stop=1.2e-9, dt=0.2e-9)
+
+
+@pytest.fixture(scope="module")
+def small_outcome():
+    """A tiny executed sweep shared by the runner/record/regress tests."""
+    plan = SweepPlan.grid(
+        [60, 90],
+        engines=("opera", "montecarlo"),
+        orders=(1,),
+        samples=8,
+        transient=FAST_TRANSIENT,
+        base_seed=5,
+    )
+    return SweepRunner(workers=1, keep_statistics=True).run(plan)
+
+
+class TestCorners:
+    def test_known_corners(self):
+        assert "paper" in corner_names()
+        assert "rhs-only" in corner_names()
+
+    def test_paper_corner_is_paper_defaults(self):
+        from repro.variation import VariationSpec
+
+        assert corner_spec("paper") == VariationSpec.paper_defaults()
+
+    def test_rhs_only_corner_disables_matrix_variation(self):
+        spec = corner_spec("rhs-only")
+        assert not spec.vary_conductance
+        assert not spec.vary_capacitance
+
+    def test_unknown_corner_lists_names(self):
+        with pytest.raises(AnalysisError, match="paper"):
+            corner_spec("nope")
+
+
+class TestSweepPlan:
+    def test_grid_product(self):
+        plan = SweepPlan.grid(
+            [60, 90],
+            engines=("opera", "montecarlo", "deterministic"),
+            orders=(1, 2),
+            samples=8,
+            transient=FAST_TRANSIENT,
+        )
+        # chaos engine: one case per order; others: one case per grid
+        assert len(plan) == 2 * (2 + 1 + 1)
+        names = [case.name for case in plan]
+        assert len(set(names)) == len(names)
+
+    def test_case_seeds_are_deterministic_and_distinct(self):
+        plan_a = SweepPlan.grid([60, 90], samples=8, transient=FAST_TRANSIENT)
+        plan_b = SweepPlan.grid([60, 90], samples=8, transient=FAST_TRANSIENT)
+        assert [c.seed for c in plan_a] == [c.seed for c in plan_b]
+        assert len({c.seed for c in plan_a}) == len(plan_a.cases)
+
+    def test_base_seed_changes_case_seeds(self):
+        plan_a = SweepPlan.grid([60], samples=8, base_seed=0, transient=FAST_TRANSIENT)
+        plan_b = SweepPlan.grid([60], samples=8, base_seed=1, transient=FAST_TRANSIENT)
+        assert [c.seed for c in plan_a] != [c.seed for c in plan_b]
+
+    def test_grid_seed_matches_helper(self):
+        plan = SweepPlan.grid([60], samples=8, transient=FAST_TRANSIENT)
+        assert all(case.grid_seed == grid_seed_for(60) for case in plan)
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(AnalysisError):
+            SweepPlan(cases=())
+        with pytest.raises(AnalysisError):
+            SweepPlan.grid([], transient=FAST_TRANSIENT)
+
+    def test_duplicate_cases_rejected(self):
+        case = SweepCase(engine="opera", nodes=60, order=2)
+        with pytest.raises(AnalysisError, match="duplicate"):
+            SweepPlan(cases=(case, case))
+
+    def test_case_validates_corner_eagerly(self):
+        with pytest.raises(AnalysisError):
+            SweepCase(engine="opera", nodes=60, corner="bogus")
+
+    def test_mc_run_options(self):
+        case = SweepCase(
+            engine="montecarlo",
+            nodes=60,
+            samples=16,
+            antithetic=True,
+            store_nodes=(1, 2),
+            workers=3,
+            chunk_size=8,
+            seed=99,
+        )
+        options = case.run_options()
+        assert options == {
+            "samples": 16,
+            "seed": 99,
+            "antithetic": True,
+            "workers": 3,
+            "chunk_size": 8,
+            "store_nodes": (1, 2),
+        }
+
+    def test_mc_workers_excluded_from_identity(self):
+        serial = SweepCase(engine="montecarlo", nodes=60, samples=16, workers=1)
+        chunked = SweepCase(engine="montecarlo", nodes=60, samples=16, workers=4)
+        assert serial.key() == chunked.key()
+        assert serial.name == chunked.name
+
+    def test_grid_mc_workers_applies_to_mc_cases_only(self):
+        plan = SweepPlan.grid(
+            [60], engines=("opera", "montecarlo"), samples=8,
+            mc_workers=4, transient=FAST_TRANSIENT,
+        )
+        by_engine = {case.engine: case for case in plan}
+        assert by_engine["montecarlo"].workers == 4
+        assert by_engine["opera"].workers == 1
+
+    def test_grid_mc_chunk_size_applies(self):
+        plan = SweepPlan.grid(
+            [60], engines=("montecarlo",), samples=16, mc_chunk_size=4,
+            transient=FAST_TRANSIENT,
+        )
+        assert plan.cases[0].chunk_size == 4
+
+    def test_antithetic_parity_validated_at_construction(self):
+        with pytest.raises(AnalysisError, match="even sample count"):
+            SweepCase(engine="montecarlo", nodes=60, samples=15, antithetic=True)
+        with pytest.raises(AnalysisError, match="even chunk_size"):
+            SweepCase(
+                engine="montecarlo", nodes=60, samples=16, antithetic=True,
+                chunk_size=7,
+            )
+
+    def test_grid_rounds_odd_antithetic_samples_up(self):
+        plan = SweepPlan.grid(
+            [60], engines=("montecarlo",), samples=7, antithetic=True,
+            transient=FAST_TRANSIENT,
+        )
+        assert plan.cases[0].samples == 8
+
+    def test_chaos_run_options(self):
+        assert SweepCase(engine="opera", nodes=60, order=3).run_options() == {"order": 3}
+
+
+class TestSweepRunner:
+    def test_results_in_plan_order(self, small_outcome):
+        assert [r.name for r in small_outcome.results] == [
+            c.name for c in small_outcome.plan.cases
+        ]
+
+    def test_statistics_kept(self, small_outcome):
+        opera = small_outcome.case(engine="opera", nodes=60)
+        assert opera.has_statistics
+        assert opera.mean.shape == (FAST_TRANSIENT.num_steps + 1, opera.num_nodes)
+        assert np.all(opera.std_drop >= 0)
+
+    def test_parallel_matches_serial(self, small_outcome):
+        parallel = SweepRunner(workers=2, keep_statistics=True).run(small_outcome.plan)
+        for a, b in zip(small_outcome, parallel):
+            assert a.name == b.name
+            assert a.num_nodes == b.num_nodes
+            np.testing.assert_array_equal(a.mean, b.mean)
+            np.testing.assert_array_equal(a.std, b.std)
+
+    def test_speedups_vs_mc(self, small_outcome):
+        speedups = small_outcome.speedups()
+        assert set(speedups) == {"opera-n60-o1-paper", "opera-n90-o1-paper"}
+        assert all(value > 0 for value in speedups.values())
+
+    def test_case_lookup_errors(self, small_outcome):
+        with pytest.raises(AnalysisError, match="no sweep case"):
+            small_outcome.case(engine="opera", nodes=999)
+        with pytest.raises(AnalysisError, match="ambiguous"):
+            small_outcome.case(engine="opera")
+
+    def test_keep_raw_ships_native_result(self):
+        plan = SweepPlan(
+            cases=(SweepCase(engine="opera", nodes=60, order=1),),
+            transient=FAST_TRANSIENT,
+        )
+        outcome = SweepRunner(workers=1, keep_raw=True).run(plan)
+        assert hasattr(outcome.results[0].raw, "worst_node")
+
+    def test_statistics_absent_without_flag(self):
+        plan = SweepPlan(
+            cases=(SweepCase(engine="opera", nodes=60, order=1),),
+            transient=FAST_TRANSIENT,
+        )
+        result = SweepRunner(workers=1).run(plan).results[0]
+        assert not result.has_statistics
+        with pytest.raises(AnalysisError, match="keep_statistics"):
+            _ = result.mean_drop
+
+    def test_workers_validation(self):
+        with pytest.raises(AnalysisError):
+            SweepRunner(workers=0)
+
+
+class TestBenchRecord:
+    def test_round_trip(self, small_outcome):
+        record = record_from_outcome(small_outcome, config={"suite": "test"})
+        rebuilt = BenchRecord.from_json(record.to_json())
+        assert rebuilt.to_dict() == record.to_dict()
+        assert rebuilt.schema == SCHEMA
+        assert rebuilt.config["suite"] == "test"
+        assert rebuilt.config["workers"] == 1
+
+    def test_schema_fields_present(self, small_outcome):
+        record = record_from_outcome(small_outcome)
+        payload = json.loads(record.to_json())
+        assert payload["schema"] == SCHEMA
+        for case in payload["cases"]:
+            for key in (
+                "name",
+                "engine",
+                "nodes",
+                "num_nodes",
+                "corner",
+                "order",
+                "samples",
+                "seed",
+                "wall_time_s",
+                "worst_drop_v",
+                "max_std_v",
+                "speedup_vs_mc",
+            ):
+                assert key in case, key
+
+    def test_speedup_recorded_for_non_mc_cases(self, small_outcome):
+        record = record_from_outcome(small_outcome)
+        by_engine = {}
+        for case in record.cases:
+            by_engine.setdefault(case["engine"], []).append(case)
+        assert all(c["speedup_vs_mc"] is None for c in by_engine["montecarlo"])
+        assert all(c["speedup_vs_mc"] > 0 for c in by_engine["opera"])
+
+    def test_unknown_schema_rejected(self, small_outcome):
+        record = record_from_outcome(small_outcome)
+        payload = record.to_dict()
+        payload["schema"] = "repro.sweep/bench-record/v999"
+        with pytest.raises(AnalysisError, match="schema"):
+            BenchRecord.from_dict(payload)
+
+    def test_missing_case_field_rejected(self, small_outcome):
+        payload = record_from_outcome(small_outcome).to_dict()
+        del payload["cases"][0]["wall_time_s"]
+        with pytest.raises(AnalysisError, match="wall_time_s"):
+            BenchRecord.from_dict(payload)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(AnalysisError, match="JSON"):
+            BenchRecord.from_json("{not json")
+
+    def test_write_and_load(self, small_outcome, tmp_path):
+        record = record_from_outcome(small_outcome)
+        path = record.write(tmp_path / "nested" / "sweep.json")
+        assert BenchRecord.load(path).to_dict() == record.to_dict()
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(AnalysisError, match="does not exist"):
+            BenchRecord.load(tmp_path / "absent.json")
+
+
+def _record_with_wall_times(small_outcome, scale: float) -> BenchRecord:
+    payload = record_from_outcome(small_outcome).to_dict()
+    for case in payload["cases"]:
+        case["wall_time_s"] = max(case["wall_time_s"], 0.2) * scale
+    return BenchRecord.from_dict(payload)
+
+
+class TestRegress:
+    def test_identical_records_pass(self, small_outcome):
+        record = record_from_outcome(small_outcome)
+        report = compare_records(record, record)
+        assert report.ok
+        assert not report.regressions
+        assert "OK" in report.format()
+
+    def test_large_regression_fails(self, small_outcome):
+        baseline = _record_with_wall_times(small_outcome, 1.0)
+        slower = _record_with_wall_times(small_outcome, 3.0)
+        report = compare_records(baseline, slower, max_regression_percent=75.0)
+        assert not report.ok
+        assert len(report.regressions) == len(baseline.cases)
+        assert "FAIL" in report.format()
+
+    def test_speedup_within_threshold_passes(self, small_outcome):
+        baseline = _record_with_wall_times(small_outcome, 1.0)
+        faster = _record_with_wall_times(small_outcome, 0.5)
+        assert compare_records(baseline, faster).ok
+
+    def test_min_seconds_clamps_noise(self, small_outcome):
+        baseline = _record_with_wall_times(small_outcome, 1.0)
+        # 3x regression, but in absolute terms everything stays under the floor
+        slower = _record_with_wall_times(small_outcome, 3.0)
+        report = compare_records(baseline, slower, min_seconds=10.0)
+        assert report.ok
+
+    def test_mismatched_transients_rejected(self, small_outcome):
+        baseline = record_from_outcome(small_outcome)
+        payload = record_from_outcome(small_outcome).to_dict()
+        payload["config"]["transient"] = {"t_stop": 9e-9, "dt": 1e-10, "steps": 90}
+        current = BenchRecord.from_dict(payload)
+        with pytest.raises(AnalysisError, match="not .?comparable|transient"):
+            compare_records(baseline, current)
+
+    def test_missing_case_fails(self, small_outcome):
+        baseline = record_from_outcome(small_outcome)
+        payload = baseline.to_dict()
+        payload["cases"] = payload["cases"][1:]
+        current = BenchRecord.from_dict(payload)
+        report = compare_records(baseline, current)
+        assert not report.ok
+        assert len(report.missing) == 1
+
+    def test_added_case_does_not_gate(self, small_outcome):
+        current = record_from_outcome(small_outcome)
+        payload = current.to_dict()
+        payload["cases"] = payload["cases"][1:]
+        baseline = BenchRecord.from_dict(payload)
+        report = compare_records(baseline, current)
+        assert report.ok
+        assert len(report.added) == 1
+
+    def test_regress_cli(self, small_outcome, tmp_path, capsys):
+        from repro.sweep.regress import main as regress_main
+
+        base_path = tmp_path / "base.json"
+        _record_with_wall_times(small_outcome, 1.0).write(base_path)
+        slow_path = tmp_path / "slow.json"
+        _record_with_wall_times(small_outcome, 4.0).write(slow_path)
+
+        assert regress_main([str(base_path), str(base_path)]) == 0
+        assert regress_main([str(base_path), str(slow_path)]) == 1
+        assert (
+            regress_main(
+                [str(base_path), str(slow_path), "--max-regression", "1000"]
+            )
+            == 0
+        )
+        capsys.readouterr()  # silence report output
+
+
+class TestSweepCli:
+    def test_sweep_writes_artifact_and_gates(self, tmp_path, capsys):
+        output = tmp_path / "sweep.json"
+        args = [
+            "sweep",
+            "--nodes",
+            "60",
+            "--engines",
+            "opera,montecarlo",
+            "--samples",
+            "8",
+            "--steps",
+            "5",
+            "--output",
+            str(output),
+        ]
+        assert cli_main(args) == 0
+        record = BenchRecord.load(output)
+        assert len(record.cases) == 2
+        out = capsys.readouterr().out
+        assert "speedup vs MC" in out
+
+        # gate against itself: passes
+        assert cli_main(args + ["--baseline", str(output)]) == 0
+        capsys.readouterr()
+
+    def test_sweep_rejects_unknown_engine(self, capsys):
+        assert cli_main(["sweep", "--nodes", "60", "--engines", "bogus"]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_sweep_rejects_unknown_corner(self, capsys):
+        assert (
+            cli_main(["sweep", "--nodes", "60", "--samples", "8", "--corners", "bogus"])
+            == 2
+        )
+        assert "corner" in capsys.readouterr().err
