@@ -56,12 +56,8 @@ def figure_setup():
     # retain_sessions: the MC stage reuses the grid the OPERA stage built.
     runner = SweepRunner(workers=bench_workers(), keep_raw=True, retain_sessions=True)
 
-    opera_case = SweepCase(
-        engine="opera", nodes=target, grid_seed=grid_seed, order=2
-    )
-    opera_result = runner.run(
-        SweepPlan(cases=(opera_case,), transient=transient)
-    ).results[0].raw
+    opera_case = SweepCase(engine="opera", nodes=target, grid_seed=grid_seed, order=2)
+    opera_result = runner.run(SweepPlan(cases=(opera_case,), transient=transient)).results[0].raw
 
     worst = int(opera_result.worst_node())
     # Figure 2 uses a second node: the one with the median peak drop among
@@ -82,9 +78,7 @@ def figure_setup():
         workers=bench_workers(),
         seed=13,
     )
-    mc_result = runner.run(
-        SweepPlan(cases=(mc_case,), transient=transient)
-    ).results[0].raw
+    mc_result = runner.run(SweepPlan(cases=(mc_case,), transient=transient)).results[0].raw
     return opera_result, mc_result, worst, second
 
 

@@ -46,9 +46,7 @@ def test_correlation_length_sweep(
         stamped=stamped,
     )
     config = OperaConfig(transient=bench_transient(), order=2)
-    result = benchmark.pedantic(
-        run_opera_transient, args=(system, config), rounds=1, iterations=1
-    )
+    result = benchmark.pedantic(run_opera_transient, args=(system, config), rounds=1, iterations=1)
     worst = result.worst_node()
     step = result.peak_time_index(worst)
     sweep_rows[correlation_length] = (
@@ -65,9 +63,7 @@ def test_correlation_length_sweep(
     for length in sorted(sweep_rows, reverse=True):
         germs, terms, sigma, wall = sweep_rows[length]
         label = "inf" if length >= 1e8 else f"{length:g}"
-        lines.append(
-            f"{label:>14}  {germs:5d}  {terms:11d}  {1e3 * sigma:19.3f}  {wall:11.3f}"
-        )
+        lines.append(f"{label:>14}  {germs:5d}  {terms:11d}  {1e3 * sigma:19.3f}  {wall:11.3f}")
     write_result(results_dir, "intra_die_sweep.txt", "\n".join(lines) + "\n")
 
     # Local variation must not produce more variability than fully correlated.

@@ -1,0 +1,167 @@
+"""Monolithic vs partitioned solves: the partition-subsystem benchmark.
+
+Two comparisons on the *largest* benchmark grid (env-scaled via the shared
+``OPERA_BENCH_*`` variables, see ``_bench_config.py``):
+
+1. **Raw solver**: factor + solve wall time of the monolithic sparse LU
+   (``direct``) against the Schur-complement solver (``schur``) at several
+   partition counts, on the nominal conductance matrix.
+2. **Engine**: a sweep with the monolithic ``opera`` engine and the
+   partitioned ``hierarchical`` engine on the same grids, emitted as a
+   :class:`~repro.sweep.BenchRecord` artifact so partitioned wall times are
+   tracked (and gateable) exactly like every other case.
+
+Run it directly for a larger study::
+
+    OPERA_BENCH_NODE_COUNTS=2500,10000 PYTHONPATH=src \
+    python benchmarks/bench_partition.py --output benchmarks/results/partition_bench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.api import Analysis  # noqa: F401  (registers the schur backend)
+from repro.grid.generator import generate_power_grid, spec_for_node_count
+from repro.grid.stamping import stamp
+from repro.partition import SchurSolver, partition_system
+from repro.sim.linear import DirectSolver
+from repro.sweep import (
+    BenchRecord,
+    SweepPlan,
+    SweepRunner,
+    compare_records,
+    record_from_outcome,
+)
+from repro.sweep.plan import grid_seed_for
+
+from _bench_config import (
+    RESULTS_DIR,
+    bench_node_counts,
+    bench_transient,
+    bench_workers,
+)
+
+#: Base seed of the partition bench plan (fixed for reproducibility).
+BASE_SEED = 23
+
+#: Partition counts of the raw-solver comparison.
+PART_COUNTS = (2, 4, 8)
+
+
+def time_raw_solvers(nodes: int) -> dict:
+    """Factor+solve wall times of direct vs schur on the largest grid."""
+    spec = spec_for_node_count(nodes, seed=grid_seed_for(nodes, BASE_SEED))
+    stamped = stamp(generate_power_grid(spec))
+    conductance = stamped.conductance
+    rhs = stamped.rhs(0.0)
+
+    started = time.perf_counter()
+    direct = DirectSolver(conductance)
+    reference = direct.solve(rhs)
+    direct_s = time.perf_counter() - started
+
+    timings = {
+        "nodes": int(stamped.num_nodes),
+        "direct_factor_solve_s": float(direct_s),
+        "schur_factor_solve_s": {},
+        "schur_relative_error": {},
+        "interface_nodes": {},
+    }
+    for num_parts in PART_COUNTS:
+        partition = partition_system(stamped, num_parts)
+        started = time.perf_counter()
+        solver = SchurSolver(conductance, partition=partition)
+        solution = solver.solve(rhs)
+        elapsed = time.perf_counter() - started
+        error = float(np.max(np.abs(solution - reference)) / np.max(np.abs(reference)))
+        timings["schur_factor_solve_s"][str(num_parts)] = float(elapsed)
+        timings["schur_relative_error"][str(num_parts)] = error
+        timings["interface_nodes"][str(num_parts)] = int(partition.boundary.size)
+    return timings
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=RESULTS_DIR / "partition_bench.json",
+        help="where to write the BenchRecord JSON (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="gate against this baseline artifact (exit 1 on regression)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=300.0,
+        metavar="PCT",
+        help="allowed wall-time growth vs the baseline, percent (default %(default)s)",
+    )
+    parser.add_argument(
+        "--partitions",
+        type=int,
+        default=4,
+        metavar="K",
+        help="schedule group count of the hierarchical cases (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    largest = max(bench_node_counts())
+    print(f"raw solver comparison on ~{largest} nodes")
+    raw = time_raw_solvers(largest)
+    direct_s = raw["direct_factor_solve_s"]
+    print(f"  direct   factor+solve {direct_s:8.3f}s")
+    for num_parts in PART_COUNTS:
+        key = str(num_parts)
+        schur_s = raw["schur_factor_solve_s"][key]
+        print(
+            f"  schur K={num_parts}  factor+solve {schur_s:8.3f}s  "
+            f"({raw['interface_nodes'][key]} interface nodes, "
+            f"rel err {raw['schur_relative_error'][key]:.2e})"
+        )
+
+    plan = SweepPlan.grid(
+        bench_node_counts(),
+        engines=("opera", "hierarchical"),
+        orders=(2,),
+        partitions=args.partitions,
+        transient=bench_transient(),
+        base_seed=BASE_SEED,
+    )
+    outcome = SweepRunner(workers=bench_workers()).run(plan)
+    record = record_from_outcome(outcome, config={"suite": "partition", "raw_solver": raw})
+
+    print(f"engine sweep: {len(outcome)} case(s), wall {outcome.wall_time:.2f}s")
+    for result in outcome:
+        print(f"  {result.name:44s} {result.wall_time:8.3f}s")
+
+    path = record.write(args.output)
+    print(f"wrote {path}")
+
+    if args.baseline is not None:
+        report = compare_records(
+            BenchRecord.load(args.baseline),
+            record,
+            max_regression_percent=args.max_regression,
+            min_seconds=0.5,
+        )
+        print()
+        print(report.format())
+        if not report.ok:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

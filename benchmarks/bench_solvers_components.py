@@ -115,7 +115,5 @@ def test_nominal_vs_opera_overhead(benchmark, component_grid, results_dir):
 def test_prima_reduction(benchmark, component_grid):
     _, _, stamped, _ = component_grid
     ports = np.unique(np.concatenate([stamped.source_nodes[:8], stamped.pad_nodes[:4]]))
-    model = benchmark(
-        prima_reduce, stamped.conductance, stamped.capacitance, ports, 2
-    )
+    model = benchmark(prima_reduce, stamped.conductance, stamped.capacitance, ports, 2)
     assert model.order <= 2 * ports.size

@@ -30,9 +30,7 @@ def leakage_session(grid_cache):
     target = sorted(bench_node_counts())[len(bench_node_counts()) // 2]
     spec, netlist, stamped, _ = grid_cache.get(target)
     partition = RegionPartition(nx=spec.nx, ny=spec.ny, region_rows=2, region_cols=2)
-    system = build_leakage_system(
-        stamped, partition, LeakageVariationSpec(vth_sigma=0.03)
-    )
+    system = build_leakage_system(stamped, partition, LeakageVariationSpec(vth_sigma=0.03))
     session = Analysis.from_netlist(netlist, stamped=stamped).with_system(system)
     session.with_transient(bench_transient())
     return session

@@ -65,9 +65,7 @@ def main() -> None:
     inter = session.system
     result = session.run("opera", order=2).raw
     worst = result.worst_node()
-    indices = transient_total_indices(
-        result, worst, variable_names=inter.variable_names()
-    )
+    indices = transient_total_indices(result, worst, variable_names=inter.variable_names())
     name = result.node_names[worst] if result.node_names else worst
     print(f"  worst node {name}: total-effect Sobol' indices")
     for germ, value in sorted(indices.items(), key=lambda item: -item[1]):

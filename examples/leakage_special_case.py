@@ -40,9 +40,7 @@ def main() -> None:
     netlist = generate_power_grid(spec)
     stamped = stamp(netlist)
 
-    partition = RegionPartition(
-        nx=spec.nx, ny=spec.ny, region_rows=args.regions, region_cols=1
-    )
+    partition = RegionPartition(nx=spec.nx, ny=spec.ny, region_rows=args.regions, region_cols=1)
     leakage_spec = LeakageVariationSpec(vth_sigma=args.vth_sigma)
     system = build_leakage_system(stamped, partition, leakage_spec)
 
@@ -75,10 +73,7 @@ def main() -> None:
     mc_view = session.run("montecarlo", samples=args.samples, seed=3, antithetic=True)
     metrics = compare_to_monte_carlo(opera_result, mc_view.raw)
     print(f"  {metrics}")
-    print(
-        f"  speed-up over this Monte Carlo: "
-        f"{mc_view.wall_time / opera_view.wall_time:.0f}x"
-    )
+    print(f"  speed-up over this Monte Carlo: " f"{mc_view.wall_time / opera_view.wall_time:.0f}x")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,39 @@
+"""Partitioned power-grid analysis in ~20 lines.
+
+Builds a synthetic grid, compares the partitioned Schur-complement solver
+against the monolithic sparse LU on the nominal system (they agree to
+machine precision), then runs the partitioned ``hierarchical`` engine and
+checks it against the monolithic ``opera`` engine.  The hierarchical
+statistics are bit-identical for every ``partitions=`` / ``workers=``
+setting; only the schedule changes.
+
+Run with:  python examples/partition_quickstart.py
+"""
+
+import numpy as np
+
+from repro import Analysis
+from repro.sim.linear import make_solver
+
+session = Analysis.from_spec(2500, seed=1).with_transient(t_stop=2.4e-9, dt=0.2e-9)
+
+# --- 1. the "schur" solver backend: a drop-in partitioned direct solve ----
+conductance = session.stamped.conductance
+rhs = session.stamped.rhs(0.0)
+direct = make_solver(conductance, method="direct").solve(rhs)
+schur_solver = make_solver(conductance, method="schur", num_parts=4)
+schur = schur_solver.solve(rhs)
+error = np.max(np.abs(schur - direct)) / np.max(np.abs(direct))
+print(f"schur vs direct: relative error {error:.2e}")
+print(f"partition: {schur_solver.stats['interface_nodes']} interface nodes, "
+      f"interiors {schur_solver.stats['interior_sizes']}")
+
+# --- 2. the hierarchical engine: partitioned OPERA ------------------------
+opera = session.run("opera", order=2)
+hier = session.run("hierarchical", order=2, partitions=4)
+mean_error = np.max(np.abs(hier.mean() - opera.mean()))
+sigma_error = np.max(np.abs(hier.std() - opera.std()))
+print(f"hierarchical vs opera: |mean diff| {mean_error:.2e} V, "
+      f"|sigma diff| {sigma_error:.2e} V")
+print(f"worst drop {1e3 * hier.worst_drop():.1f} mV in {hier.wall_time:.2f} s")
+print(f"partition diagnostics: {hier.to_dict()['partition']}")

@@ -62,9 +62,7 @@ def main() -> None:
         error = 100 * np.mean(
             np.abs(result.std_drop - reference.std_drop)[hot] / reference.std_drop[hot]
         )
-        print(
-            f"  {order:5d}   {result.basis.size:5d}   {result.wall_time:13.3f}   {error:29.3f}"
-        )
+        print(f"  {order:5d}   {result.basis.size:5d}   {result.wall_time:13.3f}   {error:29.3f}")
 
 
 if __name__ == "__main__":

@@ -21,7 +21,11 @@ Variations" (Ghanta, Vrudhula, Panda, Wang -- DATE 2005).  It contains:
 * :mod:`repro.sweep` -- parallel execution of many analyses (node counts x
   engines x chaos orders x variation corners) over a process pool, with
   versioned benchmark artifacts and a wall-time regression gate
-  (``opera-run sweep``).
+  (``opera-run sweep``);
+* :mod:`repro.partition` -- hierarchical partitioned analysis: deterministic
+  graph partitioning, exact Schur-complement port reduction (the ``schur``
+  solver backend), block-Jacobi/additive-Schwarz preconditioning
+  (``schwarz-cg``) and the ``hierarchical`` engine.
 
 Quick start -- the :class:`~repro.api.Analysis` facade is the recommended
 entry point.  A session owns the grid, the variation model and a cache of
@@ -39,7 +43,8 @@ so repeated runs reuse work::
     print(session.compare(samples=200))            # Table-1 accuracy/speed-up row
 
 Every engine (``opera``, ``decoupled``, ``montecarlo``, ``deterministic``,
-``randomwalk``, plus anything added with :func:`~repro.api.register_engine`)
+``randomwalk``, ``hierarchical``, plus anything added with
+:func:`~repro.api.register_engine`)
 returns an :class:`~repro.api.AnalysisResult`: uniform ``mean()``, ``std()``,
 ``worst_drop()``, ``wall_time`` and ``to_dict()``, with the engine-native
 result reachable as ``result.raw``.  Linear-solver backends are pluggable the

@@ -38,9 +38,7 @@ class DropDistributionComparison:
     def histogram_distance(self) -> float:
         """Total-variation-style distance between the two histograms (0..100)."""
         return 0.5 * float(
-            np.sum(
-                np.abs(self.opera_percent_occurrence - self.monte_carlo_percent_occurrence)
-            )
+            np.sum(np.abs(self.opera_percent_occurrence - self.monte_carlo_percent_occurrence))
         )
 
 
@@ -68,9 +66,7 @@ def drop_distribution_comparison(
         time_index = opera.peak_time_index(node)
 
     mc_drops = monte_carlo.drop_samples(node, time_index)
-    opera_drops = opera.drop_samples(
-        node, time_index, num_samples=num_opera_samples, rng=rng
-    )
+    opera_drops = opera.drop_samples(node, time_index, num_samples=num_opera_samples, rng=rng)
 
     vdd = opera.vdd
     mc_percent = 100.0 * mc_drops / vdd
@@ -99,9 +95,7 @@ def drop_distribution_comparison(
     )
 
 
-def ascii_histogram(
-    comparison: DropDistributionComparison, width: int = 50
-) -> str:
+def ascii_histogram(comparison: DropDistributionComparison, width: int = 50) -> str:
     """Render the two histogram series as a side-by-side ASCII chart."""
     peak = max(
         float(np.max(comparison.opera_percent_occurrence)),

@@ -60,10 +60,7 @@ class SobolIndices:
     def ranked(self, value_index: int = 0):
         """Germ names ordered by decreasing total effect for one entry."""
         order = np.argsort(self.total_effect[:, value_index])[::-1]
-        return [
-            (self.variable_names[k], float(self.total_effect[k, value_index]))
-            for k in order
-        ]
+        return [(self.variable_names[k], float(self.total_effect[k, value_index])) for k in order]
 
 
 def sobol_indices(

@@ -46,9 +46,7 @@ class ComparisonResult:
         return format_table1([self.row], title=title)
 
     def __str__(self) -> str:
-        return self.table(
-            title=f"{self.reference.engine} vs {self.baseline.engine}"
-        )
+        return self.table(title=f"{self.reference.engine} vs {self.baseline.engine}")
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -105,9 +103,7 @@ def compare(
         baseline_opts.setdefault("antithetic", antithetic)
         if hasattr(reference.raw, "worst_node"):
             baseline_opts.setdefault("store_nodes", (int(reference.raw.worst_node()),))
-    baseline = session.run(
-        baseline_engine, mode="transient", transient=transient, **baseline_opts
-    )
+    baseline = session.run(baseline_engine, mode="transient", transient=transient, **baseline_opts)
 
     metrics = compare_to_monte_carlo(reference.raw, baseline.raw)
 

@@ -99,9 +99,7 @@ def _resolve_transient(session, options: dict) -> TransientConfig:
     base = options.pop("transient", None)
     if base is None:
         base = session.transient
-    overrides = {
-        key: options.pop(key) for key in _TRANSIENT_OVERRIDES if key in options
-    }
+    overrides = {key: options.pop(key) for key in _TRANSIENT_OVERRIDES if key in options}
     if overrides:
         base = dataclasses.replace(base, **overrides)
     return base
@@ -110,9 +108,7 @@ def _resolve_transient(session, options: dict) -> TransientConfig:
 def _reject_unknown(options: dict, engine: str, mode: str) -> None:
     if options:
         unknown = ", ".join(sorted(options))
-        raise AnalysisError(
-            f"unknown option(s) for engine {engine!r} (mode {mode!r}): {unknown}"
-        )
+        raise AnalysisError(f"unknown option(s) for engine {engine!r} (mode {mode!r}): {unknown}")
 
 
 def _check_mode(engine: str, mode: str, supported: tuple) -> None:
@@ -121,6 +117,37 @@ def _check_mode(engine: str, mode: str, supported: tuple) -> None:
             f"engine {engine!r} supports mode(s) {', '.join(map(repr, supported))}; "
             f"got {mode!r}"
         )
+
+
+#: Cumulative counters of :meth:`Analysis.solver_stats`; everything else is
+#: a "latest value" field reported as-is.
+_SOLVER_COUNTERS = ("instances", "solves", "total_iterations", "factor_time_s")
+
+
+def _solver_stats_delta(before: dict, after: dict):
+    """Per-run solver diagnostics: counter growth since ``before``.
+
+    The session's solver cache (and therefore :meth:`Analysis.solver_stats`)
+    is cumulative across runs; subtracting the snapshot taken when the engine
+    started yields the work attributable to *this* run.  Backends whose
+    counters did not move are dropped; returns ``None`` when nothing moved.
+    """
+    delta = {}
+    for method, stats in after.items():
+        previous = before.get(method, {})
+        entry = {}
+        moved = False
+        for name in _SOLVER_COUNTERS:
+            if name in stats:
+                entry[name] = stats[name] - previous.get(name, 0)
+                if entry[name]:
+                    moved = True
+        for name, value in stats.items():
+            if name not in _SOLVER_COUNTERS:
+                entry[name] = value
+        if moved:
+            delta[method] = entry
+    return delta or None
 
 
 # ---------------------------------------------------------------------------
@@ -133,6 +160,7 @@ def _run_opera_engine(session, mode: Optional[str] = None, **options):
     _check_mode("opera", mode, ("transient", "dc"))
     order = int(options.pop("order", 2))
     solver = options.pop("solver", None)
+    stats_before = session.solver_stats()
     system = session.system
     basis = session.basis(order)
 
@@ -149,7 +177,9 @@ def _run_opera_engine(session, mode: Optional[str] = None, **options):
             solver_factory=session.solver,
         )
         elapsed = time.perf_counter() - started
-        return StochasticResultView("opera", "dc", field, system.vdd, wall_time=elapsed)
+        view = StochasticResultView("opera", "dc", field, system.vdd, wall_time=elapsed)
+        view.solver_stats = _solver_stats_delta(stats_before, session.solver_stats())
+        return view
 
     transient = _resolve_transient(session, options)
     config = OperaConfig(
@@ -168,6 +198,7 @@ def _run_opera_engine(session, mode: Optional[str] = None, **options):
     )
     view = StochasticResultView("opera", "transient", result, system.vdd)
     view.transient = transient
+    view.solver_stats = _solver_stats_delta(stats_before, session.solver_stats())
     return view
 
 
@@ -178,6 +209,7 @@ def _run_decoupled_engine(session, mode: Optional[str] = None, **options):
     _check_mode("decoupled", mode, ("transient",))
     order = int(options.pop("order", 2))
     solver = options.pop("solver", None)
+    stats_before = session.solver_stats()
     transient = _resolve_transient(session, options)
     config = OperaConfig(
         transient=transient,
@@ -192,6 +224,7 @@ def _run_decoupled_engine(session, mode: Optional[str] = None, **options):
     )
     view = StochasticResultView("decoupled", "transient", result, system.vdd)
     view.transient = transient
+    view.solver_stats = _solver_stats_delta(stats_before, session.solver_stats())
     return view
 
 
@@ -250,6 +283,7 @@ def _run_deterministic_engine(session, mode: Optional[str] = None, **options):
     mode = mode or "transient"
     _check_mode("deterministic", mode, ("transient", "dc"))
     solver = options.pop("solver", None)
+    stats_before = session.solver_stats()
 
     if mode == "dc":
         t = float(options.pop("t", 0.0))
@@ -272,6 +306,7 @@ def _run_deterministic_engine(session, mode: Optional[str] = None, **options):
         "deterministic", "transient", result, result.vdd, wall_time=elapsed
     )
     view.transient = transient
+    view.solver_stats = _solver_stats_delta(stats_before, session.solver_stats())
     return view
 
 
@@ -301,9 +336,7 @@ def _run_randomwalk_engine(session, mode: Optional[str] = None, **options):
         nodes = tuple(int(node) for node in nodes)
 
     started = time.perf_counter()
-    walker = RandomWalkSolver(
-        stamped, t=t, max_walk_length=max_walk_length, seed=seed
-    )
+    walker = RandomWalkSolver(stamped, t=t, max_walk_length=max_walk_length, seed=seed)
     estimates = tuple(walker.estimate(node, num_walks=num_walks) for node in nodes)
     elapsed = time.perf_counter() - started
     return RandomWalkResultView(
@@ -314,3 +347,9 @@ def _run_randomwalk_engine(session, mode: Optional[str] = None, **options):
         wall_time=elapsed,
         nodes=nodes,
     )
+
+
+# The partition subsystem registers the "hierarchical" engine (and the
+# "schur" / "schwarz-cg" solver backends) on import; pulling it in here
+# makes them available to everything that goes through the registries.
+from ..partition import engine as _partition_engine  # noqa: E402,F401

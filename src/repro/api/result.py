@@ -76,6 +76,10 @@ class EngineResult:
         if wall_time is None:
             wall_time = getattr(raw, "wall_time", None)
         self.wall_time = wall_time
+        #: Linear-solver diagnostics of the run (iteration counts, final
+        #: residuals, factorisation times), attached by engines whose solver
+        #: backends expose them; ``None`` when unavailable.
+        self.solver_stats: Optional[Dict[str, Any]] = None
 
     def mean(self) -> np.ndarray:
         raise NotImplementedError
@@ -88,7 +92,7 @@ class EngineResult:
 
     def to_dict(self) -> Dict[str, Any]:
         std = self.std()
-        return {
+        summary = {
             "engine": self.engine,
             "mode": self.mode,
             "vdd": self.vdd,
@@ -97,6 +101,12 @@ class EngineResult:
             "worst_drop": self.worst_drop(),
             "max_std": float(np.max(std)) if std.size else 0.0,
         }
+        if self.solver_stats:
+            summary["solver_stats"] = dict(self.solver_stats)
+        partition_stats = getattr(self, "partition_stats", None)
+        if partition_stats:
+            summary["partition"] = dict(partition_stats)
+        return summary
 
     def __repr__(self) -> str:
         wall = f", wall_time={self.wall_time:.3f}s" if self.wall_time is not None else ""

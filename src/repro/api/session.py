@@ -90,9 +90,7 @@ class Analysis:
             name = getattr(netlist, "name", None)
         self.name = name or "analysis"
 
-        self._caches: Dict[str, Dict[Any, Any]] = {
-            key: {} for key in self._CACHE_NAMES
-        }
+        self._caches: Dict[str, Dict[Any, Any]] = {key: {} for key in self._CACHE_NAMES}
         self._stats: Dict[str, Dict[str, int]] = {
             key: {"hits": 0, "misses": 0} for key in self._CACHE_NAMES
         }
@@ -104,9 +102,7 @@ class Analysis:
         return cls(read_spice(path), **kwargs)
 
     @classmethod
-    def from_spec(
-        cls, spec: Union[GridSpec, int], *, seed: int = 0, **kwargs
-    ) -> "Analysis":
+    def from_spec(cls, spec: Union[GridSpec, int], *, seed: int = 0, **kwargs) -> "Analysis":
         """Session for a synthetic grid from a :class:`GridSpec` (or a target
         node count, which is resolved via :func:`spec_for_node_count`)."""
         if isinstance(spec, int):
@@ -164,9 +160,7 @@ class Analysis:
 
     @property
     def num_nodes(self) -> int:
-        return (
-            self._system.num_nodes if self._system is not None else self.stamped.num_nodes
-        )
+        return (self._system.num_nodes if self._system is not None else self.stamped.num_nodes)
 
     # ------------------------------------------------------------ configuration
     def with_variation(self, spec: VariationSpec) -> "Analysis":
@@ -207,9 +201,7 @@ class Analysis:
         cache = self._caches["basis"]
         if key not in cache:
             self._stats["basis"]["misses"] += 1
-            cache[key] = PolynomialChaosBasis(
-                families=key[0], order=key[1], num_vars=len(key[0])
-            )
+            cache[key] = PolynomialChaosBasis(families=key[0], order=key[1], num_vars=len(key[0]))
         else:
             self._stats["basis"]["hits"] += 1
         return cache[key]
@@ -247,20 +239,47 @@ class Analysis:
             self._stats["galerkin"]["hits"] += 1
         return cache[key]
 
-    def nominal_transient(
-        self, transient: Optional[TransientConfig] = None
-    ) -> TransientResult:
+    def nominal_transient(self, transient: Optional[TransientConfig] = None) -> TransientResult:
         """Deterministic (no-variation) transient, cached per time axis."""
         config = transient if transient is not None else self._transient
         cache = self._caches["nominal"]
         if config not in cache:
             self._stats["nominal"]["misses"] += 1
-            cache[config] = transient_analysis(
-                self.stamped, config, solver_factory=self.solver
-            )
+            cache[config] = transient_analysis(self.stamped, config, solver_factory=self.solver)
         else:
             self._stats["nominal"]["hits"] += 1
         return cache[config]
+
+    def solver_stats(self) -> Dict[str, Dict[str, Any]]:
+        """Aggregated diagnostics of every cached solver exposing ``stats``.
+
+        Iterative backends (``cg``, ``ilu-cg``, ``schwarz-cg``) report solve
+        and iteration counters plus their most recent relative residual; the
+        partitioned ``schur`` backend reports partition and factorisation
+        diagnostics.  Counters are summed per backend name over the session's
+        cached solver instances; "latest/size" fields take the maximum.
+        Backends without ``stats`` (e.g. ``direct``) contribute nothing.
+        """
+        aggregated: Dict[str, Dict[str, Any]] = {}
+        for key, solver in self._caches["solver"].items():
+            stats = getattr(solver, "stats", None)
+            if not isinstance(stats, dict):
+                continue
+            method = key[1]
+            entry = aggregated.setdefault(method, {"instances": 0})
+            entry["instances"] += 1
+            for name in ("solves", "total_iterations", "factor_time_s"):
+                if stats.get(name) is not None:
+                    entry[name] = entry.get(name, 0) + stats[name]
+            for name in (
+                "last_iterations",
+                "last_relative_residual",
+                "num_parts",
+                "interface_nodes",
+            ):
+                if stats.get(name) is not None:
+                    entry[name] = max(entry.get(name, 0), stats[name])
+        return aggregated
 
     def cache_info(self) -> Dict[str, Dict[str, int]]:
         """Sizes and hit/miss counters of every session cache."""

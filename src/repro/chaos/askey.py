@@ -64,9 +64,7 @@ def laguerre_value(order: int, x: Union[float, np.ndarray]):
         return previous if previous.ndim else float(previous)
     current = 1.0 - x
     for k in range(1, order):
-        previous, current = current, (
-            (2 * k + 1 - x) * current - k * previous
-        ) / (k + 1)
+        previous, current = current, ((2 * k + 1 - x) * current - k * previous) / (k + 1)
     return current if current.ndim else float(current)
 
 

@@ -77,9 +77,7 @@ class PolynomialFamily(abc.ABC):
         """``E[phi_a phi_b phi_c]``; default implementation uses exact quadrature."""
         num_points = (a + b + c) // 2 + 1
         nodes, weights = self.quadrature(max(num_points, 1))
-        values = (
-            self.evaluate(a, nodes) * self.evaluate(b, nodes) * self.evaluate(c, nodes)
-        )
+        values = (self.evaluate(a, nodes) * self.evaluate(b, nodes) * self.evaluate(c, nodes))
         return float(np.sum(weights * values))
 
     def evaluate_normalized(self, order: int, x):
@@ -304,9 +302,7 @@ class PolynomialChaosBasis:
                 f"germ points have {points.shape[1]} dimensions, expected {self.num_vars}"
             )
 
-        max_degree_per_dim = [
-            max(mi[d] for mi in self.multi_indices) for d in range(self.num_vars)
-        ]
+        max_degree_per_dim = [max(mi[d] for mi in self.multi_indices) for d in range(self.num_vars)]
         # Pre-compute univariate values per dimension and degree.
         univariate: List[np.ndarray] = []
         for d, family in enumerate(self.families):
@@ -348,9 +344,7 @@ class PolynomialChaosBasis:
     # ---------------------------------------------------------------- sampling
     def sample_germ(self, rng: np.random.Generator, size: int) -> np.ndarray:
         """Draw ``size`` germ vectors, shape ``(size, num_vars)``."""
-        return np.column_stack(
-            [family.sample_germ(rng, size) for family in self.families]
-        )
+        return np.column_stack([family.sample_germ(rng, size) for family in self.families])
 
     def quadrature(self, points_per_dim: int):
         """Tensor-product Gauss rule matching the germ densities."""

@@ -95,16 +95,12 @@ def assemble_augmented_rhs(
     return stacked
 
 
-def split_augmented_vector(
-    vector: np.ndarray, basis_size: int, num_nodes: int
-) -> np.ndarray:
+def split_augmented_vector(vector: np.ndarray, basis_size: int, num_nodes: int) -> np.ndarray:
     """Reshape a stacked augmented vector into ``(basis_size, num_nodes)`` blocks."""
     vector = np.asarray(vector, dtype=float)
     expected = basis_size * num_nodes
     if vector.shape != (expected,):
-        raise AnalysisError(
-            f"augmented vector has shape {vector.shape}, expected ({expected},)"
-        )
+        raise AnalysisError(f"augmented vector has shape {vector.shape}, expected ({expected},)")
     return vector.reshape(basis_size, num_nodes)
 
 
@@ -144,9 +140,7 @@ class GalerkinSystem:
 
     def rhs(self, t: float) -> np.ndarray:
         """Stacked augmented right-hand side ``U~(t)``."""
-        return assemble_augmented_rhs(
-            self.basis, self._excitation_coefficients(t), self.num_nodes
-        )
+        return assemble_augmented_rhs(self.basis, self._excitation_coefficients(t), self.num_nodes)
 
     def split(self, augmented_vector: np.ndarray) -> np.ndarray:
         """Reshape an augmented solution into ``(basis.size, num_nodes)``."""

@@ -79,7 +79,5 @@ def normalized_hermite_value(order: int, x):
 
 def normalized_hermite_triple(a: int, b: int, c: int) -> float:
     """Triple product of *orthonormal* Hermite polynomials."""
-    scale = np.sqrt(
-        hermite_norm_squared(a) * hermite_norm_squared(b) * hermite_norm_squared(c)
-    )
+    scale = np.sqrt(hermite_norm_squared(a) * hermite_norm_squared(b) * hermite_norm_squared(c))
     return hermite_triple_product(a, b, c) / scale

@@ -107,8 +107,6 @@ def evaluate_expansion(
     """
     coefficients = np.asarray(coefficients, dtype=float)
     if coefficients.shape[0] != basis.size:
-        raise BasisError(
-            f"expected {basis.size} coefficient rows, got {coefficients.shape[0]}"
-        )
+        raise BasisError(f"expected {basis.size} coefficient rows, got {coefficients.shape[0]}")
     psi = basis.evaluate(xi)
     return psi @ coefficients

@@ -107,9 +107,7 @@ class StochasticField:
         psi = self.basis.evaluate(xi)
         return psi @ self.coefficients
 
-    def sample(
-        self, num_samples: int, rng: Optional[np.random.Generator] = None
-    ) -> np.ndarray:
+    def sample(self, num_samples: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
         """Draw ``num_samples`` realisations; shape ``(num_samples, num_values)``."""
         rng = rng or np.random.default_rng()
         xi = self.basis.sample_germ(rng, num_samples)
@@ -132,9 +130,7 @@ class StochasticField:
             raise AnalysisError("this field carries no VDD reference")
         coefficients = -self.coefficients.copy()
         coefficients[0] += self.vdd
-        return StochasticField(
-            self.basis, coefficients, vdd=self.vdd, node_names=self.node_names
-        )
+        return StochasticField(self.basis, coefficients, vdd=self.vdd, node_names=self.node_names)
 
 
 class StochasticTransientResult:
@@ -182,9 +178,7 @@ class StochasticTransientResult:
             )
         else:
             if mean is None or variance is None:
-                raise AnalysisError(
-                    "either full coefficients or mean+variance must be provided"
-                )
+                raise AnalysisError("either full coefficients or mean+variance must be provided")
             self.coefficients = None
             self._mean = np.asarray(mean, dtype=float)
             self._variance = np.asarray(variance, dtype=float)

@@ -123,7 +123,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=None,
-        help="worker processes for the montecarlo engine (chunked sampling)",
+        help="worker processes (montecarlo chunking / hierarchical block fan-out)",
+    )
+    analyze.add_argument(
+        "--partitions",
+        type=int,
+        default=None,
+        metavar="K",
+        help="schedule group count for the hierarchical engine",
     )
 
     compare = subparsers.add_parser("compare", help="compare OPERA against Monte Carlo")
@@ -167,9 +174,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--samples", type=int, default=200, help="Monte Carlo sample count per MC case"
     )
-    sweep.add_argument(
-        "--workers", type=int, default=1, help="worker processes for the sweep"
-    )
+    sweep.add_argument("--workers", type=int, default=1, help="worker processes for the sweep")
     sweep.add_argument(
         "--mc-workers",
         type=int,
@@ -177,11 +182,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="chunk workers inside each Monte Carlo case (default: --workers)",
     )
     sweep.add_argument(
-        "--steps", type=int, default=12, help="transient steps of every case"
+        "--partitions",
+        type=int,
+        default=None,
+        metavar="K",
+        help="schedule group count for hierarchical-engine cases",
     )
-    sweep.add_argument(
-        "--dt", type=float, default=0.2e-9, help="transient step size (s)"
-    )
+    sweep.add_argument("--steps", type=int, default=12, help="transient steps of every case")
+    sweep.add_argument("--dt", type=float, default=0.2e-9, help="transient step size (s)")
     sweep.add_argument("--base-seed", type=int, default=0, help="plan base seed")
     sweep.add_argument(
         "--output",
@@ -255,6 +263,8 @@ def _command_analyze(args: argparse.Namespace) -> int:
         options["samples"] = args.samples
     if args.workers is not None:
         options["workers"] = args.workers
+    if args.partitions is not None:
+        options["partitions"] = args.partitions
     result = session.run(args.engine, **options)
 
     if hasattr(result.raw, "basis"):
@@ -304,6 +314,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         corners=args.corners,
         samples=args.samples,
         mc_workers=args.mc_workers if args.mc_workers is not None else args.workers,
+        partitions=args.partitions,
         transient=transient,
         base_seed=args.base_seed,
     )

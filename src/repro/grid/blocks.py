@@ -173,9 +173,7 @@ def block_waveform(
     )
 
 
-def block_leakage_waveform(
-    block: FunctionalBlock, leakage_fraction: float
-) -> Waveform:
+def block_leakage_waveform(block: FunctionalBlock, leakage_fraction: float) -> Waveform:
     """Constant per-node leakage current for a block.
 
     Leakage is modelled as ``leakage_fraction`` of the block's average

@@ -130,9 +130,7 @@ class VddPad:
 
     def __post_init__(self):
         if self.resistance <= 0.0:
-            raise NetlistError(
-                f"pad at node {self.node!r} must have positive series resistance"
-            )
+            raise NetlistError(f"pad at node {self.node!r} must have positive series resistance")
         if self.vdd <= 0.0:
             raise NetlistError(f"pad at node {self.node!r} must have positive VDD")
 

@@ -114,9 +114,7 @@ class GridSpec:
         """Return the technology, constructing the default if none was given."""
         if self.technology is not None:
             if self.technology.num_layers < self.num_layers:
-                raise ValueError(
-                    "technology metal stack has fewer layers than the grid spec"
-                )
+                raise ValueError("technology metal stack has fewer layers than the grid spec")
             return self.technology
         return default_technology(num_layers=self.num_layers)
 
@@ -175,9 +173,7 @@ def _build_netlist(spec: GridSpec, current_scale: float) -> PowerGridNetlist:
             for col in cols:
                 upper = node_name(layer, row, col)
                 lower = node_name(layer - 1, row, col)
-                netlist.add_resistor(
-                    upper, lower, tech.via_stack_resistance, ResistorKind.VIA
-                )
+                netlist.add_resistor(upper, lower, tech.via_stack_resistance, ResistorKind.VIA)
 
     # --- VDD pads on the top layer ------------------------------------------
     top = spec.num_layers - 1
@@ -186,9 +182,7 @@ def _build_netlist(spec: GridSpec, current_scale: float) -> PowerGridNetlist:
     pad_cols = cols[:: spec.pad_spacing] or [cols[0]]
     for row in pad_rows:
         for col in pad_cols:
-            netlist.add_pad(
-                node_name(top, row, col), tech.package_resistance, tech.vdd
-            )
+            netlist.add_pad(node_name(top, row, col), tech.package_resistance, tech.vdd)
 
     # --- functional blocks: currents and load capacitance --------------------
     blocks = place_blocks(
@@ -207,9 +201,7 @@ def _build_netlist(spec: GridSpec, current_scale: float) -> PowerGridNetlist:
         for row, col in block.node_coordinates():
             node = node_name(0, row, col)
             netlist.add_current_source(node, waveform, block=block.name)
-            netlist.add_current_source(
-                node, leakage, block=block.name, is_leakage=True
-            )
+            netlist.add_current_source(node, leakage, block=block.name, is_leakage=True)
             if gate_cap > 0:
                 netlist.add_capacitor(node, "0", gate_cap, is_gate_load=True)
             if fixed_cap > 0:
@@ -219,9 +211,7 @@ def _build_netlist(spec: GridSpec, current_scale: float) -> PowerGridNetlist:
     if tech.wire_cap_per_node > 0:
         for row in range(spec.nx):
             for col in range(spec.ny):
-                netlist.add_capacitor(
-                    node_name(0, row, col), "0", tech.wire_cap_per_node
-                )
+                netlist.add_capacitor(node_name(0, row, col), "0", tech.wire_cap_per_node)
 
     return netlist
 

@@ -119,9 +119,7 @@ class PowerGridNetlist:
         name: Optional[str] = None,
     ) -> Capacitor:
         """Add a capacitor between nodes ``a`` and ``b`` and return it."""
-        element = Capacitor(
-            a=a, b=b, capacitance=capacitance, is_gate_load=is_gate_load, name=name
-        )
+        element = Capacitor(a=a, b=b, capacitance=capacitance, is_gate_load=is_gate_load, name=name)
         self.add_node(a)
         self.add_node(b)
         self.capacitors.append(element)
@@ -240,11 +238,7 @@ class PowerGridNetlist:
             union(self.node_index(resistor.a), self.node_index(resistor.b))
 
         pad_roots = {find(idx) for idx in self.pad_node_indices()}
-        unreachable = [
-            name
-            for name, idx in self._node_index.items()
-            if find(idx) not in pad_roots
-        ]
+        unreachable = [name for name, idx in self._node_index.items() if find(idx) not in pad_roots]
         if unreachable:
             sample = ", ".join(sorted(unreachable)[:5])
             raise NetlistError(
@@ -262,13 +256,9 @@ class PowerGridNetlist:
         for r in other.resistors:
             self.add_resistor(rename(r.a), rename(r.b), r.resistance, r.kind, r.name)
         for c in other.capacitors:
-            self.add_capacitor(
-                rename(c.a), rename(c.b), c.capacitance, c.is_gate_load, c.name
-            )
+            self.add_capacitor(rename(c.a), rename(c.b), c.capacitance, c.is_gate_load, c.name)
         for s in other.current_sources:
-            self.add_current_source(
-                rename(s.node), s.waveform, s.block, s.is_leakage, s.name
-            )
+            self.add_current_source(rename(s.node), s.waveform, s.block, s.is_leakage, s.name)
         for p in other.pads:
             self.add_pad(rename(p.node), p.resistance, p.vdd, p.name)
 

@@ -111,9 +111,7 @@ def _parse_waveform(tokens: List[str], line_no: int) -> Waveform:
         inner = joined[joined.index("(") + 1 : joined.rindex(")")]
         numbers = [parse_spice_value(tok) for tok in inner.replace(",", " ").split()]
         if len(numbers) != 7:
-            raise SpiceFormatError(
-                f"line {line_no}: PULSE needs 7 values (v1 v2 td tr tf pw per)"
-            )
+            raise SpiceFormatError(f"line {line_no}: PULSE needs 7 values (v1 v2 td tr tf pw per)")
         low, high, delay, rise, fall, width, period = numbers
         return PeriodicPulse(
             low=low, high=high, delay=delay, rise=rise, fall=fall, width=width, period=period
@@ -171,9 +169,7 @@ def read_spice(source: Union[str, TextIO], name: str = "spice-grid") -> PowerGri
             )
         elif kind_letter == "I":
             if len(positional) < 3:
-                raise SpiceFormatError(
-                    f"line {line_no}: current source needs 'I n+ n- <spec>'"
-                )
+                raise SpiceFormatError(f"line {line_no}: current source needs 'I n+ n- <spec>'")
             node_plus, node_minus = positional[0], positional[1]
             waveform = _parse_waveform(positional[2:], line_no)
             if not netlist.is_ground(node_minus):
@@ -255,9 +251,7 @@ def write_spice(
     lines: List[str] = [f"* power grid netlist: {netlist.name}", "* generated by repro"]
     for index, r in enumerate(netlist.resistors):
         name = r.name or f"R{index}"
-        lines.append(
-            f"{name} {r.a} {r.b} {format_spice_value(r.resistance)} kind={r.kind}"
-        )
+        lines.append(f"{name} {r.a} {r.b} {format_spice_value(r.resistance)} kind={r.kind}")
     for index, c in enumerate(netlist.capacitors):
         name = c.name or f"C{index}"
         gate = " gate=1" if c.is_gate_load else ""

@@ -201,9 +201,7 @@ def stamp(netlist: PowerGridNetlist, validate: bool = True) -> StampedSystem:
         [netlist.node_index(s.node) for s in netlist.current_sources], dtype=int
     )
     source_waveforms = tuple(s.waveform for s in netlist.current_sources)
-    source_is_leakage = np.array(
-        [s.is_leakage for s in netlist.current_sources], dtype=bool
-    )
+    source_is_leakage = np.array([s.is_leakage for s in netlist.current_sources], dtype=bool)
 
     return StampedSystem(
         node_names=tuple(netlist.node_names),

@@ -114,13 +114,9 @@ class MonteCarloConfig:
         if self.num_samples < 2:
             raise AnalysisError("Monte Carlo needs at least 2 samples")
         if self.workers < 1:
-            raise AnalysisError(
-                f"workers must be at least 1, got {self.workers}"
-            )
+            raise AnalysisError(f"workers must be at least 1, got {self.workers}")
         if self.chunk_size is not None and self.chunk_size < 2:
-            raise AnalysisError(
-                f"chunk_size must be at least 2, got {self.chunk_size}"
-            )
+            raise AnalysisError(f"chunk_size must be at least 2, got {self.chunk_size}")
         if self.antithetic and self.chunked:
             size = self.chunk_size or DEFAULT_CHUNK_SIZE
             if size % 2:
@@ -208,9 +204,7 @@ class MonteCarloTransientResult:
     def drop_samples(self, node: int, time_index: Optional[int] = None) -> np.ndarray:
         """Recorded per-sample drops of a stored node (all times or one index)."""
         if node not in self.node_drop_samples:
-            raise AnalysisError(
-                f"node {node} was not in store_nodes when the sweep was run"
-            )
+            raise AnalysisError(f"node {node} was not in store_nodes when the sweep was run")
         samples = self.node_drop_samples[node]
         return samples if time_index is None else samples[:, time_index]
 
@@ -295,9 +289,7 @@ def _transient_chunk_job(args):
         germs = sampler.sample_antithetic(chunk_samples)
     else:
         germs = sampler.sample(chunk_samples)
-    moments, waveforms = _accumulate_transient_chunk(
-        system, transient, germs, store_nodes
-    )
+    moments, waveforms = _accumulate_transient_chunk(system, transient, germs, store_nodes)
     return moments.state() + (waveforms,)
 
 
@@ -390,16 +382,12 @@ def run_monte_carlo_transient(
         ]
         outcomes = _run_chunk_jobs(jobs, _transient_chunk_job, config.workers, system)
         moments = RunningMoments()
-        chunk_waveforms: Dict[int, List[np.ndarray]] = {
-            node: [] for node in config.store_nodes
-        }
+        chunk_waveforms: Dict[int, List[np.ndarray]] = {node: [] for node in config.store_nodes}
         for count, mean, m2, waveforms in outcomes:
             moments.merge(RunningMoments.from_state(count, mean, m2))
             for node in config.store_nodes:
                 chunk_waveforms[node].append(waveforms[node])
-        node_drop_samples = {
-            node: np.vstack(parts) for node, parts in chunk_waveforms.items()
-        }
+        node_drop_samples = {node: np.vstack(parts) for node, parts in chunk_waveforms.items()}
         num_samples = moments.count
     else:
         germs = _draw_samples(system, config)
@@ -460,9 +448,7 @@ def run_monte_carlo_dc(
         moments = RunningMoments()
         for xi in germs:
             conductance, _ = system.realize_matrices(xi)
-            voltages = solve_dc(
-                conductance, system.excitation.sample(t, xi), solver=solver
-            )
+            voltages = solve_dc(conductance, system.excitation.sample(t, xi), solver=solver)
             moments.update(voltages)
     elapsed = time.perf_counter() - started
     return MonteCarloDCResult(

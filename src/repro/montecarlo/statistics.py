@@ -74,9 +74,7 @@ class RunningMoments:
         untouched.  Empty accumulators merge as no-ops.
         """
         if not isinstance(other, RunningMoments):
-            raise AnalysisError(
-                f"can only merge RunningMoments, got {type(other).__name__}"
-            )
+            raise AnalysisError(f"can only merge RunningMoments, got {type(other).__name__}")
         if other._count == 0:
             return self
         if self._shape is not None and other._shape != self._shape:
@@ -93,11 +91,7 @@ class RunningMoments:
         count = self._count + other._count
         delta = other._mean - self._mean
         self._mean = self._mean + delta * (other._count / count)
-        self._m2 = (
-            self._m2
-            + other._m2
-            + delta * delta * (self._count * other._count / count)
-        )
+        self._m2 = (self._m2 + other._m2 + delta * delta * (self._count * other._count / count))
         self._count = count
         return self
 

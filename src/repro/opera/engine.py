@@ -66,9 +66,7 @@ def _matrix_coefficients(
     return coefficients
 
 
-def build_galerkin_system(
-    system: StochasticSystem, basis: PolynomialChaosBasis
-) -> GalerkinSystem:
+def build_galerkin_system(system: StochasticSystem, basis: PolynomialChaosBasis) -> GalerkinSystem:
     """Assemble the augmented (Galerkin-projected) MNA system."""
     return GalerkinSystem(
         basis=basis,
@@ -103,9 +101,7 @@ def run_opera_dc(
     )
     solution = factory(augmented_conductance, method=solver).solve(rhs)
     coefficients = solution.reshape(basis.size, system.num_nodes)
-    return StochasticField(
-        basis, coefficients, vdd=system.vdd, node_names=system.node_names
-    )
+    return StochasticField(basis, coefficients, vdd=system.vdd, node_names=system.node_names)
 
 
 def run_opera_transient(
@@ -126,9 +122,7 @@ def run_opera_transient(
         basis = build_basis(system, config.order)
 
     if not system.has_matrix_variation and not config.force_coupled:
-        return run_decoupled_transient(
-            system, config, basis=basis, solver_factory=solver_factory
-        )
+        return run_decoupled_transient(system, config, basis=basis, solver_factory=solver_factory)
 
     started = time.perf_counter()
     if galerkin is None:

@@ -108,9 +108,7 @@ def summarize(
     significant = peak_nominal >= drop_floor_fraction * worst_drop
 
     with np.errstate(divide="ignore", invalid="ignore"):
-        spread_percent = np.where(
-            peak_nominal > 0, 100.0 * 3.0 * sigma_at_peak / peak_nominal, 0.0
-        )
+        spread_percent = np.where(peak_nominal > 0, 100.0 * 3.0 * sigma_at_peak / peak_nominal, 0.0)
     average_spread = float(np.mean(spread_percent[significant]))
 
     def summary_for(node: int) -> NodeSummary:

@@ -81,9 +81,7 @@ def run_decoupled_transient(
 
     coefficients = np.zeros((times.size, basis.size, n))
     for j in active:
-        coefficients[0, j] = dc_solver.solve(
-            np.asarray(initial_coefficients[j], dtype=float)
-        )
+        coefficients[0, j] = dc_solver.solve(np.asarray(initial_coefficients[j], dtype=float))
 
     previous_rhs: Dict[int, np.ndarray] = {
         j: np.asarray(initial_coefficients[j], dtype=float) for j in active

@@ -1,0 +1,111 @@
+"""Block-Jacobi / additive-Schwarz preconditioning for the CG path.
+
+A one-level additive Schwarz preconditioner approximates ``A^{-1}`` by the
+sum of (overlapping) block inverses:
+
+``M^{-1} r = sum_k R_k^T A_k^{-1} R_k r``
+
+where ``R_k`` restricts to block ``k`` (its partition cell plus ``overlap``
+layers of structural neighbours) and ``A_k`` is the corresponding principal
+submatrix, factored once with a sparse LU.  With ``overlap=0`` this is the
+classic block-Jacobi preconditioner; one layer of overlap markedly improves
+the interface error modes on meshes.
+
+The preconditioner plugs into the existing conjugate-gradient solver either
+directly (``ConjugateGradientSolver(matrix, preconditioner=schwarz)``) or
+through the registered ``"schwarz-cg"`` backend::
+
+    make_solver(matrix, method="schwarz-cg", num_parts=4, overlap=1)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from ..errors import SolverError
+from ..sim.linear import ConjugateGradientSolver, DirectSolver, register_solver
+from .partitioner import GridPartition, partition_matrix
+
+__all__ = ["AdditiveSchwarzPreconditioner"]
+
+
+class AdditiveSchwarzPreconditioner:
+    """One-level additive Schwarz (block-Jacobi for ``overlap=0``).
+
+    Parameters
+    ----------
+    matrix:
+        The (square, sparse) system matrix.
+    num_parts:
+        Number of blocks when no ``partition`` is supplied.
+    partition:
+        Optional precomputed :class:`GridPartition`; its *assignments* (not
+        the separator) define the non-overlapping cells, so interface nodes
+        are covered too.
+    overlap:
+        Number of structural-neighbour layers added to every cell.
+    """
+
+    def __init__(
+        self,
+        matrix: sp.spmatrix,
+        num_parts: int = 4,
+        partition: Optional[GridPartition] = None,
+        overlap: int = 1,
+    ):
+        matrix = sp.csr_matrix(matrix)
+        if matrix.shape[0] != matrix.shape[1]:
+            raise SolverError("Schwarz preconditioning requires a square matrix")
+        if overlap < 0:
+            raise SolverError(f"overlap must be non-negative, got {overlap}")
+        if partition is None:
+            partition = partition_matrix(matrix, num_parts)
+        assignments = partition.assignments
+        structure = matrix != 0
+        self.shape = matrix.shape
+        self.blocks = []
+        for part in range(int(assignments.max()) + 1):
+            members = np.flatnonzero(assignments == part)
+            if not members.size:
+                continue
+            in_block = np.zeros(matrix.shape[0], dtype=bool)
+            in_block[members] = True
+            for _ in range(int(overlap)):
+                reached = structure[np.flatnonzero(in_block)].tocoo().col
+                in_block[reached] = True
+            indices = np.flatnonzero(in_block)
+            submatrix = matrix[indices][:, indices]
+            self.blocks.append((indices, DirectSolver(submatrix)))
+        if not self.blocks:
+            raise SolverError("Schwarz preconditioner ended up with no blocks")
+        self.num_blocks = len(self.blocks)
+        self.overlap = int(overlap)
+
+    def matvec(self, residual: np.ndarray) -> np.ndarray:
+        """Apply ``M^{-1}`` to a residual vector."""
+        residual = np.asarray(residual, dtype=float)
+        out = np.zeros_like(residual)
+        for indices, solver in self.blocks:
+            out[indices] += solver.solve(residual[indices])
+        return out
+
+    def as_linear_operator(self) -> spla.LinearOperator:
+        return spla.LinearOperator(self.shape, matvec=self.matvec)
+
+
+@register_solver("schwarz-cg")
+def _build_schwarz_cg(
+    matrix: sp.spmatrix,
+    num_parts: int = 4,
+    overlap: int = 1,
+    partition: Optional[GridPartition] = None,
+    **options,
+) -> ConjugateGradientSolver:
+    schwarz = AdditiveSchwarzPreconditioner(
+        matrix, num_parts=num_parts, partition=partition, overlap=overlap
+    )
+    return ConjugateGradientSolver(matrix, preconditioner=schwarz, **options)

@@ -1,0 +1,183 @@
+"""Process-pool backend for per-block Schur elimination.
+
+This module reuses the worker pattern of :mod:`repro.sweep.runner` and the
+chunked Monte Carlo engine: a :class:`concurrent.futures.ProcessPoolExecutor`
+whose workers keep a module-level cache of expensive per-task state -- here
+the per-block :class:`~repro.partition.schur.AtomEliminator` factorisations
+-- so repeated phases (condensation, then one forward elimination per time
+step) reuse the block LUs instead of refactoring.
+
+Work is dispatched in *groups*: the hierarchical engine splits its fixed
+block list into ``K`` contiguous groups, one task per group per phase.  A
+worker that receives a group it has not seen builds the needed eliminators
+lazily from the blueprint shipped at pool start-up, so correctness never
+depends on which worker handles which group.  Because every block is
+processed by the same :class:`AtomEliminator` code as the serial path and
+the driver folds group results back in fixed block order, the numbers are
+bit-identical for any group count and any worker count.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from .partitioner import GridPartition
+from .schur import AtomEliminator
+
+__all__ = ["HierarchicalWorkerPool", "split_groups"]
+
+#: Per-process cache: token -> {"matrices": ..., "partition": ...,
+#: "eliminators": {(matrix_key, atom): AtomEliminator}}.
+_WORKER_STATE: Dict[str, Dict] = {}
+
+_TOKENS = itertools.count()
+
+
+def _init_worker(token: str, matrices: Dict[str, sp.csr_matrix], partition) -> None:
+    """Pool initializer: stash the blueprint this pool's tasks refer to."""
+    _WORKER_STATE[token] = {
+        "matrices": matrices,
+        "partition": partition,
+        "eliminators": {},
+    }
+
+
+def _eliminator_for(token: str, matrix_key: str, atom: int) -> AtomEliminator:
+    state = _WORKER_STATE[token]
+    cache = state["eliminators"]
+    key = (matrix_key, atom)
+    if key not in cache:
+        partition: GridPartition = state["partition"]
+        cache[key] = AtomEliminator(
+            state["matrices"][matrix_key],
+            partition.interiors[atom],
+            partition.boundary,
+        )
+    return cache[key]
+
+
+def _worker_condense(args) -> Dict[int, Tuple]:
+    token, matrix_key, atom_ids = args
+    return {atom: _eliminator_for(token, matrix_key, atom).condense() for atom in atom_ids}
+
+
+def _worker_eliminate(args) -> List[Tuple[np.ndarray, np.ndarray]]:
+    token, matrix_key, atom_ids, b_slices = args
+    return [
+        _eliminator_for(token, matrix_key, atom).eliminate(b)
+        for atom, b in zip(atom_ids, b_slices)
+    ]
+
+
+def split_groups(atom_ids: Sequence[int], num_groups: int) -> List[List[int]]:
+    """Split block ids into ``num_groups`` contiguous, near-even groups.
+
+    The layout depends only on the block list and the group count -- never
+    on the worker count -- mirroring the chunk-layout guarantee of the
+    chunked Monte Carlo engine.
+    """
+    atom_ids = list(atom_ids)
+    num_groups = max(1, min(int(num_groups), len(atom_ids) or 1))
+    base, extra = divmod(len(atom_ids), num_groups)
+    groups: List[List[int]] = []
+    start = 0
+    for g in range(num_groups):
+        size = base + (1 if g < extra else 0)
+        groups.append(atom_ids[start : start + size])
+        start += size
+    return [group for group in groups if group]
+
+
+class HierarchicalWorkerPool:
+    """A pool of block-elimination workers shared by several factorisations.
+
+    Create one per hierarchical run, then hand ``pool.backend(key)`` to each
+    :class:`~repro.partition.schur.SchurComplement` (one key per matrix, e.g.
+    ``"dc"`` and ``"step"``).  Use as a context manager so the pool is torn
+    down when the run finishes.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        matrices: Dict[str, sp.spmatrix],
+        partition: GridPartition,
+        groups: List[List[int]],
+    ):
+        self._token = f"{os.getpid()}-{next(_TOKENS)}"
+        self._groups = groups
+        shipped = {key: sp.csr_matrix(matrix) for key, matrix in matrices.items()}
+        self._executor = ProcessPoolExecutor(
+            max_workers=max(1, min(int(workers), len(groups))),
+            initializer=_init_worker,
+            initargs=(self._token, shipped, partition),
+        )
+
+    def backend(self, matrix_key: str) -> "PoolAtomBackend":
+        return PoolAtomBackend(self._executor, self._token, matrix_key, self._groups)
+
+    def shutdown(self) -> None:
+        self._executor.shutdown()
+
+    def __enter__(self) -> "HierarchicalWorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+class PoolAtomBackend:
+    """Backend routing per-block phases of one matrix through the pool."""
+
+    def __init__(self, executor, token: str, matrix_key: str, groups: List[List[int]]):
+        self._executor = executor
+        self._token = token
+        self._matrix_key = matrix_key
+        self._groups = groups
+
+    def _grouped(self, atom_ids: Sequence[int]) -> List[List[int]]:
+        wanted = set(atom_ids)
+        return [[atom for atom in group if atom in wanted] for group in self._groups]
+
+    def condense(self, atom_ids: Sequence[int]) -> Dict[int, Tuple]:
+        futures = [
+            self._executor.submit(
+                _worker_condense, (self._token, self._matrix_key, group)
+            )
+            for group in self._grouped(atom_ids)
+            if group
+        ]
+        merged: Dict[int, Tuple] = {}
+        for future in futures:
+            merged.update(future.result())
+        return merged
+
+    def eliminate(
+        self, atom_ids: Sequence[int], b_slices: Sequence[np.ndarray]
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        slice_of = dict(zip(atom_ids, b_slices))
+        jobs = []
+        for group in self._grouped(atom_ids):
+            if group:
+                jobs.append(
+                    (group, self._executor.submit(
+                        _worker_eliminate,
+                        (
+                            self._token,
+                            self._matrix_key,
+                            group,
+                            [slice_of[atom] for atom in group],
+                        ),
+                    ))
+                )
+        by_atom: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        for group, future in jobs:
+            for atom, result in zip(group, future.result()):
+                by_atom[atom] = result
+        return [by_atom[atom] for atom in atom_ids]

@@ -104,16 +104,24 @@ class ConjugateGradientSolver(LinearSolver):
     matrix:
         The SPD system matrix.
     preconditioner:
-        ``"jacobi"`` (diagonal scaling), ``"ilu"`` (incomplete LU) or ``None``.
+        ``"jacobi"`` (diagonal scaling), ``"ilu"`` (incomplete LU), ``None``,
+        or any operator-like object: a :class:`scipy.sparse.linalg.LinearOperator`,
+        an object with ``as_linear_operator()`` or ``matvec()`` (e.g. the
+        additive-Schwarz preconditioner of :mod:`repro.partition`), or a bare
+        callable applying ``M^{-1}`` to a vector.
     rtol, maxiter:
         Convergence tolerance and iteration cap; failure to converge raises
         :class:`~repro.errors.ConvergenceError`.
+
+    Every solve updates the ``stats`` attribute: solve and iteration
+    counters plus the final (true) relative residual ``|b - Ax| / |b|`` of
+    the most recent solve.
     """
 
     def __init__(
         self,
         matrix: sp.spmatrix,
-        preconditioner: Optional[str] = "jacobi",
+        preconditioner: Optional[object] = "jacobi",
         rtol: float = 1e-10,
         maxiter: int = 2000,
     ):
@@ -124,31 +132,59 @@ class ConjugateGradientSolver(LinearSolver):
         self.rtol = float(rtol)
         self.maxiter = int(maxiter)
         self._preconditioner = self._build_preconditioner(preconditioner)
+        self.stats = {
+            "method": "cg",
+            "solves": 0,
+            "total_iterations": 0,
+            "last_iterations": 0,
+            "last_relative_residual": None,
+        }
 
-    def _build_preconditioner(self, kind: Optional[str]):
+    def _build_preconditioner(self, kind):
         if kind is None:
             return None
-        if kind == "jacobi":
-            diagonal = self._matrix.diagonal()
-            if np.any(diagonal <= 0):
-                raise SolverError("Jacobi preconditioner requires positive diagonal")
-            inverse_diagonal = 1.0 / diagonal
-            return spla.LinearOperator(
-                self.shape, matvec=lambda x: inverse_diagonal * x
-            )
-        if kind == "ilu":
-            ilu = spla.spilu(sp.csc_matrix(self._matrix), drop_tol=1e-5, fill_factor=10)
-            return spla.LinearOperator(self.shape, matvec=ilu.solve)
-        raise SolverError(f"unknown preconditioner {kind!r}")
+        if isinstance(kind, str):
+            if kind == "jacobi":
+                diagonal = self._matrix.diagonal()
+                if np.any(diagonal <= 0):
+                    raise SolverError("Jacobi preconditioner requires positive diagonal")
+                inverse_diagonal = 1.0 / diagonal
+                return spla.LinearOperator(self.shape, matvec=lambda x: inverse_diagonal * x)
+            if kind == "ilu":
+                ilu = spla.spilu(sp.csc_matrix(self._matrix), drop_tol=1e-5, fill_factor=10)
+                return spla.LinearOperator(self.shape, matvec=ilu.solve)
+            raise SolverError(f"unknown preconditioner {kind!r}")
+        if isinstance(kind, spla.LinearOperator):
+            return kind
+        as_operator = getattr(kind, "as_linear_operator", None)
+        if callable(as_operator):
+            return as_operator()
+        matvec = getattr(kind, "matvec", None)
+        if callable(matvec):
+            return spla.LinearOperator(self.shape, matvec=matvec)
+        if callable(kind):
+            return spla.LinearOperator(self.shape, matvec=kind)
+        raise SolverError(
+            "preconditioner must be a name, a LinearOperator, an object with "
+            f"as_linear_operator()/matvec(), or a callable; got {type(kind).__name__}"
+        )
 
-    def solve(self, rhs: np.ndarray) -> np.ndarray:
+    def solve(self, rhs: np.ndarray, x0: Optional[np.ndarray] = None) -> np.ndarray:
         rhs = np.asarray(rhs, dtype=float)
+        iterations = 0
+
+        def count(_):
+            nonlocal iterations
+            iterations += 1
+
         solution, info = spla.cg(
             self._matrix,
             rhs,
+            x0=x0,
             rtol=self.rtol,
             maxiter=self.maxiter,
             M=self._preconditioner,
+            callback=count,
         )
         if info > 0:
             raise ConvergenceError(
@@ -156,6 +192,35 @@ class ConjugateGradientSolver(LinearSolver):
             )
         if info < 0:
             raise SolverError("conjugate gradients reported an illegal input")
+        rhs_norm = float(np.linalg.norm(rhs))
+        residual = float(np.linalg.norm(rhs - self._matrix @ solution))
+        self.stats["solves"] += 1
+        self.stats["total_iterations"] += iterations
+        self.stats["last_iterations"] = iterations
+        self.stats["last_relative_residual"] = (residual / rhs_norm if rhs_norm > 0 else residual)
+        return solution
+
+    def solve_many(self, rhs_columns: np.ndarray) -> np.ndarray:
+        """Warm-started column sweep sharing one preconditioner.
+
+        Each column's solve starts from the previous column's solution --
+        consecutive right-hand sides of the transient/Galerkin callers are
+        strongly correlated, so the warm start typically saves a large
+        fraction of the iterations the naive cold-start loop would spend.
+        """
+        rhs_columns = np.asarray(rhs_columns, dtype=float)
+        if rhs_columns.ndim == 1:
+            return self.solve(rhs_columns)
+        if rhs_columns.shape[0] != self.shape[0]:
+            raise SolverError(
+                f"right-hand sides have length {rhs_columns.shape[0]}, "
+                f"expected {self.shape[0]}"
+            )
+        solution = np.empty_like(rhs_columns)
+        previous: Optional[np.ndarray] = None
+        for j in range(rhs_columns.shape[1]):
+            previous = self.solve(rhs_columns[:, j], x0=previous)
+            solution[:, j] = previous
         return solution
 
 
@@ -206,7 +271,10 @@ def make_solver(matrix: sp.spmatrix, method: str = "direct", **options) -> Linea
     method:
         Name of a registered backend; the built-ins are ``"direct"``
         (sparse LU), ``"cg"`` (Jacobi-preconditioned CG) and ``"ilu-cg"``
-        (ILU-preconditioned CG).
+        (ILU-preconditioned CG).  Importing :mod:`repro.partition` (or
+        :mod:`repro.api`) additionally registers ``"schur"`` (partitioned
+        Schur-complement direct solve) and ``"schwarz-cg"`` (CG with a
+        block-Jacobi/additive-Schwarz preconditioner).
     options:
         Forwarded to the solver factory (e.g. ``rtol``, ``maxiter``).
     """

@@ -134,7 +134,11 @@ class RandomWalkSolver:
         for walk in range(num_walks):
             rewards[walk], lengths[walk] = self._single_walk(node)
         voltage = float(np.mean(rewards))
-        standard_error = float(np.std(rewards, ddof=1) / np.sqrt(num_walks)) if num_walks > 1 else float("inf")
+        standard_error = (
+            float(np.std(rewards, ddof=1) / np.sqrt(num_walks))
+            if num_walks > 1
+            else float("inf")
+        )
         return RandomWalkEstimate(
             node=node,
             voltage=voltage,

@@ -40,7 +40,7 @@ __all__ = [
 DEFAULT_SWEEP_TRANSIENT = TransientConfig(t_stop=2.4e-9, dt=0.2e-9)
 
 #: Engines whose options include a chaos expansion order.
-_CHAOS_ENGINES = ("opera", "decoupled")
+_CHAOS_ENGINES = ("opera", "decoupled", "hierarchical")
 
 # Named variation corners.  "paper" is the experiment setting of Section 6;
 # "wide"/"tight" bracket it; "rhs-only" disables matrix variation so the
@@ -67,9 +67,7 @@ def corner_spec(name: str) -> VariationSpec:
     overrides = dict(_CORNERS[key])
     if not overrides:
         return VariationSpec.paper_defaults()
-    sigma = {
-        field: overrides.pop(field) for field in ("w", "t", "l") if field in overrides
-    }
+    sigma = {field: overrides.pop(field) for field in ("w", "t", "l") if field in overrides}
     if sigma:
         return VariationSpec.from_three_sigma_percent(**sigma, **overrides)
     return dataclasses.replace(VariationSpec.paper_defaults(), **overrides)
@@ -85,6 +83,11 @@ class SweepCase:
     always run the chunked path -- even with ``workers=1`` -- so their
     statistics never depend on the worker count; ``workers`` is therefore
     excluded from the case identity (:meth:`key`, :attr:`name`, seeds).
+
+    ``partitions`` applies to the ``hierarchical`` engine only: the schedule
+    group count ``K`` of the partitioned Galerkin run.  It *is* part of the
+    case identity (it is what a partition ablation sweeps), even though the
+    engine guarantees the statistics are bit-identical for every ``K``.
     """
 
     engine: str
@@ -97,6 +100,7 @@ class SweepCase:
     store_nodes: Tuple[int, ...] = ()
     workers: int = 1
     chunk_size: int = DEFAULT_CHUNK_SIZE
+    partitions: Optional[int] = None
     seed: int = 0
 
     def __post_init__(self):
@@ -104,6 +108,14 @@ class SweepCase:
             raise AnalysisError(f"cases need at least 4 nodes, got {self.nodes}")
         if self.workers < 1:
             raise AnalysisError(f"workers must be at least 1, got {self.workers}")
+        if self.partitions is not None:
+            if self.engine != "hierarchical":
+                raise AnalysisError(
+                    "partitions only applies to the 'hierarchical' engine; "
+                    f"got engine {self.engine!r}"
+                )
+            if self.partitions < 1:
+                raise AnalysisError(f"partitions must be at least 1, got {self.partitions}")
         corner_spec(self.corner)  # validate eagerly, before any worker sees it
         if self.engine == "montecarlo" and self.antithetic:
             # Mirror MonteCarloConfig's chunked-antithetic parity rules here
@@ -127,18 +139,29 @@ class SweepCase:
             parts.append(f"o{self.order}")
         if self.samples is not None:
             parts.append(f"s{self.samples}")
+        if self.partitions is not None:
+            parts.append(f"p{self.partitions}")
         parts.append(self.corner)
         return "-".join(parts)
 
     def key(self) -> Tuple:
         """Identity used to match cases across sweeps (excludes seeds)."""
-        return (self.engine, self.nodes, self.order, self.samples, self.corner)
+        return (
+            self.engine,
+            self.nodes,
+            self.order,
+            self.samples,
+            self.corner,
+            self.partitions,
+        )
 
     def run_options(self) -> Dict:
         """Options forwarded to :meth:`repro.api.Analysis.run`."""
         options: Dict = {}
         if self.order is not None:
             options["order"] = int(self.order)
+        if self.partitions is not None:
+            options["partitions"] = int(self.partitions)
         if self.engine == "montecarlo":
             options["samples"] = int(self.samples or 200)
             options["seed"] = int(self.seed)
@@ -148,9 +171,7 @@ class SweepCase:
             options["workers"] = int(self.workers)
             options["chunk_size"] = int(self.chunk_size)
             if self.store_nodes:
-                options["store_nodes"] = tuple(
-                    int(node) for node in self.store_nodes
-                )
+                options["store_nodes"] = tuple(int(node) for node in self.store_nodes)
         return options
 
 
@@ -183,9 +204,7 @@ class SweepPlan:
         names = [case.name for case in self.cases]
         duplicates = {name for name in names if names.count(name) > 1}
         if duplicates:
-            raise AnalysisError(
-                f"duplicate case(s) in sweep plan: {', '.join(sorted(duplicates))}"
-            )
+            raise AnalysisError(f"duplicate case(s) in sweep plan: {', '.join(sorted(duplicates))}")
 
     def __len__(self) -> int:
         return len(self.cases)
@@ -204,6 +223,7 @@ class SweepPlan:
         antithetic: bool = True,
         mc_workers: int = 1,
         mc_chunk_size: int = DEFAULT_CHUNK_SIZE,
+        partitions: Optional[int] = None,
         transient: Optional[TransientConfig] = None,
         base_seed: int = 0,
     ) -> "SweepPlan":
@@ -222,6 +242,11 @@ class SweepPlan:
         depend on it, but never on ``mc_workers``).  With ``antithetic``,
         ``samples`` is rounded up to even so (xi, -xi) pairs fill whole
         chunks.
+
+        ``partitions`` sets the schedule group count of every
+        ``hierarchical`` case (their statistics are bit-identical for any
+        value; the setting is recorded in the case identity for partition
+        ablations).  Non-partitioned engines ignore it.
         """
         if not node_counts:
             raise AnalysisError("grid plans need at least one node count")
@@ -237,7 +262,16 @@ class SweepPlan:
                     engine_orders = orders if engine in _CHAOS_ENGINES else (None,)
                     for order in engine_orders:
                         engine_samples = samples if engine == "montecarlo" else None
+                        case_partitions = (
+                            int(partitions)
+                            if engine == "hierarchical" and partitions is not None
+                            else None
+                        )
                         identity = (engine, nodes, order, engine_samples, corner)
+                        if case_partitions is not None:
+                            # Appended (rather than always present) so the
+                            # seeds of pre-existing case identities survive.
+                            identity = identity + (case_partitions,)
                         cases.append(
                             SweepCase(
                                 engine=engine,
@@ -249,6 +283,7 @@ class SweepPlan:
                                 antithetic=bool(antithetic) if engine == "montecarlo" else False,
                                 workers=int(mc_workers) if engine == "montecarlo" else 1,
                                 chunk_size=int(mc_chunk_size),
+                                partitions=case_partitions,
                                 seed=_case_seed(base_seed, identity),
                             )
                         )

@@ -83,7 +83,12 @@ class BenchRecord:
         return len(self.cases)
 
     def case_map(self) -> Dict[Tuple, Dict]:
-        """Cases keyed by their cross-sweep identity (engine/grid/settings)."""
+        """Cases keyed by their cross-sweep identity (engine/grid/settings).
+
+        ``partitions`` joined the identity with the partition subsystem;
+        ``.get`` keeps artifacts written before that field readable (their
+        cases match current non-partitioned cases, which carry ``None``).
+        """
         return {
             (
                 case["engine"],
@@ -91,6 +96,7 @@ class BenchRecord:
                 case["order"],
                 case["samples"],
                 case["corner"],
+                case.get("partitions"),
             ): case
             for case in self.cases
         }

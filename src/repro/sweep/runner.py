@@ -51,6 +51,7 @@ class SweepCaseResult:
     worst_drop: float
     max_std: float
     vdd: float = 1.0
+    partitions: Optional[int] = None
     times: Optional[np.ndarray] = field(default=None, repr=False)
     mean: Optional[np.ndarray] = field(default=None, repr=False)
     std: Optional[np.ndarray] = field(default=None, repr=False)
@@ -58,7 +59,14 @@ class SweepCaseResult:
 
     def key(self) -> Tuple:
         """Identity used to match results across sweeps (excludes seeds)."""
-        return (self.engine, self.nodes, self.order, self.samples, self.corner)
+        return (
+            self.engine,
+            self.nodes,
+            self.order,
+            self.samples,
+            self.corner,
+            self.partitions,
+        )
 
     @property
     def has_statistics(self) -> bool:
@@ -92,6 +100,7 @@ class SweepCaseResult:
             "corner": self.corner,
             "order": None if self.order is None else int(self.order),
             "samples": None if self.samples is None else int(self.samples),
+            "partitions": None if self.partitions is None else int(self.partitions),
             "seed": int(self.seed),
             "wall_time_s": float(self.wall_time),
             "worst_drop_v": float(self.worst_drop),
@@ -140,6 +149,7 @@ def _execute_case(args) -> SweepCaseResult:
         corner=case.corner,
         order=case.order,
         samples=case.samples,
+        partitions=case.partitions,
         seed=case.seed,
         name=case.name,
         num_nodes=int(mean.shape[-1]),
@@ -258,19 +268,14 @@ class SweepRunner:
         machine -- and the sweep's critical path (usually its largest MC
         case) still gets split across processes.
         """
-        jobs = [
-            (case, plan.transient, self.keep_statistics, self.keep_raw)
-            for case in plan.cases
-        ]
+        jobs = [(case, plan.transient, self.keep_statistics, self.keep_raw) for case in plan.cases]
         started = time.perf_counter()
         driver_indices = [
             index
             for index, case in enumerate(plan.cases)
             if case.engine == "montecarlo" and case.workers > 1
         ]
-        pooled_indices = [
-            index for index in range(len(jobs)) if index not in set(driver_indices)
-        ]
+        pooled_indices = [index for index in range(len(jobs)) if index not in set(driver_indices)]
         results: List[Optional[SweepCaseResult]] = [None] * len(jobs)
         try:
             if self.workers > 1 and len(pooled_indices) > 1:

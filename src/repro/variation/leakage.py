@@ -71,9 +71,7 @@ class LeakageVariationSpec:
         if self.vth_sigma < 0:
             raise VariationModelError("vth_sigma must be non-negative")
         if self.subthreshold_factor <= 0 or self.thermal_voltage <= 0:
-            raise VariationModelError(
-                "subthreshold_factor and thermal_voltage must be positive"
-            )
+            raise VariationModelError("subthreshold_factor and thermal_voltage must be positive")
 
     @property
     def lognormal_sigma(self) -> float:
@@ -161,9 +159,7 @@ class RegionLeakageExcitation(StochasticExcitation):
     def sample(self, t: float, xi: np.ndarray) -> np.ndarray:
         xi = np.asarray(xi, dtype=float)
         if xi.shape != (self.num_variables,):
-            raise VariationModelError(
-                f"xi must have shape ({self.num_variables},), got {xi.shape}"
-            )
+            raise VariationModelError(f"xi must have shape ({self.num_variables},), got {xi.shape}")
         value = self._deterministic_part(t)
         factors = self.spec.factor(xi)
         for region, vector in enumerate(self._region_leakage):

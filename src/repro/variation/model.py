@@ -345,9 +345,7 @@ class StochasticSystem:
                         f"expected {self.g_nominal.shape}"
                     )
         if self.excitation.num_variables != len(self.variables):
-            raise VariationModelError(
-                "excitation germ count does not match the system's variables"
-            )
+            raise VariationModelError("excitation germ count does not match the system's variables")
 
     # ------------------------------------------------------------------ shape
     @property
@@ -374,9 +372,7 @@ class StochasticSystem:
         """Return ``(G(xi), C(xi))`` for one germ realisation."""
         xi = np.asarray(xi, dtype=float)
         if xi.shape != (self.num_variables,):
-            raise VariationModelError(
-                f"xi must have shape ({self.num_variables},), got {xi.shape}"
-            )
+            raise VariationModelError(f"xi must have shape ({self.num_variables},), got {xi.shape}")
         conductance = self.g_nominal.copy()
         for var, matrix in self.g_sensitivities.items():
             conductance = conductance + float(xi[var]) * matrix

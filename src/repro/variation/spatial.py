@@ -96,9 +96,7 @@ class SpatialVariationSpec:
             ("sigma_l", self.sigma_l),
         ):
             if value < 0 or value >= 1.0 / 3.0 + 1e-12:
-                raise VariationModelError(
-                    f"{label} must lie in [0, 1/3); got {value}"
-                )
+                raise VariationModelError(f"{label} must lie in [0, 1/3); got {value}")
         if self.correlation_length <= 0:
             raise VariationModelError("correlation_length must be positive")
         if self.node_pitch <= 0:
@@ -164,7 +162,9 @@ def _region_conductances(
                 "spatial variation requires generator-style node names"
             )
         rows, cols, values = buffers[region]
-        _stamp_two_terminal(rows, cols, values, index(resistor.a), index(resistor.b), resistor.conductance)
+        _stamp_two_terminal(
+            rows, cols, values, index(resistor.a), index(resistor.b), resistor.conductance
+        )
 
     if include_pads:
         for pad in netlist.pads:

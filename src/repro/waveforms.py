@@ -169,9 +169,7 @@ class PeriodicPulse(Waveform):
 
         rising = (tau >= 0) & (tau < rise_end)
         if self.rise > 0:
-            out = np.where(
-                rising, self.low + (self.high - self.low) * tau / self.rise, out
-            )
+            out = np.where(rising, self.low + (self.high - self.low) * tau / self.rise, out)
         else:
             out = np.where(rising, self.high, out)
         out = np.where((tau >= rise_end) & (tau < width_end), self.high, out)

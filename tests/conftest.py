@@ -49,9 +49,7 @@ def small_leakage_system(small_stamped, small_grid_spec):
     partition = RegionPartition(
         nx=small_grid_spec.nx, ny=small_grid_spec.ny, region_rows=2, region_cols=1
     )
-    return build_leakage_system(
-        small_stamped, partition, LeakageVariationSpec(vth_sigma=0.03)
-    )
+    return build_leakage_system(small_stamped, partition, LeakageVariationSpec(vth_sigma=0.03))
 
 
 @pytest.fixture(scope="session")

@@ -10,7 +10,11 @@ from repro.analysis.metrics import (
 )
 from repro.analysis.tables import PAPER_TABLE1, Table1Row, format_table1
 from repro.errors import AnalysisError
-from repro.montecarlo.engine import MonteCarloConfig, MonteCarloTransientResult, run_monte_carlo_transient
+from repro.montecarlo.engine import (
+    MonteCarloConfig,
+    MonteCarloTransientResult,
+    run_monte_carlo_transient,
+)
 from repro.opera import OperaConfig, run_opera_transient
 from repro.sim.transient import transient_analysis
 
@@ -93,7 +97,9 @@ class TestThreeSigmaSpread:
         # the paper reports +/-30..46 % across its grids
         assert 20.0 < spread < 60.0
 
-    def test_spread_without_nominal_close_to_with(self, opera_and_mc, small_stamped, fast_transient):
+    def test_spread_without_nominal_close_to_with(
+        self, opera_and_mc, small_stamped, fast_transient
+    ):
         opera, _ = opera_and_mc
         nominal = transient_analysis(small_stamped, fast_transient)
         with_nominal = three_sigma_spread_percent(opera, nominal)
@@ -119,7 +125,9 @@ class TestThreeSigmaSpread:
 class TestTable1:
     def test_row_from_metrics_and_speedup(self):
         metrics = AccuracyMetrics(0.01, 0.05, 2.0, 4.0, 1000)
-        row = Table1Row.from_metrics("g", 1234, metrics, 33.0, monte_carlo_seconds=100.0, opera_seconds=4.0)
+        row = Table1Row.from_metrics(
+            "g", 1234, metrics, 33.0, monte_carlo_seconds=100.0, opera_seconds=4.0
+        )
         assert row.speedup == pytest.approx(25.0)
         assert row.average_sigma_error_percent == 2.0
 

@@ -410,9 +410,7 @@ class TestLegacyCompatibility:
         np.testing.assert_allclose(legacy.mean_voltage, facade.mean(), atol=1e-12)
         np.testing.assert_allclose(legacy.std_voltage, facade.std(), atol=1e-12)
 
-    def test_transient_analysis_matches_deterministic_engine(
-        self, small_netlist, small_stamped
-    ):
+    def test_transient_analysis_matches_deterministic_engine(self, small_netlist, small_stamped):
         transient = TransientConfig(t_stop=1.0e-9, dt=0.25e-9)
         legacy = transient_analysis(small_stamped, transient)
         s = Analysis.from_netlist(small_netlist, stamped=small_stamped)
@@ -441,9 +439,7 @@ class TestCLIEngineFlags:
     COMMON = ["--synthetic-nodes", "60", "--seed", "4", "--t-stop", "1e-9", "--dt", "0.5e-9"]
 
     def test_analyze_with_montecarlo_engine(self, capsys):
-        code = cli_main(
-            ["analyze", *self.COMMON, "--engine", "montecarlo", "--samples", "6"]
-        )
+        code = cli_main(["analyze", *self.COMMON, "--engine", "montecarlo", "--samples", "6"])
         assert code == 0
         out = capsys.readouterr().out
         assert "montecarlo" in out
@@ -465,3 +461,44 @@ class TestCLIEngineFlags:
         code = cli_main(["analyze", *self.COMMON, "--solver", "cg"])
         assert code == 0
         assert "worst node" in capsys.readouterr().out
+
+class TestSolverStats:
+    def test_session_aggregates_cg_stats(self, small_netlist):
+        from repro.api import Analysis
+
+        session = Analysis.from_netlist(small_netlist).with_transient(t_stop=1.0e-9, dt=0.2e-9)
+        assert session.solver_stats() == {}
+        result = session.run("opera", order=1, solver="cg")
+        stats = session.solver_stats()
+        assert "cg" in stats
+        assert stats["cg"]["solves"] > 0
+        assert stats["cg"]["total_iterations"] > 0
+        assert stats["cg"]["last_relative_residual"] < 1e-6
+        # The run's result view carries the same diagnostics in to_dict().
+        summary = result.to_dict()
+        assert summary["solver_stats"]["cg"]["solves"] == stats["cg"]["solves"]
+
+    def test_direct_backend_contributes_no_stats(self, small_netlist):
+        from repro.api import Analysis
+
+        session = Analysis.from_netlist(small_netlist).with_transient(t_stop=1.0e-9, dt=0.2e-9)
+        result = session.run("deterministic")
+        assert session.solver_stats() == {}
+        assert "solver_stats" not in result.to_dict()
+    def test_view_stats_are_per_run_not_cumulative(self, small_netlist):
+        from repro.api import Analysis
+
+        session = Analysis.from_netlist(small_netlist).with_transient(
+            t_stop=1.0e-9, dt=0.2e-9
+        )
+        first = session.run("opera", order=1, solver="cg")
+        second = session.run("opera", order=1, solver="cg")
+        first_solves = first.to_dict()["solver_stats"]["cg"]["solves"]
+        second_solves = second.to_dict()["solver_stats"]["cg"]["solves"]
+        # The session cache is cumulative, but each view reports only the
+        # work of its own run (the second reuses cached factorisations and
+        # performs the same number of solves, not first + second).
+        assert second_solves <= first_solves
+        total = session.solver_stats()["cg"]["solves"]
+        assert total == first_solves + second_solves
+

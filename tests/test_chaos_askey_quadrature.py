@@ -149,7 +149,9 @@ class TestJacobi:
         for a in range(4):
             for b in range(a):
                 inner = np.sum(
-                    weights * jacobi_value(a, nodes, alpha, beta) * jacobi_value(b, nodes, alpha, beta)
+                    weights
+                    * jacobi_value(a, nodes, alpha, beta)
+                    * jacobi_value(b, nodes, alpha, beta)
                 )
                 assert inner == pytest.approx(0.0, abs=1e-10)
 

@@ -99,9 +99,7 @@ class TestBasisLookups:
         basis = PolynomialChaosBasis("hermite", order=2, num_vars=3)
         for var in range(3):
             index = basis.first_order_index(var)
-            assert basis.multi_indices[index] == tuple(
-                1 if d == var else 0 for d in range(3)
-            )
+            assert basis.multi_indices[index] == tuple(1 if d == var else 0 for d in range(3))
         with pytest.raises(BasisError):
             basis.first_order_index(5)
 

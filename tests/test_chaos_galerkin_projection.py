@@ -135,9 +135,7 @@ class TestAugmentedAssembly:
     def test_split_roundtrip(self, basis2x2):
         blocks = np.arange(12.0).reshape(basis2x2.size, 2)
         stacked = blocks.reshape(-1)
-        np.testing.assert_allclose(
-            split_augmented_vector(stacked, basis2x2.size, 2), blocks
-        )
+        np.testing.assert_allclose(split_augmented_vector(stacked, basis2x2.size, 2), blocks)
 
     def test_split_rejects_bad_length(self, basis2x2):
         with pytest.raises(AnalysisError):
@@ -224,9 +222,7 @@ class TestProjection:
         mean = coefficients[0]
         variance = np.sum(coefficients[1:] ** 2)
         assert mean == pytest.approx(math.exp(s * s / 2.0), rel=1e-12)
-        assert variance == pytest.approx(
-            math.exp(s * s) * (math.exp(s * s) - 1.0), rel=1e-6
-        )
+        assert variance == pytest.approx(math.exp(s * s) * (math.exp(s * s) - 1.0), rel=1e-6)
 
     def test_lognormal_mean_preserving_variant(self):
         s = 0.4
@@ -236,9 +232,7 @@ class TestProjection:
     def test_lognormal_matches_quadrature_projection(self):
         s = 0.5
         basis = PolynomialChaosBasis("hermite", order=5, num_vars=1)
-        numeric = project_function(
-            basis, lambda x: np.exp(s * x[:, 0]), points_per_dim=40
-        ).ravel()
+        numeric = project_function(basis, lambda x: np.exp(s * x[:, 0]), points_per_dim=40).ravel()
         analytic = lognormal_hermite_coefficients(s, max_degree=5)
         np.testing.assert_allclose(numeric, analytic, atol=1e-8)
 

@@ -81,9 +81,7 @@ class TestReader:
         assert waveform(1e-9) == pytest.approx(1e-3)
 
     def test_reads_pulse_source(self):
-        netlist = read_spice(
-            "V1 a 0 1.0\nR1 a b 1\nI1 b 0 PULSE(0 1m 0 0.1n 0.1n 0.2n 1n)\n"
-        )
+        netlist = read_spice("V1 a 0 1.0\nR1 a b 1\nI1 b 0 PULSE(0 1m 0 0.1n 0.1n 0.2n 1n)\n")
         waveform = netlist.current_sources[0].waveform
         assert isinstance(waveform, PeriodicPulse)
         assert waveform.period == pytest.approx(1e-9)
@@ -162,9 +160,7 @@ class TestWriterRoundTrip:
         original = small_netlist.current_sources[0].waveform
         rebuilt = recovered.current_sources[0].waveform
         t = np.linspace(0, 4e-9, 57)
-        assert np.max(np.abs(original(t) - rebuilt(t))) < 0.2 * max(
-            original.max_abs(4e-9), 1e-12
-        )
+        assert np.max(np.abs(original(t) - rebuilt(t))) < 0.2 * max(original.max_abs(4e-9), 1e-12)
 
     def test_writes_to_file(self, tmp_path, manual_netlist):
         path = tmp_path / "out.sp"

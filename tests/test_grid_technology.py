@@ -60,9 +60,7 @@ class TestTechnology:
 
     def test_via_stack_resistance(self):
         tech = default_technology()
-        assert tech.via_stack_resistance == pytest.approx(
-            tech.via_resistance / tech.vias_per_stack
-        )
+        assert tech.via_stack_resistance == pytest.approx(tech.via_resistance / tech.vias_per_stack)
 
     def test_with_vdd_returns_copy(self):
         tech = default_technology()

@@ -145,12 +145,8 @@ class TestSeparateVsCombinedGerms:
         response statistics (the two parametrisations are equivalent)."""
         combined = build_stochastic_system(grid, VariationSpec(combine_wt=True))
         separate = build_stochastic_system(grid, VariationSpec(combine_wt=False))
-        result_combined = run_opera_transient(
-            combined, OperaConfig(transient=transient, order=2)
-        )
-        result_separate = run_opera_transient(
-            separate, OperaConfig(transient=transient, order=2)
-        )
+        result_combined = run_opera_transient(combined, OperaConfig(transient=transient, order=2))
+        result_separate = run_opera_transient(separate, OperaConfig(transient=transient, order=2))
         np.testing.assert_allclose(
             result_combined.mean_voltage, result_separate.mean_voltage, atol=5e-6
         )
@@ -176,7 +172,9 @@ class TestLeakageSpecialCaseEndToEnd:
         assert metrics.average_mean_error_percent < 1.5
         assert metrics.average_sigma_error_percent < 35.0
 
-    def test_leakage_only_variation_is_small_but_nonzero(self, small_leakage_system, fast_transient):
+    def test_leakage_only_variation_is_small_but_nonzero(
+        self, small_leakage_system, fast_transient
+    ):
         result = run_opera_transient(
             small_leakage_system, OperaConfig(transient=fast_transient, order=2)
         )

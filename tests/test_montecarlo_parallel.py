@@ -57,9 +57,7 @@ class TestRunningMomentsMerge:
                 part.update(sample)
             merged.merge(part)
         np.testing.assert_allclose(merged.mean, samples.mean(axis=0), atol=1e-12)
-        np.testing.assert_allclose(
-            merged.variance(ddof=1), samples.var(axis=0, ddof=1), atol=1e-12
-        )
+        np.testing.assert_allclose(merged.variance(ddof=1), samples.var(axis=0, ddof=1), atol=1e-12)
 
     def test_merge_into_empty_copies(self, rng):
         part = RunningMoments()
@@ -152,9 +150,7 @@ class TestMonteCarloConfigValidation:
             )
 
     def test_antithetic_odd_num_samples_allowed_unchunked(self, fast_transient):
-        config = MonteCarloConfig(
-            transient=fast_transient, num_samples=11, antithetic=True
-        )
+        config = MonteCarloConfig(transient=fast_transient, num_samples=11, antithetic=True)
         assert not config.chunked
 
     def test_chunk_layout_ignores_workers(self, fast_transient):
@@ -191,20 +187,12 @@ class TestChunkSeeding:
         np.testing.assert_array_equal(serial.mean_voltage, parallel.mean_voltage)
         np.testing.assert_array_equal(serial.variance, parallel.variance)
 
-    def test_transient_stored_nodes_workers_invariant(
-        self, small_system, fast_transient
-    ):
+    def test_transient_stored_nodes_workers_invariant(self, small_system, fast_transient):
         serial = self._run(small_system, fast_transient, workers=1, store_nodes=(0, 3))
-        parallel = self._run(
-            small_system, fast_transient, workers=2, store_nodes=(0, 3)
-        )
-        np.testing.assert_array_equal(
-            serial.drop_samples(3), parallel.drop_samples(3)
-        )
+        parallel = self._run(small_system, fast_transient, workers=2, store_nodes=(0, 3))
+        np.testing.assert_array_equal(serial.drop_samples(3), parallel.drop_samples(3))
 
-    def test_transient_antithetic_workers_invariant(
-        self, small_system, fast_transient
-    ):
+    def test_transient_antithetic_workers_invariant(self, small_system, fast_transient):
         serial = self._run(small_system, fast_transient, workers=1, antithetic=True)
         parallel = self._run(small_system, fast_transient, workers=2, antithetic=True)
         np.testing.assert_array_equal(serial.mean_voltage, parallel.mean_voltage)
@@ -219,20 +207,14 @@ class TestChunkSeeding:
         )
         chunked = run_monte_carlo_transient(
             small_system,
-            MonteCarloConfig(
-                transient=fast_transient, num_samples=64, seed=3, chunk_size=16
-            ),
+            MonteCarloConfig(transient=fast_transient, num_samples=64, seed=3, chunk_size=16),
         )
         scale = np.max(np.abs(legacy.mean_drop))
         assert np.max(np.abs(legacy.mean_voltage - chunked.mean_voltage)) < 0.5 * scale
 
     def test_dc_workers_invariant(self, small_system):
-        serial = run_monte_carlo_dc(
-            small_system, num_samples=30, seed=4, chunk_size=8, workers=1
-        )
-        parallel = run_monte_carlo_dc(
-            small_system, num_samples=30, seed=4, chunk_size=8, workers=3
-        )
+        serial = run_monte_carlo_dc(small_system, num_samples=30, seed=4, chunk_size=8, workers=1)
+        parallel = run_monte_carlo_dc(small_system, num_samples=30, seed=4, chunk_size=8, workers=3)
         np.testing.assert_array_equal(serial.mean_voltage, parallel.mean_voltage)
         np.testing.assert_array_equal(serial.variance, parallel.variance)
 
@@ -247,9 +229,7 @@ class TestEngineOptionRouting:
     def test_session_run_accepts_workers(self, small_netlist, fast_transient):
         session = Analysis.from_netlist(small_netlist).with_transient(fast_transient)
         serial = session.run("montecarlo", samples=16, seed=2, chunk_size=8, workers=1)
-        parallel = session.run(
-            "montecarlo", samples=16, seed=2, chunk_size=8, workers=2
-        )
+        parallel = session.run("montecarlo", samples=16, seed=2, chunk_size=8, workers=2)
         np.testing.assert_array_equal(serial.mean(), parallel.mean())
         np.testing.assert_array_equal(serial.std(), parallel.std())
 

@@ -14,7 +14,10 @@ class TestPrimaReduction:
     @pytest.fixture(scope="class")
     def reduced(self, small_stamped):
         ports = np.array(
-            sorted(set(small_stamped.source_nodes[:4].tolist()) | set(small_stamped.pad_nodes[:2].tolist()))
+            sorted(
+                set(small_stamped.source_nodes[:4].tolist())
+                | set(small_stamped.pad_nodes[:2].tolist())
+            )
         )
         model = prima_reduce(
             small_stamped.conductance, small_stamped.capacitance, ports, num_moments=3
@@ -67,7 +70,12 @@ class TestPrimaReduction:
 
     def test_validation(self, small_stamped):
         with pytest.raises(SolverError):
-            prima_reduce(small_stamped.conductance, small_stamped.capacitance, np.array([0]), num_moments=0)
+            prima_reduce(
+                small_stamped.conductance,
+                small_stamped.capacitance,
+                np.array([0]),
+                num_moments=0,
+            )
         with pytest.raises(SolverError):
             prima_reduce(
                 small_stamped.conductance,
@@ -115,9 +123,7 @@ class TestCLI:
     def test_analyze_spice_deck(self, tmp_path, capsys):
         output = tmp_path / "grid.sp"
         main(["generate", str(output), "--nodes", "80", "--seed", "3"])
-        code = main(
-            ["analyze", "--spice", str(output), "--t-stop", "1e-9", "--dt", "0.25e-9"]
-        )
+        code = main(["analyze", "--spice", str(output), "--t-stop", "1e-9", "--dt", "0.25e-9"])
         assert code == 0
         assert "VDD" in capsys.readouterr().out
 

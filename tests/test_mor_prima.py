@@ -1,0 +1,100 @@
+"""Direct unit tests of the PRIMA projection's numerical properties.
+
+The CLI smoke path (``tests/test_mor_cli.py``) only checks that reduction
+runs end to end; these tests verify the mathematics: orthonormality of the
+projection basis, block moment matching of the reduced transfer function,
+and passivity preservation (symmetric positive semi-definite reduced
+matrices) on RC grids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.mor.prima import prima_reduce
+
+
+def block_moments(conductance, capacitance, input_matrix, count: int) -> list:
+    """Dense block moments ``m_j = B^T (G^{-1} C)^j G^{-1} B`` of an RC system."""
+    conductance = np.asarray(
+        conductance.toarray() if sp.issparse(conductance) else conductance, dtype=float
+    )
+    capacitance = np.asarray(
+        capacitance.toarray() if sp.issparse(capacitance) else capacitance, dtype=float
+    )
+    state = np.linalg.solve(conductance, input_matrix)
+    moments = []
+    for _ in range(count):
+        moments.append(input_matrix.T @ state)
+        state = np.linalg.solve(conductance, capacitance @ state)
+    return moments
+
+
+@pytest.fixture(scope="module")
+def rc_system(small_stamped):
+    """The small grid's G and C with three well-separated port nodes."""
+    ports = np.array([0, small_stamped.num_nodes // 2, small_stamped.num_nodes - 1])
+    return small_stamped.conductance, small_stamped.capacitance, ports
+
+
+class TestPrimaProjection:
+    def test_basis_is_orthonormal(self, rc_system):
+        conductance, capacitance, ports = rc_system
+        model = prima_reduce(conductance, capacitance, ports, num_moments=3)
+        projection = model.projection
+        gram = projection.T @ projection
+        assert np.allclose(gram, np.eye(gram.shape[0]), atol=1e-10)
+
+    @pytest.mark.parametrize("num_moments", [1, 2, 3])
+    def test_matches_block_moments(self, rc_system, num_moments):
+        conductance, capacitance, ports = rc_system
+        n = conductance.shape[0]
+        input_matrix = np.zeros((n, ports.size))
+        input_matrix[ports, np.arange(ports.size)] = 1.0
+
+        model = prima_reduce(conductance, capacitance, ports, num_moments=num_moments)
+        full = block_moments(conductance, capacitance, input_matrix, num_moments)
+        reduced = block_moments(model.conductance, model.capacitance, model.input_map, num_moments)
+        for full_moment, reduced_moment in zip(full, reduced):
+            scale = max(np.max(np.abs(full_moment)), 1e-30)
+            assert np.max(np.abs(full_moment - reduced_moment)) / scale < 1e-8
+
+    def test_congruence_preserves_symmetry_and_passivity(self, rc_system):
+        conductance, capacitance, ports = rc_system
+        model = prima_reduce(conductance, capacitance, ports, num_moments=2)
+        for reduced in (model.conductance, model.capacitance):
+            assert np.allclose(reduced, reduced.T, atol=1e-12)
+            eigenvalues = np.linalg.eigvalsh(reduced)
+            assert eigenvalues.min() >= -1e-10
+
+    def test_reduced_order_bounded_by_moments_times_ports(self, rc_system):
+        conductance, capacitance, ports = rc_system
+        model = prima_reduce(conductance, capacitance, ports, num_moments=2)
+        assert 0 < model.order <= 2 * ports.size
+        assert model.num_ports == ports.size
+
+    def test_deflation_drops_duplicate_port_columns(self, rc_system):
+        conductance, capacitance, ports = rc_system
+        n = conductance.shape[0]
+        duplicated = np.zeros((n, 2))
+        duplicated[ports[0], 0] = 1.0
+        duplicated[ports[0], 1] = 1.0  # linearly dependent with column 0
+        model = prima_reduce(conductance, capacitance, duplicated, num_moments=1)
+        assert model.order == 1
+
+    def test_dc_port_voltages_match_full_model(self, rc_system):
+        """m0 matching implies exact DC port responses of the reduced model."""
+        conductance, capacitance, ports = rc_system
+        model = prima_reduce(conductance, capacitance, ports, num_moments=2)
+        injected = np.array([1.0e-3, -0.5e-3, 2.0e-3])
+
+        n = conductance.shape[0]
+        input_matrix = np.zeros((n, ports.size))
+        input_matrix[ports, np.arange(ports.size)] = 1.0
+        full_voltages = np.zeros(n)
+        full_voltages[:] = sp.linalg.spsolve(sp.csc_matrix(conductance), input_matrix @ injected)
+        reduced_state = np.linalg.solve(model.conductance, model.input_map @ injected)
+        lifted = model.expand(reduced_state)
+        assert np.allclose(lifted[ports], full_voltages[ports], rtol=1e-8, atol=1e-12)

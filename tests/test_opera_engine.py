@@ -145,9 +145,7 @@ class TestSpecialCase:
         with pytest.raises(AnalysisError):
             run_decoupled_transient(small_system, fast_opera_config)
 
-    def test_decoupled_matches_forced_coupled_solution(
-        self, small_leakage_system, fast_transient
-    ):
+    def test_decoupled_matches_forced_coupled_solution(self, small_leakage_system, fast_transient):
         """Eq. (27): the decoupled path equals the full Galerkin solve."""
         decoupled = run_opera_transient(
             small_leakage_system, OperaConfig(transient=fast_transient, order=2)
@@ -156,9 +154,7 @@ class TestSpecialCase:
             small_leakage_system,
             OperaConfig(transient=fast_transient, order=2, force_coupled=True),
         )
-        np.testing.assert_allclose(
-            decoupled.coefficients, coupled.coefficients, atol=1e-10
-        )
+        np.testing.assert_allclose(decoupled.coefficients, coupled.coefficients, atol=1e-10)
 
     def test_engine_dispatches_to_decoupled_path(self, small_leakage_system, fast_opera_config):
         result = run_opera_transient(small_leakage_system, fast_opera_config)
@@ -171,18 +167,16 @@ class TestSpecialCase:
         assert not result.has_coefficients
         assert np.all(result.variance >= 0)
 
-    def test_leakage_variance_grows_with_vth_sigma(self, small_stamped, small_grid_spec, fast_transient):
+    def test_leakage_variance_grows_with_vth_sigma(
+        self, small_stamped, small_grid_spec, fast_transient
+    ):
         from repro.variation import LeakageVariationSpec, RegionPartition, build_leakage_system
 
         partition = RegionPartition(
             nx=small_grid_spec.nx, ny=small_grid_spec.ny, region_rows=2, region_cols=1
         )
-        small = build_leakage_system(
-            small_stamped, partition, LeakageVariationSpec(vth_sigma=0.01)
-        )
-        large = build_leakage_system(
-            small_stamped, partition, LeakageVariationSpec(vth_sigma=0.05)
-        )
+        small = build_leakage_system(small_stamped, partition, LeakageVariationSpec(vth_sigma=0.01))
+        large = build_leakage_system(small_stamped, partition, LeakageVariationSpec(vth_sigma=0.05))
         config = OperaConfig(transient=fast_transient, order=2)
         sigma_small = run_opera_transient(small, config).std_drop.max()
         sigma_large = run_opera_transient(large, config).std_drop.max()
@@ -220,7 +214,9 @@ class TestReport:
         assert "worst node" in text
         assert "% of the nominal drop" in text
 
-    def test_summary_rejects_streaming_nominal(self, small_system, small_stamped, fast_opera_config):
+    def test_summary_rejects_streaming_nominal(
+        self, small_system, small_stamped, fast_opera_config
+    ):
         result = run_opera_transient(small_system, fast_opera_config)
         nominal = transient_analysis(small_stamped, fast_opera_config.transient, store=False)
         with pytest.raises(AnalysisError):

@@ -153,9 +153,7 @@ class TestIntegratorStability:
     @given(steps=st.integers(min_value=4, max_value=16))
     @settings(max_examples=5, **COMMON_SETTINGS)
     def test_opera_transient_stable_for_any_step_count(self, small_system, steps):
-        config = OperaConfig(
-            transient=TransientConfig(t_stop=2.0e-9, dt=2.0e-9 / steps), order=2
-        )
+        config = OperaConfig(transient=TransientConfig(t_stop=2.0e-9, dt=2.0e-9 / steps), order=2)
         result = run_opera_transient(small_system, config)
         assert np.all(np.isfinite(result.mean_voltage))
         assert np.all(result.variance >= 0)

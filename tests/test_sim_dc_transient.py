@@ -151,9 +151,7 @@ class TestTransientAccuracy:
 class TestTransientMechanics:
     def test_callback_called_per_step(self, small_stamped, fast_transient):
         seen = []
-        transient_analysis(
-            small_stamped, fast_transient, callback=lambda k, t, x: seen.append(k)
-        )
+        transient_analysis(small_stamped, fast_transient, callback=lambda k, t, x: seen.append(k))
         assert seen == list(range(fast_transient.num_steps + 1))
 
     def test_streaming_mode_stores_nothing(self, small_stamped, fast_transient):
@@ -235,9 +233,7 @@ class TestMNASystem:
     def test_from_netlist_matches_stamped(self, manual_netlist):
         system = MNASystem.from_netlist(manual_netlist)
         stamped = stamp(manual_netlist)
-        np.testing.assert_allclose(
-            system.conductance.toarray(), stamped.conductance.toarray()
-        )
+        np.testing.assert_allclose(system.conductance.toarray(), stamped.conductance.toarray())
         assert system.vdd == stamped.vdd
 
     def test_dc_and_transient_consistent(self, manual_netlist):

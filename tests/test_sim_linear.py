@@ -100,3 +100,61 @@ class TestMakeSolver:
         for method in ("cg", "ilu-cg"):
             solution = make_solver(small_stamped.conductance, method).solve(rhs)
             np.testing.assert_allclose(solution, reference, rtol=1e-6, atol=1e-9)
+
+class TestConjugateGradientStats:
+    def test_stats_track_iterations_and_residual(self):
+        matrix = laplacian_spd(60)
+        solver = ConjugateGradientSolver(matrix, rtol=1e-12)
+        assert solver.stats["solves"] == 0
+        rhs = np.arange(60, dtype=float)
+        solver.solve(rhs)
+        assert solver.stats["solves"] == 1
+        assert solver.stats["last_iterations"] > 0
+        assert solver.stats["total_iterations"] == solver.stats["last_iterations"]
+        assert solver.stats["last_relative_residual"] < 1e-10
+        solver.solve(2.0 * rhs)
+        assert solver.stats["solves"] == 2
+        assert solver.stats["total_iterations"] >= solver.stats["last_iterations"]
+
+    def test_solve_many_matches_direct_and_warm_starts(self):
+        matrix = laplacian_spd(80)
+        rhs = np.linspace(0.0, 1.0, 80)
+        # Correlated columns, as produced by consecutive transient steps.
+        columns = np.column_stack([rhs * (1.0 + 0.01 * j) for j in range(5)])
+        solver = ConjugateGradientSolver(matrix, rtol=1e-12)
+        expected = DirectSolver(matrix).solve_many(columns)
+        assert np.allclose(solver.solve_many(columns), expected, rtol=0, atol=1e-8)
+        assert solver.stats["solves"] == 5
+        # The warm-started later columns converge faster than the cold first.
+        total = solver.stats["total_iterations"]
+        first_share = total / 5.0
+        assert solver.stats["last_iterations"] < first_share
+
+    def test_solve_many_rejects_wrong_length(self):
+        solver = ConjugateGradientSolver(laplacian_spd(10))
+        with pytest.raises(SolverError):
+            solver.solve_many(np.ones((4, 3)))
+
+    def test_operator_preconditioner_accepted(self):
+        import scipy.sparse.linalg as spla
+
+        matrix = laplacian_spd(40)
+        inverse_diagonal = 1.0 / matrix.diagonal()
+        operator = spla.LinearOperator(matrix.shape, matvec=lambda x: inverse_diagonal * x)
+        solver = ConjugateGradientSolver(matrix, preconditioner=operator, rtol=1e-12)
+        rhs = np.ones(40)
+        assert np.allclose(solver.solve(rhs), DirectSolver(matrix).solve(rhs), rtol=0, atol=1e-9)
+
+    def test_callable_preconditioner_accepted(self):
+        matrix = laplacian_spd(40)
+        inverse_diagonal = 1.0 / matrix.diagonal()
+        solver = ConjugateGradientSolver(
+            matrix, preconditioner=lambda x: inverse_diagonal * x, rtol=1e-12
+        )
+        rhs = np.ones(40)
+        assert np.allclose(solver.solve(rhs), DirectSolver(matrix).solve(rhs), rtol=0, atol=1e-9)
+
+    def test_rejects_non_operator_preconditioner(self):
+        with pytest.raises(SolverError):
+            ConjugateGradientSolver(laplacian_spd(10), preconditioner=3.14)
+

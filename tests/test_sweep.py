@@ -169,9 +169,7 @@ class TestSweepPlan:
 
 class TestSweepRunner:
     def test_results_in_plan_order(self, small_outcome):
-        assert [r.name for r in small_outcome.results] == [
-            c.name for c in small_outcome.plan.cases
-        ]
+        assert [r.name for r in small_outcome.results] == [c.name for c in small_outcome.plan.cases]
 
     def test_statistics_kept(self, small_outcome):
         opera = small_outcome.case(engine="opera", nodes=60)
@@ -357,12 +355,7 @@ class TestRegress:
 
         assert regress_main([str(base_path), str(base_path)]) == 0
         assert regress_main([str(base_path), str(slow_path)]) == 1
-        assert (
-            regress_main(
-                [str(base_path), str(slow_path), "--max-regression", "1000"]
-            )
-            == 0
-        )
+        assert (regress_main([str(base_path), str(slow_path), "--max-regression", "1000"]) == 0)
         capsys.readouterr()  # silence report output
 
 
@@ -397,8 +390,5 @@ class TestSweepCli:
         assert "bogus" in capsys.readouterr().err
 
     def test_sweep_rejects_unknown_corner(self, capsys):
-        assert (
-            cli_main(["sweep", "--nodes", "60", "--samples", "8", "--corners", "bogus"])
-            == 2
-        )
+        assert (cli_main(["sweep", "--nodes", "60", "--samples", "8", "--corners", "bogus"]) == 2)
         assert "corner" in capsys.readouterr().err

@@ -225,7 +225,9 @@ class TestRegionPartition:
             partition.region_of_node_name("weird-name")
 
     def test_region_map_over_generated_grid(self, small_netlist, small_grid_spec):
-        partition = RegionPartition(nx=small_grid_spec.nx, ny=small_grid_spec.ny, region_rows=2, region_cols=2)
+        partition = RegionPartition(
+            nx=small_grid_spec.nx, ny=small_grid_spec.ny, region_rows=2, region_cols=2
+        )
         mapping = partition.region_map(small_netlist.node_names)
         assert mapping.shape == (small_netlist.num_nodes,)
         bottom = [name.startswith("n0_") for name in small_netlist.node_names]

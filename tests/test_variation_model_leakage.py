@@ -82,7 +82,9 @@ class TestAffineExcitation:
 
     def test_summed_excitation(self):
         a = AffineExcitation(lambda t: np.array([1.0]), {}, num_variables=1)
-        b = AffineExcitation(lambda t: np.array([2.0]), {0: lambda t: np.array([1.0])}, num_variables=1)
+        b = AffineExcitation(
+            lambda t: np.array([2.0]), {0: lambda t: np.array([1.0])}, num_variables=1
+        )
         total = SummedExcitation([a, b])
         np.testing.assert_allclose(total.sample(0.0, np.array([1.0])), [4.0])
         basis = PolynomialChaosBasis("hermite", order=1, num_vars=1)
@@ -114,27 +116,21 @@ class TestBuildStochasticSystem:
         system = build_stochastic_system(small_stamped, spec)
         g_index = system.variable_names().index("xi_G")
         expected = (spec.sigma_g * small_stamped.conductance).toarray()
-        np.testing.assert_allclose(
-            system.g_sensitivities[g_index].toarray(), expected, atol=1e-15
-        )
+        np.testing.assert_allclose(system.g_sensitivities[g_index].toarray(), expected, atol=1e-15)
 
     def test_pads_not_varying_excludes_package(self, small_stamped):
         spec = VariationSpec(pads_vary=False)
         system = build_stochastic_system(small_stamped, spec)
         g_index = system.variable_names().index("xi_G")
         expected = (spec.sigma_g * small_stamped.g_wire).toarray()
-        np.testing.assert_allclose(
-            system.g_sensitivities[g_index].toarray(), expected, atol=1e-15
-        )
+        np.testing.assert_allclose(system.g_sensitivities[g_index].toarray(), expected, atol=1e-15)
 
     def test_capacitance_sensitivity_uses_gate_caps(self, small_stamped):
         spec = VariationSpec.paper_defaults()
         system = build_stochastic_system(small_stamped, spec)
         l_index = system.variable_names().index("xi_L")
         expected = (spec.sigma_l * small_stamped.c_gate).toarray()
-        np.testing.assert_allclose(
-            system.c_sensitivities[l_index].toarray(), expected, atol=1e-25
-        )
+        np.testing.assert_allclose(system.c_sensitivities[l_index].toarray(), expected, atol=1e-25)
 
     def test_untagged_caps_fall_back_to_fraction(self):
         netlist = PowerGridNetlist()
@@ -173,9 +169,7 @@ class TestBuildStochasticSystem:
         xi = np.array([1.5, -0.5])
         G, _ = small_system.realize_matrices(xi)
         g_index = small_system.variable_names().index("xi_G")
-        expected = (
-            small_system.g_nominal + 1.5 * small_system.g_sensitivities[g_index]
-        ).toarray()
+        expected = (small_system.g_nominal + 1.5 * small_system.g_sensitivities[g_index]).toarray()
         np.testing.assert_allclose(G.toarray(), expected)
 
     def test_realize_rejects_wrong_shape(self, small_system):
@@ -183,9 +177,7 @@ class TestBuildStochasticSystem:
             small_system.realize_matrices(np.zeros(5))
 
     def test_disabling_everything_raises(self, small_stamped):
-        spec = VariationSpec(
-            vary_conductance=False, vary_capacitance=False, vary_currents=False
-        )
+        spec = VariationSpec(vary_conductance=False, vary_capacitance=False, vary_currents=False)
         with pytest.raises(VariationModelError):
             build_stochastic_system(small_stamped, spec)
 
@@ -264,7 +256,9 @@ class TestRegionLeakageExcitation:
         assert np.sum(plus) < np.sum(zero)
 
     def test_region_germs_act_only_on_their_region(self, small_stamped, small_grid_spec):
-        partition = RegionPartition(nx=small_grid_spec.nx, ny=small_grid_spec.ny, region_rows=2, region_cols=1)
+        partition = RegionPartition(
+            nx=small_grid_spec.nx, ny=small_grid_spec.ny, region_rows=2, region_cols=1
+        )
         excitation = RegionLeakageExcitation(small_stamped, partition)
         base = excitation.sample(0.0, np.zeros(2))
         bumped = excitation.sample(0.0, np.array([2.0, 0.0]))
@@ -275,7 +269,9 @@ class TestRegionLeakageExcitation:
 
     def test_pc_coefficients_reconstruct_samples(self, small_stamped, small_grid_spec, rng):
         """The chaos expansion of the excitation converges to exact samples."""
-        partition = RegionPartition(nx=small_grid_spec.nx, ny=small_grid_spec.ny, region_rows=2, region_cols=1)
+        partition = RegionPartition(
+            nx=small_grid_spec.nx, ny=small_grid_spec.ny, region_rows=2, region_cols=1
+        )
         spec = LeakageVariationSpec(vth_sigma=0.02)
         excitation = RegionLeakageExcitation(small_stamped, partition, spec)
         basis = PolynomialChaosBasis("hermite", order=4, num_vars=2)
@@ -310,7 +306,9 @@ class TestRegionLeakageExcitation:
         assert not small_leakage_system.has_matrix_variation
 
     def test_region_leakage_vectors_cover_all_leakage(self, small_stamped, small_grid_spec):
-        partition = RegionPartition(nx=small_grid_spec.nx, ny=small_grid_spec.ny, region_rows=2, region_cols=2)
+        partition = RegionPartition(
+            nx=small_grid_spec.nx, ny=small_grid_spec.ny, region_rows=2, region_cols=2
+        )
         excitation = RegionLeakageExcitation(small_stamped, partition)
         total = sum(v.sum() for v in excitation.region_leakage_vectors)
         leak = small_stamped.drain_current_vector(0.0) - small_stamped.drain_current_vector(

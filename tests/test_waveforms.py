@@ -68,9 +68,7 @@ class TestPiecewiseLinear:
 
 class TestPeriodicPulse:
     def make(self, **overrides):
-        defaults = dict(
-            low=0.0, high=1.0, delay=0.0, rise=0.1, fall=0.1, width=0.3, period=1.0
-        )
+        defaults = dict(low=0.0, high=1.0, delay=0.0, rise=0.1, fall=0.1, width=0.3, period=1.0)
         defaults.update(overrides)
         return PeriodicPulse(**defaults)
 
@@ -127,7 +125,9 @@ class TestClockedActivity:
 
     def test_rejects_bad_fractions(self):
         with pytest.raises(ValueError):
-            ClockedActivity(period=1.0, peak=1.0, activity=(1.0,), rise_fraction=0.7, duty_fraction=0.5)
+            ClockedActivity(
+                period=1.0, peak=1.0, activity=(1.0,), rise_fraction=0.7, duty_fraction=0.5
+            )
 
     def test_rejects_empty_activity(self):
         with pytest.raises(ValueError):
