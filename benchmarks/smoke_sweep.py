@@ -18,17 +18,21 @@ environment the CI job uses::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.sweep import (
     BenchRecord,
+    SweepCase,
     SweepPlan,
     SweepRunner,
+    case_seed_for,
     compare_records,
     record_from_outcome,
 )
+from repro.sweep.plan import grid_seed_for
 
 from _bench_config import (
     RESULTS_DIR,
@@ -89,6 +93,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         partitions=2,
         transient=bench_transient(),
         base_seed=BASE_SEED,
+    )
+    # One matrix-free case per grid: the opera engine on the lazy
+    # Kronecker-sum operators with the mean-block-cg backend, so the smoke
+    # job exercises (and the gate tracks) the operator path too.
+    def matrix_free_case(nodes: int) -> SweepCase:
+        case = SweepCase(
+            engine="opera",
+            nodes=int(nodes),
+            grid_seed=grid_seed_for(nodes, BASE_SEED),
+            order=2,
+            solver="mean-block-cg",
+        )
+        return dataclasses.replace(
+            case, seed=case_seed_for(BASE_SEED, case.seed_identity())
+        )
+
+    matrix_free = tuple(matrix_free_case(nodes) for nodes in bench_node_counts())
+    plan = SweepPlan(
+        cases=plan.cases + matrix_free,
+        transient=plan.transient,
+        base_seed=plan.base_seed,
     )
     outcome = SweepRunner(workers=bench_workers()).run(plan)
     record = record_from_outcome(outcome, config={"suite": "smoke"})

@@ -15,6 +15,10 @@ Variations" (Ghanta, Vrudhula, Panda, Wang -- DATE 2005).  It contains:
 * :mod:`repro.montecarlo` -- the Monte Carlo reference;
 * :mod:`repro.analysis` -- accuracy metrics, Table-1 assembly and the
   Figure-1/2 distribution comparisons;
+* :mod:`repro.linalg` -- matrix-free Kronecker-sum operators for the
+  augmented Galerkin system (:class:`~repro.linalg.KronSumOperator`) and
+  the ``mean-block-cg`` solver backend (one nominal-block LU
+  preconditioning all chaos blocks at once);
 * :mod:`repro.mor` -- PRIMA-style model order reduction (extension);
 * :mod:`repro.api` -- the unified :class:`~repro.api.Analysis` session
   facade, the engine/solver registries and the shared result protocol;
@@ -117,6 +121,7 @@ from .grid import (
     stamp,
     write_spice,
 )
+from .linalg import KronSumOperator, MeanBlockCGSolver
 from .montecarlo import MonteCarloConfig, run_monte_carlo_dc, run_monte_carlo_transient
 from .opera import (
     OperaConfig,
@@ -183,6 +188,8 @@ __all__ = [
     "spec_for_node_count",
     "stamp",
     "write_spice",
+    "KronSumOperator",
+    "MeanBlockCGSolver",
     "MonteCarloConfig",
     "run_monte_carlo_dc",
     "run_monte_carlo_transient",

@@ -160,6 +160,8 @@ def _run_opera_engine(session, mode: Optional[str] = None, **options):
     _check_mode("opera", mode, ("transient", "dc"))
     order = int(options.pop("order", 2))
     solver = options.pop("solver", None)
+    assemble = str(options.pop("assemble", "auto"))
+    solver_options = options.pop("solver_options", None)
     stats_before = session.solver_stats()
     system = session.system
     basis = session.basis(order)
@@ -175,6 +177,8 @@ def _run_opera_engine(session, mode: Optional[str] = None, **options):
             solver=solver or "direct",
             basis=basis,
             solver_factory=session.solver,
+            assemble=assemble,
+            solver_options=solver_options,
         )
         elapsed = time.perf_counter() - started
         view = StochasticResultView("opera", "dc", field, system.vdd, wall_time=elapsed)
@@ -186,6 +190,8 @@ def _run_opera_engine(session, mode: Optional[str] = None, **options):
         transient=transient,
         order=order,
         solver=solver,
+        assemble=assemble,
+        solver_options=solver_options,
         store_coefficients=bool(options.pop("store_coefficients", True)),
         force_coupled=bool(options.pop("force_coupled", False)),
     )
@@ -349,7 +355,9 @@ def _run_randomwalk_engine(session, mode: Optional[str] = None, **options):
     )
 
 
-# The partition subsystem registers the "hierarchical" engine (and the
-# "schur" / "schwarz-cg" solver backends) on import; pulling it in here
-# makes them available to everything that goes through the registries.
+# The linalg subsystem registers the "mean-block-cg" solver backend and the
+# partition subsystem the "hierarchical" engine (plus the "schur" /
+# "schwarz-cg" solver backends) on import; pulling them in here makes them
+# available to everything that goes through the registries.
+from .. import linalg as _linalg  # noqa: E402,F401
 from ..partition import engine as _partition_engine  # noqa: E402,F401

@@ -227,14 +227,21 @@ class Analysis:
         return cache[key]
 
     def galerkin(self, order: int) -> GalerkinSystem:
-        """The assembled augmented (Galerkin) system for ``order`` (cached)."""
+        """The augmented (Galerkin) system for ``order`` (cached).
+
+        The cached system is built in lazy (matrix-free operator) mode, so
+        an operator-aware run (``solver="mean-block-cg"``) never assembles
+        the explicit Kronecker sum; a direct-solver run materialises the
+        CSR matrices on first access, and both representations then stay
+        cached on the same object for every later run.
+        """
         from ..opera.engine import build_galerkin_system
 
         key = int(order)
         cache = self._caches["galerkin"]
         if key not in cache:
             self._stats["galerkin"]["misses"] += 1
-            cache[key] = build_galerkin_system(self.system, self.basis(order))
+            cache[key] = build_galerkin_system(self.system, self.basis(order), assemble="lazy")
         else:
             self._stats["galerkin"]["hits"] += 1
         return cache[key]

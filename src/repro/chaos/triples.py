@@ -53,5 +53,20 @@ def triple_product_matrix(basis: PolynomialChaosBasis, m: int) -> sp.csr_matrix:
 def triple_product_tensors(
     basis: PolynomialChaosBasis, parameter_indices: Iterable[int]
 ) -> Dict[int, sp.csr_matrix]:
-    """Triple-product matrices for every parameter basis index requested."""
-    return {m: triple_product_matrix(basis, m) for m in set(parameter_indices)}
+    """Triple-product matrices for every parameter basis index requested.
+
+    The matrices are cached on the basis object (per parameter index, which
+    subsumes caching per key-set): assembling the conductance *and* the
+    capacitance Galerkin matrix -- or re-assembling after a variation-model
+    swap on the same basis -- computes each ``T_m`` exactly once.  The cache
+    also guarantees that repeated calls return the *same* matrix objects,
+    which lets :class:`repro.linalg.KronSumOperator` merge terms sharing a
+    left factor across operator sums.
+    """
+    cache: Dict[int, sp.csr_matrix] = basis.__dict__.setdefault("_triple_product_cache", {})
+    tensors: Dict[int, sp.csr_matrix] = {}
+    for m in set(parameter_indices):
+        if m not in cache:
+            cache[m] = triple_product_matrix(basis, m)
+        tensors[m] = cache[m]
+    return tensors

@@ -132,6 +132,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="K",
         help="schedule group count for the hierarchical engine",
     )
+    analyze.add_argument(
+        "--assemble",
+        choices=("auto", "explicit", "lazy"),
+        default=None,
+        help="Galerkin assembly mode for the opera engine: explicit CSR, "
+        "lazy (matrix-free Kronecker-sum operators), or auto (lazy exactly "
+        "when the solver backend consumes operators, e.g. mean-block-cg)",
+    )
 
     compare = subparsers.add_parser("compare", help="compare OPERA against Monte Carlo")
     add_analysis_arguments(compare)
@@ -265,6 +273,8 @@ def _command_analyze(args: argparse.Namespace) -> int:
         options["workers"] = args.workers
     if args.partitions is not None:
         options["partitions"] = args.partitions
+    if getattr(args, "assemble", None) is not None:
+        options["assemble"] = args.assemble
     result = session.run(args.engine, **options)
 
     if hasattr(result.raw, "basis"):

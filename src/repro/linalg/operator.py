@@ -1,0 +1,374 @@
+"""Matrix-free Kronecker-sum operators.
+
+The augmented Galerkin system of the OPERA method is a sum of Kronecker
+products ``A~ = sum_m T_m (x) A_m`` where every ``T_m`` is a small
+``P x P`` triple-product matrix (``P`` = chaos basis size) and every
+``A_m`` is an ``n x n`` grid matrix (``n`` = node count).  Materialising
+the kron explicitly costs ``sum_m nnz(T_m) * nnz(A_m)`` memory and makes
+every operator application (and any factorisation) scale with that fill.
+
+:class:`KronSumOperator` keeps the tensor structure lazy instead.  With the
+stacked vector ``x`` viewed as the row-major matrix ``X`` of shape
+``(P, n)`` (chaos block ``j`` in row ``j``), the identity
+
+``(T (x) A) vec(X) = vec(T (X A^T))``
+
+turns one application of the full operator into a handful of small
+sparse-dense products: ``W_m = A_m X^T`` (an ``n x n`` sparse matrix times
+an ``n x P`` dense block) followed by ``T_m W_m^T`` (a ``P x P`` sparse
+matrix times a ``P x n`` dense block).  The cost is
+``sum_m (nnz(A_m) P + nnz(T_m) n)`` -- linear in the grid fill -- and no
+``P n x P n`` matrix ever exists.
+
+The operator supports the compositions the integrators need (``a*Op1 +
+b*Op2`` so the stepping operator ``G~ + C~/h`` is formed without assembly),
+``diagonal()`` for Jacobi scaling, ``mean_block()`` for the
+``I_P (x) M0^{-1}`` preconditioner of the ``mean-block-cg`` backend, and an
+explicit :meth:`to_csr` fallback for direct solvers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from ..errors import SolverError
+
+__all__ = ["KronTerm", "KronSumOperator", "kron_sum_csr", "is_operator"]
+
+
+def is_operator(obj) -> bool:
+    """True for lazy operator objects (duck-typed, no import cycles).
+
+    The solver registry and the transient integrator use this to tell a
+    :class:`KronSumOperator` (or anything shaped like one) apart from an
+    explicit ``scipy.sparse`` matrix: an operator exposes ``matvec`` *and*
+    an explicit-assembly escape hatch ``to_csr``.
+    """
+    return callable(getattr(obj, "matvec", None)) and callable(getattr(obj, "to_csr", None))
+
+
+class KronTerm:
+    """One term ``alpha * (T (x) A)`` of a Kronecker sum.
+
+    ``identity`` records that ``T`` is the identity, which lets
+    :meth:`KronSumOperator.matvec` skip the (small) left factor entirely --
+    the ``m = 0`` (mean) term of every Galerkin matrix has ``T_0 = I``.
+    ``alpha`` is a scalar weight kept separate so that scaling an operator
+    (``C~ / h``) copies no matrix data at all.
+    """
+
+    __slots__ = ("left", "right", "alpha", "identity")
+
+    def __init__(self, left: sp.spmatrix, right: sp.spmatrix, alpha: float = 1.0):
+        self.left = sp.csr_matrix(left)
+        self.right = sp.csr_matrix(right)
+        self.alpha = float(alpha)
+        if self.left.shape[0] != self.left.shape[1]:
+            raise SolverError("Kronecker left factors must be square")
+        if self.right.shape[0] != self.right.shape[1]:
+            raise SolverError("Kronecker right factors must be square")
+        size = self.left.shape[0]
+        identity = sp.identity(size, format="csr")
+        delta = (self.left - identity).tocoo()
+        self.identity = delta.nnz == 0 or bool(np.all(delta.data == 0.0))
+
+    def scaled(self, factor: float) -> "KronTerm":
+        term = KronTerm.__new__(KronTerm)
+        term.left = self.left
+        term.right = self.right
+        term.alpha = self.alpha * float(factor)
+        term.identity = self.identity
+        return term
+
+
+def _merge_terms(terms: Sequence[KronTerm]) -> List[KronTerm]:
+    """Fold terms sharing a left factor into one (fewer products per apply).
+
+    All identity-left terms collapse into a single term (this is what makes
+    ``G~ + C~/h`` apply its combined mean block ``G_0 + C_0/h`` once), and
+    terms whose left factors are the *same object* -- guaranteed for
+    triple-product matrices by the per-basis cache in
+    :mod:`repro.chaos.triples` -- merge likewise.
+    """
+    groups: dict = {}
+    order: List = []
+    for term in terms:
+        key = "identity" if term.identity else id(term.left)
+        if key not in groups:
+            groups[key] = [term]
+            order.append(key)
+        else:
+            groups[key].append(term)
+    merged: List[KronTerm] = []
+    for key in order:
+        group = groups[key]
+        if len(group) == 1:
+            merged.append(group[0])
+            continue
+        right = group[0].alpha * group[0].right
+        for term in group[1:]:
+            right = right + term.alpha * term.right
+        merged.append(KronTerm(group[0].left, right.tocsr(), 1.0))
+    return merged
+
+
+def kron_sum_csr(
+    pairs: Iterable[Tuple[sp.spmatrix, sp.spmatrix]],
+    weights: Optional[Sequence[float]] = None,
+) -> sp.csr_matrix:
+    """Assemble ``sum_m w_m kron(T_m, A_m)`` with one COO concatenation.
+
+    Incrementally accumulating CSR sums (``total = total + term``) costs
+    O(terms^2) merges; concatenating every term's COO triplets and letting
+    a single ``tocsr()`` fold duplicates is linear in the total fill.
+    """
+    rows: List[np.ndarray] = []
+    cols: List[np.ndarray] = []
+    data: List[np.ndarray] = []
+    shape = None
+    for index, (left, right) in enumerate(pairs):
+        weight = 1.0 if weights is None else float(weights[index])
+        term = sp.kron(left, right, format="coo")
+        if shape is None:
+            shape = term.shape
+        elif term.shape != shape:
+            raise SolverError("all Kronecker terms must share the same shape")
+        rows.append(term.row)
+        cols.append(term.col)
+        data.append(weight * term.data if weight != 1.0 else term.data)
+    if shape is None:
+        raise SolverError("at least one Kronecker term is required")
+    combined = sp.coo_matrix(
+        (np.concatenate(data), (np.concatenate(rows), np.concatenate(cols))),
+        shape=shape,
+    )
+    return combined.tocsr()
+
+
+class KronSumOperator:
+    """Lazy ``sum_m alpha_m (T_m (x) A_m)`` with matrix-free application.
+
+    Parameters
+    ----------
+    terms:
+        Either :class:`KronTerm` objects or ``(T, A)`` / ``(T, A, alpha)``
+        tuples.  All ``T`` must share one shape ``(P, P)`` and all ``A``
+        one shape ``(n, n)``.
+
+    The operator behaves like a square matrix of shape ``(P*n, P*n)`` for
+    ``@``, exposes ``matvec``/``matmat`` (with optional ``out=`` buffers so
+    time-stepping loops allocate nothing per step), ``diagonal()``,
+    ``mean_block()``, ``to_csr()`` and scalar/additive composition.
+    """
+
+    def __init__(self, terms: Sequence):
+        built: List[KronTerm] = []
+        for term in terms:
+            if isinstance(term, KronTerm):
+                built.append(term)
+            else:
+                built.append(KronTerm(*term))
+        if not built:
+            raise SolverError("KronSumOperator needs at least one term")
+        left_shapes = {term.left.shape for term in built}
+        right_shapes = {term.right.shape for term in built}
+        if len(left_shapes) != 1 or len(right_shapes) != 1:
+            raise SolverError("all Kronecker terms must share left and right shapes")
+        self.terms: Tuple[KronTerm, ...] = tuple(_merge_terms(built))
+        self.basis_size = built[0].left.shape[0]
+        self.num_nodes = built[0].right.shape[0]
+        size = self.basis_size * self.num_nodes
+        self.shape = (size, size)
+        self.dtype = np.dtype(float)
+        self._csr: Optional[sp.csr_matrix] = None
+
+    # ------------------------------------------------------------ application
+    def matvec(self, x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Apply the operator to a stacked vector (``out`` is overwritten)."""
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.shape[1],):
+            if x.ndim == 2:
+                return self.matmat(x, out=out)
+            raise SolverError(f"operand has shape {x.shape}, expected ({self.shape[1]},)")
+        if out is None:
+            out = np.zeros(self.shape[0])
+        else:
+            if out.shape != (self.shape[0],):
+                raise SolverError(f"out has shape {out.shape}, expected ({self.shape[0]},)")
+            out[:] = 0.0
+        blocks = x.reshape(self.basis_size, self.num_nodes)
+        result = out.reshape(self.basis_size, self.num_nodes)
+        for term in self.terms:
+            applied = term.right @ blocks.T  # (n, P): A X^T
+            if term.identity:
+                if term.alpha == 1.0:
+                    result += applied.T
+                else:
+                    result += term.alpha * applied.T
+            else:
+                contribution = term.left @ applied.T  # (P, n): T (X A^T)
+                if term.alpha == 1.0:
+                    result += contribution
+                else:
+                    result += term.alpha * contribution
+        return out
+
+    def matmat(self, columns: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Apply the operator to every column of a 2-D block of vectors."""
+        columns = np.asarray(columns, dtype=float)
+        if columns.ndim != 2 or columns.shape[0] != self.shape[1]:
+            raise SolverError(
+                f"operand has shape {columns.shape}, expected ({self.shape[1]}, k)"
+            )
+        k = columns.shape[1]
+        if out is None:
+            out = np.zeros((self.shape[0], k))
+        else:
+            if out.shape != (self.shape[0], k):
+                raise SolverError(f"out has shape {out.shape}, expected {(self.shape[0], k)}")
+            out[:] = 0.0
+        p, n = self.basis_size, self.num_nodes
+        blocks = columns.reshape(p, n, k)
+        result = out.reshape(p, n, k)
+        # Contract A over the node axis, then T over the chaos axis.
+        by_nodes = np.ascontiguousarray(blocks.transpose(1, 0, 2)).reshape(n, p * k)
+        for term in self.terms:
+            applied = (term.right @ by_nodes).reshape(n, p, k)
+            if term.identity:
+                contribution = applied.transpose(1, 0, 2)
+            else:
+                by_chaos = np.ascontiguousarray(applied.transpose(1, 0, 2)).reshape(p, n * k)
+                contribution = (term.left @ by_chaos).reshape(p, n, k)
+            if term.alpha == 1.0:
+                result += contribution
+            else:
+                result += term.alpha * contribution
+        return out
+
+    def __matmul__(self, other):
+        other = np.asarray(other, dtype=float)
+        if other.ndim == 1:
+            return self.matvec(other)
+        return self.matmat(other)
+
+    def dot(self, other):
+        return self.__matmul__(other)
+
+    # ------------------------------------------------------------- structure
+    def diagonal(self) -> np.ndarray:
+        """``diag(sum_m alpha_m T_m (x) A_m)`` without assembling anything."""
+        total = np.zeros(self.shape[0])
+        for term in self.terms:
+            total += term.alpha * np.outer(term.left.diagonal(), term.right.diagonal()).ravel()
+        return total
+
+    def mean_block(self) -> sp.csr_matrix:
+        """The ``(0, 0)`` chaos block ``sum_m alpha_m T_m[0, 0] A_m``.
+
+        For Galerkin matrices this is the nominal grid matrix (``T_0 = I``
+        contributes 1; first-order triple-product matrices have a zero
+        ``[0, 0]`` entry), i.e. exactly the ``M0`` of the ``I_P (x) M0^{-1}``
+        mean-block preconditioner.
+        """
+        block = None
+        for term in self.terms:
+            weight = term.alpha * (1.0 if term.identity else float(term.left[0, 0]))
+            if weight == 0.0:
+                continue
+            contribution = weight * term.right
+            block = contribution if block is None else block + contribution
+        if block is None:
+            block = sp.csr_matrix((self.num_nodes, self.num_nodes))
+        return sp.csr_matrix(block)
+
+    def to_csr(self) -> sp.csr_matrix:
+        """Materialise the explicit CSR matrix (cached after the first call)."""
+        if self._csr is None:
+            self._csr = kron_sum_csr(
+                [(term.left, term.right) for term in self.terms],
+                weights=[term.alpha for term in self.terms],
+            )
+        return self._csr
+
+    def as_linear_operator(self) -> spla.LinearOperator:
+        """A :class:`scipy.sparse.linalg.LinearOperator` view (for CG & co)."""
+        return spla.LinearOperator(
+            self.shape,
+            matvec=lambda x: self.matvec(np.asarray(x, dtype=float).ravel()),
+            matmat=lambda x: self.matmat(x),
+            dtype=float,
+        )
+
+    @property
+    def num_terms(self) -> int:
+        return len(self.terms)
+
+    @property
+    def nnz(self) -> int:
+        """Upper bound on the explicit fill (duplicates counted once each)."""
+        return int(sum(term.left.nnz * term.right.nnz for term in self.terms))
+
+    def fingerprint(self) -> str:
+        """Content hash, compatible with the solver-cache keying scheme.
+
+        Two operators with identical terms (shapes, sparsity, values and
+        weights) map to the same fingerprint, mirroring
+        :func:`repro.sim.linear.matrix_fingerprint` for explicit matrices.
+        """
+        import hashlib
+
+        digest = hashlib.sha1()
+        digest.update(b"kron-sum")
+        digest.update(repr(self.shape).encode())
+        for term in self.terms:
+            digest.update(np.float64(term.alpha).tobytes())
+            for factor in (term.left, term.right):
+                canonical = sp.csr_matrix(factor, copy=True)
+                canonical.sum_duplicates()
+                digest.update(repr(canonical.shape).encode())
+                digest.update(canonical.indptr.tobytes())
+                digest.update(canonical.indices.tobytes())
+                digest.update(canonical.data.tobytes())
+        return digest.hexdigest()
+
+    # ------------------------------------------------------------ composition
+    def __mul__(self, factor):
+        if not np.isscalar(factor):
+            return NotImplemented
+        return KronSumOperator([term.scaled(factor) for term in self.terms])
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, factor):
+        if not np.isscalar(factor):
+            return NotImplemented
+        return self * (1.0 / float(factor))
+
+    def __neg__(self):
+        return self * -1.0
+
+    def __add__(self, other):
+        if not isinstance(other, KronSumOperator):
+            return NotImplemented
+        if other.shape != self.shape:
+            raise SolverError(
+                f"cannot add operators of shapes {self.shape} and {other.shape}"
+            )
+        if (other.basis_size, other.num_nodes) != (self.basis_size, self.num_nodes):
+            raise SolverError("cannot add operators with different block structure")
+        return KronSumOperator(list(self.terms) + list(other.terms))
+
+    def __sub__(self, other):
+        if not isinstance(other, KronSumOperator):
+            return NotImplemented
+        return self + (other * -1.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"KronSumOperator({self.num_terms} term(s), "
+            f"P={self.basis_size}, n={self.num_nodes})"
+        )

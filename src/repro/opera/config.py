@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Mapping, Optional
 
 from ..errors import AnalysisError
 from ..sim.transient import TransientConfig
@@ -24,8 +24,18 @@ class OperaConfig:
         Total order ``p`` of the chaos expansion.  The paper finds order 2
         or 3 sufficient for realistic variation magnitudes.
     solver:
-        Linear solver for the augmented system (``"direct"``, ``"cg"`` or
-        ``"ilu-cg"``); defaults to the transient config's solver.
+        Linear solver for the augmented system (any registered backend,
+        e.g. ``"direct"``, ``"cg"``, ``"ilu-cg"``, ``"mean-block-cg"``);
+        defaults to the transient config's solver.
+    assemble:
+        Representation of the augmented Galerkin matrices: ``"explicit"``
+        materialises the Kronecker-sum CSR, ``"lazy"`` keeps it as a
+        matrix-free :class:`~repro.linalg.KronSumOperator`, and ``"auto"``
+        (default) picks lazily whenever the effective solver backend
+        declares it consumes operators (``mean-block-cg``, ``cg``, ...).
+    solver_options:
+        Extra keyword arguments for the solver factory (``rtol``,
+        ``maxiter``, ...).
     store_coefficients:
         Keep the full chaos coefficients at every time step (needed for
         distributions / Figures 1-2).  When false only mean and variance are
@@ -39,13 +49,34 @@ class OperaConfig:
     transient: TransientConfig
     order: int = 2
     solver: Optional[str] = None
+    assemble: str = "auto"
+    solver_options: Optional[Mapping] = None
     store_coefficients: bool = True
     force_coupled: bool = False
 
     def __post_init__(self):
         if self.order < 0:
             raise AnalysisError("expansion order must be non-negative")
+        if self.assemble not in ("auto", "explicit", "lazy"):
+            raise AnalysisError(
+                "assemble must be 'auto', 'explicit' or 'lazy'; "
+                f"got {self.assemble!r}"
+            )
 
     @property
     def effective_solver(self) -> str:
         return self.solver if self.solver is not None else self.transient.solver
+
+    @property
+    def effective_assemble(self) -> str:
+        """The resolved assembly mode (``"explicit"`` or ``"lazy"``).
+
+        ``"auto"`` resolves to lazy exactly when the effective solver's
+        registered factory declares ``accepts_operator`` -- i.e. when the
+        backend can exploit the matrix-free representation.
+        """
+        if self.assemble != "auto":
+            return self.assemble
+        from ..sim.linear import solver_accepts_operator
+
+        return "lazy" if solver_accepts_operator(self.effective_solver) else "explicit"

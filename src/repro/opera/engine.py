@@ -28,9 +28,15 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..chaos.basis import PolynomialChaosBasis
-from ..chaos.galerkin import GalerkinSystem, assemble_augmented_matrix, assemble_augmented_rhs
+from ..errors import AnalysisError
+from ..chaos.galerkin import (
+    GalerkinSystem,
+    assemble_augmented_matrix,
+    assemble_augmented_operator,
+    assemble_augmented_rhs,
+)
 from ..chaos.response import StochasticField, StochasticTransientResult
-from ..sim.linear import make_solver
+from ..sim.linear import make_solver, solver_accepts_operator
 from ..sim.transient import run_transient
 from ..variation.model import StochasticSystem
 from .config import OperaConfig
@@ -66,8 +72,17 @@ def _matrix_coefficients(
     return coefficients
 
 
-def build_galerkin_system(system: StochasticSystem, basis: PolynomialChaosBasis) -> GalerkinSystem:
-    """Assemble the augmented (Galerkin-projected) MNA system."""
+def build_galerkin_system(
+    system: StochasticSystem,
+    basis: PolynomialChaosBasis,
+    assemble: str = "explicit",
+) -> GalerkinSystem:
+    """Assemble the augmented (Galerkin-projected) MNA system.
+
+    ``assemble="lazy"`` builds matrix-free Kronecker-sum operators instead
+    of explicit CSR matrices; either representation stays reachable from
+    the returned system (see :class:`~repro.chaos.galerkin.GalerkinSystem`).
+    """
     return GalerkinSystem(
         basis=basis,
         conductance_coefficients=_matrix_coefficients(
@@ -78,6 +93,7 @@ def build_galerkin_system(system: StochasticSystem, basis: PolynomialChaosBasis)
         ),
         excitation_coefficients=lambda t: system.excitation.pc_coefficients(basis, t),
         num_nodes=system.num_nodes,
+        assemble=assemble,
     )
 
 
@@ -88,18 +104,39 @@ def run_opera_dc(
     solver: str = "direct",
     basis: Optional[PolynomialChaosBasis] = None,
     solver_factory: Optional[Callable] = None,
+    assemble: str = "auto",
+    solver_options: Optional[Mapping] = None,
 ) -> StochasticField:
-    """Stochastic DC analysis: chaos expansion of the steady-state voltages."""
+    """Stochastic DC analysis: chaos expansion of the steady-state voltages.
+
+    ``assemble`` selects the augmented-matrix representation (``"auto"``
+    goes matrix-free exactly when the solver backend consumes operators,
+    e.g. ``solver="mean-block-cg"``); ``solver_options`` is forwarded to
+    the solver factory.
+    """
     if basis is None:
         basis = build_basis(system, order)
     factory = solver_factory if solver_factory is not None else make_solver
-    augmented_conductance = assemble_augmented_matrix(
-        basis, _matrix_coefficients(basis, system.g_nominal, system.g_sensitivities)
+    if assemble not in ("auto", "explicit", "lazy"):
+        raise AnalysisError(
+            f"assemble must be 'auto', 'explicit' or 'lazy'; got {assemble!r}"
+        )
+    if assemble == "auto":
+        assemble = "lazy" if solver_accepts_operator(solver) else "explicit"
+    conductance_coefficients = _matrix_coefficients(
+        basis, system.g_nominal, system.g_sensitivities
     )
+    solver_options = dict(solver_options or {})
+    if assemble == "lazy":
+        augmented_conductance = assemble_augmented_operator(basis, conductance_coefficients)
+    else:
+        augmented_conductance = assemble_augmented_matrix(basis, conductance_coefficients)
+        if solver == "mean-block-cg":
+            solver_options.setdefault("num_nodes", system.num_nodes)
     rhs = assemble_augmented_rhs(
         basis, system.excitation.pc_coefficients(basis, t), system.num_nodes
     )
-    solution = factory(augmented_conductance, method=solver).solve(rhs)
+    solution = factory(augmented_conductance, method=solver, **solver_options).solve(rhs)
     coefficients = solution.reshape(basis.size, system.num_nodes)
     return StochasticField(basis, coefficients, vdd=system.vdd, node_names=system.node_names)
 
@@ -125,8 +162,9 @@ def run_opera_transient(
         return run_decoupled_transient(system, config, basis=basis, solver_factory=solver_factory)
 
     started = time.perf_counter()
+    assemble = config.effective_assemble
     if galerkin is None:
-        galerkin = build_galerkin_system(system, basis)
+        galerkin = build_galerkin_system(system, basis, assemble=assemble)
     times = config.transient.times()
     num_nodes = system.num_nodes
 
@@ -150,15 +188,30 @@ def run_opera_transient(
     if config.solver is not None and config.solver != transient.solver:
         transient = dataclasses.replace(transient, solver=config.solver)
 
+    solver_options = dict(config.solver_options or {})
+    if assemble == "lazy":
+        conductance = galerkin.conductance_operator
+        capacitance = galerkin.capacitance_operator
+    else:
+        conductance = galerkin.conductance
+        capacitance = galerkin.capacitance
+        if config.effective_solver == "mean-block-cg":
+            # The explicit matrix carries no block structure; hand the
+            # backend the block size so it can slice out the mean block.
+            solver_options.setdefault("num_nodes", num_nodes)
     run_transient(
-        galerkin.conductance,
-        galerkin.capacitance,
+        conductance,
+        capacitance,
         galerkin.rhs,
         transient,
         vdd=system.vdd,
         callback=collect,
         store=False,
         solver_factory=solver_factory,
+        # Precomputed per-basis-index excitation waveforms: the per-step
+        # augmented RHS becomes a buffer fill (identical values either way).
+        rhs_series=galerkin.rhs_series(times),
+        solver_options=solver_options,
     )
     elapsed = time.perf_counter() - started
 

@@ -140,6 +140,13 @@ def run_hierarchical_transient(
         stepping = conductance + scaled_capacitance
     else:  # trapezoidal
         stepping = conductance + 2.0 * scaled_capacitance
+    # The Schur reduction needs the explicit matrices above, but the per-step
+    # right-hand-side products reuse the matrix-free Kronecker-sum operators
+    # (hoisted with their scalings; applying them costs the grid fill, not
+    # the kron fill).
+    conductance_op = galerkin.conductance_operator
+    scaled_capacitance_op = galerkin.capacitance_operator * (1.0 / h)
+    double_scaled_op = 2.0 * scaled_capacitance_op
 
     atom_ids = [k for k, interior in enumerate(partition.interiors) if interior.size]
     groups = split_groups(atom_ids, partitions if partitions is not None else len(atom_ids))
@@ -173,24 +180,30 @@ def run_hierarchical_transient(
                 if basis.size > 1:
                     variance[step] = np.sum(blocks[1:] ** 2, axis=0)
 
-        rhs_previous = galerkin.rhs(float(times[0]))
-        state = schur_dc.solve(rhs_previous)
+        rhs_series = galerkin.rhs_series(times)
+        size = galerkin.size
+        u_now = np.zeros(size)
+        u_previous = np.zeros(size)
+        work = np.empty(size)
+        b = np.empty(size)
+        rhs_series.fill(0, u_previous)
+        state = schur_dc.solve(u_previous)
         collect(0, state)
 
         for step in range(1, times.size):
-            rhs_now = galerkin.rhs(float(times[step]))
+            rhs_now = rhs_series.fill(step, u_now)
             if transient.method == "backward-euler":
-                b = rhs_now + scaled_capacitance @ state
+                scaled_capacitance_op.matvec(state, out=work)
+                np.add(rhs_now, work, out=b)
             else:
-                b = (
-                    rhs_now
-                    + rhs_previous
-                    + (2.0 * scaled_capacitance) @ state
-                    - conductance @ state
-                )
+                np.add(rhs_now, u_previous, out=b)
+                double_scaled_op.matvec(state, out=work)
+                b += work
+                conductance_op.matvec(state, out=work)
+                b -= work
             state = schur_step.solve(b)
             collect(step, state)
-            rhs_previous = rhs_now
+            u_now, u_previous = u_previous, u_now
     finally:
         if pool is not None:
             pool.shutdown()

@@ -27,6 +27,7 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from ..errors import SolverError
+from ..linalg.operator import is_operator
 from ..sim.linear import ConjugateGradientSolver, DirectSolver, register_solver
 from .partitioner import GridPartition, partition_matrix
 
@@ -105,7 +106,14 @@ def _build_schwarz_cg(
     partition: Optional[GridPartition] = None,
     **options,
 ) -> ConjugateGradientSolver:
+    # Lazy Kronecker-sum operators: the block factorisations need explicit
+    # submatrices, so the preconditioner materialises the CSR once -- but the
+    # CG iteration itself keeps applying the matrix-free operator.
+    explicit = matrix.to_csr() if is_operator(matrix) else matrix
     schwarz = AdditiveSchwarzPreconditioner(
-        matrix, num_parts=num_parts, partition=partition, overlap=overlap
+        explicit, num_parts=num_parts, partition=partition, overlap=overlap
     )
     return ConjugateGradientSolver(matrix, preconditioner=schwarz, **options)
+
+
+_build_schwarz_cg.accepts_operator = True

@@ -37,8 +37,20 @@ __all__ = [
     "unregister_solver",
     "solver_names",
     "solver_factory",
+    "solver_accepts_operator",
     "matrix_fingerprint",
 ]
+
+
+def _is_lazy_operator(obj) -> bool:
+    """Duck-typed test for lazy operators (``repro.linalg.KronSumOperator``).
+
+    Defined here (rather than imported from :mod:`repro.linalg`) because the
+    linalg package registers its backend through this module -- importing it
+    back would be circular.  An operator exposes matrix-free ``matvec`` and
+    the explicit-assembly escape hatch ``to_csr``.
+    """
+    return callable(getattr(obj, "matvec", None)) and callable(getattr(obj, "to_csr", None))
 
 
 class LinearSolver(abc.ABC):
@@ -102,7 +114,10 @@ class ConjugateGradientSolver(LinearSolver):
     Parameters
     ----------
     matrix:
-        The SPD system matrix.
+        The SPD system matrix -- an explicit sparse matrix or a lazy
+        operator (e.g. :class:`repro.linalg.KronSumOperator`), in which
+        case every CG matvec runs matrix-free; only the ``"ilu"``
+        preconditioner materialises the matrix (once, for the factorisation).
     preconditioner:
         ``"jacobi"`` (diagonal scaling), ``"ilu"`` (incomplete LU), ``None``,
         or any operator-like object: a :class:`scipy.sparse.linalg.LinearOperator`,
@@ -125,7 +140,7 @@ class ConjugateGradientSolver(LinearSolver):
         rtol: float = 1e-10,
         maxiter: int = 2000,
     ):
-        self._matrix = sp.csr_matrix(matrix)
+        self._matrix = matrix if _is_lazy_operator(matrix) else sp.csr_matrix(matrix)
         if self._matrix.shape[0] != self._matrix.shape[1]:
             raise SolverError("CG solver requires a square matrix")
         self.shape = self._matrix.shape
@@ -151,7 +166,12 @@ class ConjugateGradientSolver(LinearSolver):
                 inverse_diagonal = 1.0 / diagonal
                 return spla.LinearOperator(self.shape, matvec=lambda x: inverse_diagonal * x)
             if kind == "ilu":
-                ilu = spla.spilu(sp.csc_matrix(self._matrix), drop_tol=1e-5, fill_factor=10)
+                explicit = (
+                    self._matrix.to_csr()
+                    if _is_lazy_operator(self._matrix)
+                    else self._matrix
+                )
+                ilu = spla.spilu(sp.csc_matrix(explicit), drop_tol=1e-5, fill_factor=10)
                 return spla.LinearOperator(self.shape, matvec=ilu.solve)
             raise SolverError(f"unknown preconditioner {kind!r}")
         if isinstance(kind, spla.LinearOperator):
@@ -261,24 +281,50 @@ def solver_factory(method: str):
     return _SOLVERS.get(method)
 
 
+def solver_accepts_operator(method: str) -> bool:
+    """True when the named backend consumes lazy operators directly.
+
+    Factories opt in by setting ``accepts_operator = True`` on themselves;
+    :func:`make_solver` materialises operators to CSR for everyone else.
+    Unknown names return False (the caller will hit the registry's error
+    with its name listing soon enough).
+    """
+    try:
+        factory = _SOLVERS.get(method)
+    except SolverError:
+        return False
+    return bool(getattr(factory, "accepts_operator", False))
+
+
 def make_solver(matrix: sp.spmatrix, method: str = "direct", **options) -> LinearSolver:
     """Construct a linear solver for ``matrix``.
 
     Parameters
     ----------
     matrix:
-        System matrix.
+        System matrix -- an explicit sparse matrix, or a lazy operator
+        (:class:`repro.linalg.KronSumOperator`).  Operators are forwarded
+        as-is to backends that declare ``accepts_operator`` on their
+        factory (``mean-block-cg``, ``cg``, ``ilu-cg``, ``schwarz-cg``)
+        and materialised with ``to_csr()`` for everything else, so every
+        backend works with either input.
     method:
         Name of a registered backend; the built-ins are ``"direct"``
         (sparse LU), ``"cg"`` (Jacobi-preconditioned CG) and ``"ilu-cg"``
-        (ILU-preconditioned CG).  Importing :mod:`repro.partition` (or
-        :mod:`repro.api`) additionally registers ``"schur"`` (partitioned
-        Schur-complement direct solve) and ``"schwarz-cg"`` (CG with a
-        block-Jacobi/additive-Schwarz preconditioner).
+        (ILU-preconditioned CG).  Importing :mod:`repro.linalg` (or
+        :mod:`repro.api`) additionally registers ``"mean-block-cg"``
+        (matrix-free CG with the ``I_P (x) M0^{-1}`` mean-block
+        preconditioner); importing :mod:`repro.partition` registers
+        ``"schur"`` (partitioned Schur-complement direct solve) and
+        ``"schwarz-cg"`` (CG with a block-Jacobi/additive-Schwarz
+        preconditioner).
     options:
         Forwarded to the solver factory (e.g. ``rtol``, ``maxiter``).
     """
-    return _SOLVERS.get(method)(matrix, **options)
+    factory = _SOLVERS.get(method)
+    if _is_lazy_operator(matrix) and not getattr(factory, "accepts_operator", False):
+        matrix = matrix.to_csr()
+    return factory(matrix, **options)
 
 
 @register_solver("direct")
@@ -292,10 +338,16 @@ def _build_cg(matrix: sp.spmatrix, **options) -> ConjugateGradientSolver:
     return ConjugateGradientSolver(matrix, **options)
 
 
+_build_cg.accepts_operator = True
+
+
 @register_solver("ilu-cg")
 def _build_ilu_cg(matrix: sp.spmatrix, **options) -> ConjugateGradientSolver:
     options["preconditioner"] = "ilu"
     return ConjugateGradientSolver(matrix, **options)
+
+
+_build_ilu_cg.accepts_operator = True
 
 
 def matrix_fingerprint(matrix: sp.spmatrix) -> str:
@@ -305,7 +357,15 @@ def matrix_fingerprint(matrix: sp.spmatrix) -> str:
     the same fingerprint, so a cache keyed by it can recognise "the same
     system matrix" across independently assembled objects (e.g. the stepping
     matrix ``G + C/h`` rebuilt by two runs with identical settings).
+
+    Lazy operators that carry their own content hash (e.g.
+    :class:`repro.linalg.KronSumOperator.fingerprint`) are fingerprinted
+    through it, so the session solver cache works for operator-backed
+    solvers too.
     """
+    own = getattr(matrix, "fingerprint", None)
+    if callable(own):
+        return own()
     # Copy before canonicalising: sum_duplicates() would otherwise rewrite
     # the caller's matrix in place when it is already CSR.
     matrix = sp.csr_matrix(matrix, copy=True)

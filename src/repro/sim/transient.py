@@ -10,10 +10,20 @@ for all steps.  Two A-stable one-step methods are provided:
 
 The initial condition defaults to the DC solution at the start time, which is
 the standard choice for IR-drop analysis (the grid starts in steady state).
+
+``G`` and ``C`` may be explicit sparse matrices or lazy operators
+(:class:`repro.linalg.KronSumOperator`).  With operators the integrator runs
+a matrix-free fast path: the stepping operator ``G + C/h`` is composed
+without assembly (operator-aware backends like ``mean-block-cg`` consume it
+directly; others get a one-time CSR materialisation), per-step matvecs write
+into preallocated work buffers, every loop invariant (``C/h``, ``2C/h``) is
+hoisted, and -- when the caller supplies a precomputed ``rhs_series`` -- the
+per-step right-hand side is a buffer fill instead of a rebuild.
 """
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -22,7 +32,7 @@ import scipy.sparse as sp
 
 from ..errors import SolverError
 from ..grid.stamping import StampedSystem
-from .linear import make_solver
+from .linear import _is_lazy_operator, make_solver
 from .results import TransientResult
 
 __all__ = ["TransientConfig", "run_transient", "transient_analysis"]
@@ -48,7 +58,8 @@ class TransientConfig:
         ``"backward-euler"`` (default) or ``"trapezoidal"``.
     solver:
         Linear solver used for the (constant) integration matrix:
-        ``"direct"``, ``"cg"`` or ``"ilu-cg"``.
+        any registered backend name, e.g. ``"direct"``, ``"cg"``,
+        ``"ilu-cg"`` or (for augmented Galerkin systems) ``"mean-block-cg"``.
     """
 
     t_stop: float
@@ -81,25 +92,38 @@ class TransientConfig:
 SolverFactory = Callable[..., "object"]
 
 
+def _supports_warm_start(solver) -> bool:
+    """True when ``solver.solve`` accepts an ``x0`` initial guess."""
+    try:
+        return "x0" in inspect.signature(solver.solve).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return False
+
+
 def run_transient(
-    conductance: sp.spmatrix,
-    capacitance: sp.spmatrix,
-    rhs_function: Callable[[float], np.ndarray],
+    conductance,
+    capacitance,
+    rhs_function: Optional[Callable[[float], np.ndarray]],
     config: TransientConfig,
     x0: Optional[np.ndarray] = None,
     vdd: float = 1.0,
     callback: Optional[StepCallback] = None,
     store: bool = True,
     solver_factory: Optional[SolverFactory] = None,
+    rhs_series=None,
+    solver_options: Optional[dict] = None,
 ) -> TransientResult:
     """Integrate ``C dx/dt + G x = rhs(t)`` with a fixed step.
 
     Parameters
     ----------
     conductance, capacitance:
-        Sparse ``G`` and ``C`` matrices (same shape).
+        ``G`` and ``C`` -- sparse matrices (same shape) or lazy operators
+        (:class:`repro.linalg.KronSumOperator`); operators keep the whole
+        run matrix-free (see the module docstring).
     rhs_function:
-        Callable returning the excitation vector at a given time.
+        Callable returning the excitation vector at a given time.  May be
+        ``None`` when ``rhs_series`` is supplied.
     config:
         Step size, horizon, method and solver selection.
     x0:
@@ -116,30 +140,78 @@ def run_transient(
         Optional provider of linear solvers with the signature of
         :func:`~repro.sim.linear.make_solver`; a caching provider lets
         repeated runs share factorisations.
+    rhs_series:
+        Optional precomputed excitation table with a
+        ``fill(step_index, out) -> out`` method (e.g.
+        :class:`repro.chaos.galerkin.AugmentedRhsSeries` from
+        ``GalerkinSystem.rhs_series(config.times())``).  When given, the
+        loop fills a preallocated buffer per step instead of calling
+        ``rhs_function``; the series must cover exactly ``config.times()``.
+    solver_options:
+        Extra keyword arguments forwarded to the solver factory (e.g.
+        ``rtol`` for iterative backends, ``num_nodes`` for an explicit
+        ``mean-block-cg`` system).
     """
-    conductance = sp.csr_matrix(conductance)
-    capacitance = sp.csr_matrix(capacitance)
+    matrix_free = _is_lazy_operator(conductance)
+    if matrix_free != _is_lazy_operator(capacitance):
+        raise SolverError(
+            "G and C must both be explicit sparse matrices or both lazy "
+            "operators; mixing the representations is not supported "
+            "(materialise one side with to_csr() or build both as operators)"
+        )
+    if not matrix_free:
+        conductance = sp.csr_matrix(conductance)
+        capacitance = sp.csr_matrix(capacitance)
     if conductance.shape != capacitance.shape:
         raise SolverError("G and C must have identical shapes")
+    if rhs_function is None and rhs_series is None:
+        raise SolverError("either rhs_function or rhs_series is required")
     n = conductance.shape[0]
     factory = solver_factory if solver_factory is not None else make_solver
+    solver_options = dict(solver_options or {})
 
     times = config.times()
     h = config.dt
+    trapezoidal = config.method == "trapezoidal"
 
+    # ------------------------------------------------------------ excitation
+    if rhs_series is not None:
+        series_times = getattr(rhs_series, "times", None)
+        if series_times is not None and (
+            len(series_times) != times.size
+            or not np.allclose(series_times, times, rtol=0.0, atol=1e-18)
+        ):
+            raise SolverError("rhs_series does not match the configured time axis")
+        u_now = np.zeros(n)
+        u_previous = np.zeros(n)
+        rhs_series.fill(0, u_previous)
+        rhs_initial = u_previous
+    else:
+        rhs_initial = np.asarray(rhs_function(float(times[0])), dtype=float)
+
+    # ------------------------------------------------------ initial condition
     if x0 is None:
-        dc_solver = factory(conductance, method=config.solver)
-        x = dc_solver.solve(np.asarray(rhs_function(times[0]), dtype=float))
+        dc_solver = factory(conductance, method=config.solver, **solver_options)
+        x = dc_solver.solve(rhs_initial)
     else:
         x = np.asarray(x0, dtype=float).copy()
         if x.shape != (n,):
             raise SolverError(f"x0 must have shape ({n},)")
 
-    if config.method == "backward-euler":
-        lhs = conductance + capacitance / h
-    else:  # trapezoidal
+    # ------------------------------------------------ hoisted loop invariants
+    scaled_capacitance = capacitance / h
+    if trapezoidal:
         lhs = conductance + 2.0 * capacitance / h
-    step_solver = factory(lhs, method=config.solver)
+        double_scaled = 2.0 * scaled_capacitance
+    else:
+        lhs = conductance + capacitance / h
+        double_scaled = None
+    step_solver = factory(lhs, method=config.solver, **solver_options)
+    warm_start = _supports_warm_start(step_solver)
+
+    if matrix_free:
+        work = np.empty(n)
+        b = np.empty(n)
 
     history = np.empty((times.size, n)) if store else None
     if store:
@@ -147,22 +219,41 @@ def run_transient(
     if callback is not None:
         callback(0, float(times[0]), x)
 
-    rhs_previous = np.asarray(rhs_function(times[0]), dtype=float)
-    scaled_capacitance = capacitance / h
+    rhs_previous = rhs_initial
 
     for k in range(1, times.size):
         t = float(times[k])
-        rhs_now = np.asarray(rhs_function(t), dtype=float)
-        if config.method == "backward-euler":
-            b = rhs_now + scaled_capacitance @ x
+        if rhs_series is not None:
+            rhs_now = rhs_series.fill(k, u_now)
         else:
-            b = rhs_now + rhs_previous + (2.0 * scaled_capacitance) @ x - conductance @ x
-        x = step_solver.solve(b)
+            rhs_now = np.asarray(rhs_function(t), dtype=float)
+        if matrix_free:
+            if trapezoidal:
+                np.add(rhs_now, rhs_previous, out=b)
+                double_scaled.matvec(x, out=work)
+                b += work
+                conductance.matvec(x, out=work)
+                b -= work
+            else:
+                scaled_capacitance.matvec(x, out=work)
+                np.add(rhs_now, work, out=b)
+        else:
+            if trapezoidal:
+                b = rhs_now + rhs_previous + double_scaled @ x - conductance @ x
+            else:
+                b = rhs_now + scaled_capacitance @ x
+        x = step_solver.solve(b, x0=x) if warm_start else step_solver.solve(b)
         if store:
             history[k] = x
         if callback is not None:
             callback(k, t, x)
-        rhs_previous = rhs_now
+        if rhs_series is not None:
+            # Swap buffers: the one holding U(t_k) becomes "previous", the
+            # stale one is overwritten by the next fill.
+            u_now, u_previous = u_previous, u_now
+            rhs_previous = u_previous
+        else:
+            rhs_previous = rhs_now
 
     return TransientResult(times=times, voltages=history, vdd=vdd)
 

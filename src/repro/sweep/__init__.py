@@ -78,6 +78,7 @@ from .plan import (
     SweepPlan,
     corner_names,
     corner_spec,
+    case_seed_for,
     grid_seed_for,
 )
 from .record import SCHEMA, BenchRecord, record_from_outcome
@@ -94,6 +95,7 @@ __all__ = [
     "DEFAULT_SWEEP_TRANSIENT",
     "corner_names",
     "corner_spec",
+    "case_seed_for",
     "grid_seed_for",
     "SweepRunner",
     "SweepOutcome",

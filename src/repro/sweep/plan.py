@@ -33,6 +33,7 @@ __all__ = [
     "corner_spec",
     "corner_names",
     "grid_seed_for",
+    "case_seed_for",
     "DEFAULT_SWEEP_TRANSIENT",
 ]
 
@@ -88,6 +89,11 @@ class SweepCase:
     group count ``K`` of the partitioned Galerkin run.  It *is* part of the
     case identity (it is what a partition ablation sweeps), even though the
     engine guarantees the statistics are bit-identical for every ``K``.
+
+    ``solver`` selects a registered linear-solver backend for the case
+    (``None`` keeps the engine default); like ``partitions`` it is part of
+    the case identity when set -- a solver ablation (e.g. explicit ``direct``
+    vs matrix-free ``mean-block-cg``) sweeps exactly this field.
     """
 
     engine: str
@@ -101,6 +107,7 @@ class SweepCase:
     workers: int = 1
     chunk_size: int = DEFAULT_CHUNK_SIZE
     partitions: Optional[int] = None
+    solver: Optional[str] = None
     seed: int = 0
 
     def __post_init__(self):
@@ -116,6 +123,8 @@ class SweepCase:
                 )
             if self.partitions < 1:
                 raise AnalysisError(f"partitions must be at least 1, got {self.partitions}")
+        if self.solver is not None and not str(self.solver).strip():
+            raise AnalysisError("solver must be a non-empty backend name or None")
         corner_spec(self.corner)  # validate eagerly, before any worker sees it
         if self.engine == "montecarlo" and self.antithetic:
             # Mirror MonteCarloConfig's chunked-antithetic parity rules here
@@ -141,12 +150,19 @@ class SweepCase:
             parts.append(f"s{self.samples}")
         if self.partitions is not None:
             parts.append(f"p{self.partitions}")
+        if self.solver is not None:
+            parts.append(self.solver)
         parts.append(self.corner)
         return "-".join(parts)
 
     def key(self) -> Tuple:
-        """Identity used to match cases across sweeps (excludes seeds)."""
-        return (
+        """Identity used to match cases across sweeps (excludes seeds).
+
+        ``solver`` is appended only when set, so the identities (and hence
+        the derived seeds) of solver-less cases predate and survive the
+        field's introduction.
+        """
+        identity = (
             self.engine,
             self.nodes,
             self.order,
@@ -154,6 +170,26 @@ class SweepCase:
             self.corner,
             self.partitions,
         )
+        if self.solver is not None:
+            identity = identity + (self.solver,)
+        return identity
+
+    def seed_identity(self) -> Tuple:
+        """The identity tuple seed derivation uses (append-only convention).
+
+        Unlike :meth:`key`, optional fields (``partitions``, ``solver``)
+        join the tuple *only when set*, so the seeds of case identities
+        that predate those fields survive their introduction.  Hand-built
+        cases should derive their seed as
+        ``case_seed_for(base_seed, case.seed_identity())`` -- exactly what
+        :meth:`SweepPlan.grid` does.
+        """
+        identity = (self.engine, self.nodes, self.order, self.samples, self.corner)
+        if self.partitions is not None:
+            identity = identity + (self.partitions,)
+        if self.solver is not None:
+            identity = identity + (self.solver,)
+        return identity
 
     def run_options(self) -> Dict:
         """Options forwarded to :meth:`repro.api.Analysis.run`."""
@@ -162,6 +198,8 @@ class SweepCase:
             options["order"] = int(self.order)
         if self.partitions is not None:
             options["partitions"] = int(self.partitions)
+        if self.solver is not None:
+            options["solver"] = str(self.solver)
         if self.engine == "montecarlo":
             options["samples"] = int(self.samples or 200)
             options["seed"] = int(self.seed)
@@ -179,6 +217,16 @@ def _case_seed(base_seed: int, identity: Tuple) -> int:
     """A stable per-case seed: CRC-32 of the case identity under ``base_seed``."""
     text = f"{base_seed}|" + "|".join(str(part) for part in identity)
     return zlib.crc32(text.encode("utf-8")) & 0x7FFFFFFF
+
+
+def case_seed_for(base_seed: int, identity: Tuple) -> int:
+    """The deterministic seed a case identity receives under ``base_seed``.
+
+    Exposed so harnesses that hand-build :class:`SweepCase` objects outside
+    :meth:`SweepPlan.grid` (e.g. solver-ablation benchmarks) derive seeds
+    the same way the grid builder does.
+    """
+    return _case_seed(base_seed, identity)
 
 
 def grid_seed_for(nodes: int, base_seed: int = 0) -> int:
@@ -267,24 +315,21 @@ class SweepPlan:
                             if engine == "hierarchical" and partitions is not None
                             else None
                         )
-                        identity = (engine, nodes, order, engine_samples, corner)
-                        if case_partitions is not None:
-                            # Appended (rather than always present) so the
-                            # seeds of pre-existing case identities survive.
-                            identity = identity + (case_partitions,)
+                        case = SweepCase(
+                            engine=engine,
+                            nodes=int(nodes),
+                            grid_seed=grid_seed,
+                            corner=str(corner),
+                            order=None if order is None else int(order),
+                            samples=engine_samples,
+                            antithetic=bool(antithetic) if engine == "montecarlo" else False,
+                            workers=int(mc_workers) if engine == "montecarlo" else 1,
+                            chunk_size=int(mc_chunk_size),
+                            partitions=case_partitions,
+                        )
                         cases.append(
-                            SweepCase(
-                                engine=engine,
-                                nodes=int(nodes),
-                                grid_seed=grid_seed,
-                                corner=str(corner),
-                                order=None if order is None else int(order),
-                                samples=engine_samples,
-                                antithetic=bool(antithetic) if engine == "montecarlo" else False,
-                                workers=int(mc_workers) if engine == "montecarlo" else 1,
-                                chunk_size=int(mc_chunk_size),
-                                partitions=case_partitions,
-                                seed=_case_seed(base_seed, identity),
+                            dataclasses.replace(
+                                case, seed=_case_seed(base_seed, case.seed_identity())
                             )
                         )
         return cls(

@@ -85,21 +85,27 @@ class BenchRecord:
     def case_map(self) -> Dict[Tuple, Dict]:
         """Cases keyed by their cross-sweep identity (engine/grid/settings).
 
-        ``partitions`` joined the identity with the partition subsystem;
-        ``.get`` keeps artifacts written before that field readable (their
-        cases match current non-partitioned cases, which carry ``None``).
+        ``partitions`` joined the identity with the partition subsystem and
+        ``solver`` with the matrix-free linalg subsystem; ``.get`` keeps
+        artifacts written before those fields readable (their cases match
+        current cases that carry ``None``).  Like
+        :meth:`~repro.sweep.plan.SweepCase.key`, ``solver`` extends the
+        identity only when set.
         """
-        return {
-            (
+        mapping: Dict[Tuple, Dict] = {}
+        for case in self.cases:
+            identity = (
                 case["engine"],
                 case["nodes"],
                 case["order"],
                 case["samples"],
                 case["corner"],
                 case.get("partitions"),
-            ): case
-            for case in self.cases
-        }
+            )
+            if case.get("solver") is not None:
+                identity = identity + (case["solver"],)
+            mapping[identity] = case
+        return mapping
 
     # ------------------------------------------------------------- round trip
     def to_dict(self) -> Dict:

@@ -52,14 +52,19 @@ class SweepCaseResult:
     max_std: float
     vdd: float = 1.0
     partitions: Optional[int] = None
+    solver: Optional[str] = None
     times: Optional[np.ndarray] = field(default=None, repr=False)
     mean: Optional[np.ndarray] = field(default=None, repr=False)
     std: Optional[np.ndarray] = field(default=None, repr=False)
     raw: Optional[object] = field(default=None, repr=False)
 
     def key(self) -> Tuple:
-        """Identity used to match results across sweeps (excludes seeds)."""
-        return (
+        """Identity used to match results across sweeps (excludes seeds).
+
+        Mirrors :meth:`repro.sweep.plan.SweepCase.key`: ``solver`` joins the
+        identity only when set, so pre-existing identities are unchanged.
+        """
+        identity = (
             self.engine,
             self.nodes,
             self.order,
@@ -67,6 +72,9 @@ class SweepCaseResult:
             self.corner,
             self.partitions,
         )
+        if self.solver is not None:
+            identity = identity + (self.solver,)
+        return identity
 
     @property
     def has_statistics(self) -> bool:
@@ -101,6 +109,7 @@ class SweepCaseResult:
             "order": None if self.order is None else int(self.order),
             "samples": None if self.samples is None else int(self.samples),
             "partitions": None if self.partitions is None else int(self.partitions),
+            "solver": None if self.solver is None else str(self.solver),
             "seed": int(self.seed),
             "wall_time_s": float(self.wall_time),
             "worst_drop_v": float(self.worst_drop),
@@ -150,6 +159,7 @@ def _execute_case(args) -> SweepCaseResult:
         order=case.order,
         samples=case.samples,
         partitions=case.partitions,
+        solver=case.solver,
         seed=case.seed,
         name=case.name,
         num_nodes=int(mean.shape[-1]),
