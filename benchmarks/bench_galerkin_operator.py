@@ -30,7 +30,6 @@ Run a larger study with::
 from __future__ import annotations
 
 import argparse
-import dataclasses
 import sys
 import time
 from pathlib import Path
@@ -46,7 +45,6 @@ from repro.sweep import (
     SweepCase,
     SweepPlan,
     SweepRunner,
-    case_seed_for,
     compare_records,
     record_from_outcome,
 )
@@ -159,9 +157,7 @@ def solver_ablation_plan(node_counts, order: int) -> SweepPlan:
                 order=order,
                 solver=solver,
             )
-            cases.append(
-                dataclasses.replace(case, seed=case_seed_for(BASE_SEED, case.seed_identity()))
-            )
+            cases.append(case.with_derived_seed(BASE_SEED))
     return SweepPlan(cases=tuple(cases), transient=bench_transient(), base_seed=BASE_SEED)
 
 

@@ -25,6 +25,9 @@ checks.
 
 from __future__ import annotations
 
+import dataclasses
+
+import numpy as np
 import pytest
 
 from repro.analysis import (
@@ -35,8 +38,8 @@ from repro.analysis import (
     three_sigma_spread_percent,
 )
 from repro.api import Analysis
-from repro.sweep import SweepPlan, SweepRunner, record_from_outcome
-from repro.sweep.plan import corner_spec
+from repro.sweep import SweepCase, SweepPlan, SweepRunner, record_from_outcome
+from repro.sweep.plan import corner_spec, grid_seed_for
 
 from _bench_config import (
     bench_mc_samples,
@@ -50,9 +53,21 @@ from _bench_config import (
 BASE_SEED = 7
 
 
+def _matrix_free_case(nodes: int) -> SweepCase:
+    """An opera case on the lazy Kronecker-sum operators (``mean-block-cg``)."""
+    return SweepCase(
+        engine="opera",
+        nodes=int(nodes),
+        grid_seed=grid_seed_for(nodes, BASE_SEED),
+        order=2,
+        solver="mean-block-cg",
+    ).with_derived_seed(BASE_SEED)
+
+
 @pytest.fixture(scope="module")
 def table1_sweep(results_dir):
-    """One sweep over all benchmark grids: OPERA order-2 + Monte Carlo."""
+    """One sweep over all benchmark grids: OPERA order-2 (explicit direct and
+    matrix-free ``mean-block-cg``) + Monte Carlo."""
     plan = SweepPlan.grid(
         bench_node_counts(),
         engines=("opera", "montecarlo"),
@@ -62,11 +77,28 @@ def table1_sweep(results_dir):
         transient=bench_transient(),
         base_seed=BASE_SEED,
     )
+    plan = dataclasses.replace(
+        plan, cases=plan.cases + tuple(_matrix_free_case(nodes) for nodes in bench_node_counts())
+    )
     runner = SweepRunner(workers=bench_workers(), keep_statistics=True)
     outcome = runner.run(plan)
     record = record_from_outcome(outcome, config={"suite": "table1"})
     record.write(results_dir / "table1_sweep.json")
     return outcome
+
+
+@pytest.mark.parametrize("target_nodes", bench_node_counts())
+def test_matrix_free_solver_matches_direct(table1_sweep, target_nodes):
+    """The ``mean-block-cg`` case reproduces the explicit-direct statistics.
+
+    This pins the ROADMAP follow-up of wiring the matrix-free solver into
+    the paper benches: the tight CG tolerance keeps the Table-1 rows
+    solver-independent.
+    """
+    direct = table1_sweep.case(engine="opera", nodes=target_nodes, solver=None)
+    fast = table1_sweep.case(engine="opera", nodes=target_nodes, solver="mean-block-cg")
+    np.testing.assert_allclose(fast.mean, direct.mean, rtol=0.0, atol=1e-9)
+    np.testing.assert_allclose(fast.std, direct.std, rtol=0.0, atol=1e-9)
 
 
 def _nominal_transient(outcome, nodes: int):
@@ -86,7 +118,7 @@ def _nominal_transient(outcome, nodes: int):
 @pytest.mark.parametrize("target_nodes", bench_node_counts())
 def test_table1_row(table1_sweep, table1_rows, results_dir, target_nodes):
     """One row of Table 1: accuracy and speed-up for a single grid."""
-    opera = table1_sweep.case(engine="opera", nodes=target_nodes)
+    opera = table1_sweep.case(engine="opera", nodes=target_nodes, solver=None)
     mc = table1_sweep.case(engine="montecarlo", nodes=target_nodes)
 
     metrics = compare_to_monte_carlo(opera, mc)

@@ -28,7 +28,6 @@ from repro.sweep import (
     SweepCase,
     SweepPlan,
     SweepRunner,
-    case_seed_for,
     compare_records,
     record_from_outcome,
 )
@@ -94,27 +93,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         transient=bench_transient(),
         base_seed=BASE_SEED,
     )
-    # One matrix-free case per grid: the opera engine on the lazy
-    # Kronecker-sum operators with the mean-block-cg backend, so the smoke
-    # job exercises (and the gate tracks) the operator path too.
-    def matrix_free_case(nodes: int) -> SweepCase:
-        case = SweepCase(
+    # One matrix-free case per grid (the opera engine on the lazy
+    # Kronecker-sum operators with the mean-block-cg backend) and one
+    # backward-euler case per grid (the opera engine through the shared
+    # repro.stepping core on the first-order scheme), so the smoke job
+    # exercises -- and the gate tracks -- the operator path and the
+    # scheme plumbing.  Hand-built appended cases derive their seeds via
+    # the append-only identity, so the grid cases' seeds are unchanged.
+    def extra_case(nodes: int, **fields) -> SweepCase:
+        return SweepCase(
             engine="opera",
             nodes=int(nodes),
             grid_seed=grid_seed_for(nodes, BASE_SEED),
             order=2,
-            solver="mean-block-cg",
-        )
-        return dataclasses.replace(
-            case, seed=case_seed_for(BASE_SEED, case.seed_identity())
-        )
+            **fields,
+        ).with_derived_seed(BASE_SEED)
 
-    matrix_free = tuple(matrix_free_case(nodes) for nodes in bench_node_counts())
-    plan = SweepPlan(
-        cases=plan.cases + matrix_free,
-        transient=plan.transient,
-        base_seed=plan.base_seed,
+    extras = tuple(
+        extra_case(nodes, **fields)
+        for nodes in bench_node_counts()
+        for fields in ({"solver": "mean-block-cg"}, {"scheme": "backward-euler"})
     )
+    plan = dataclasses.replace(plan, cases=plan.cases + extras)
     outcome = SweepRunner(workers=bench_workers()).run(plan)
     record = record_from_outcome(outcome, config={"suite": "smoke"})
 

@@ -6,6 +6,11 @@ Variations" (Ghanta, Vrudhula, Panda, Wang -- DATE 2005).  It contains:
 * :mod:`repro.grid` -- power-grid netlists, a synthetic multi-layer grid
   generator, SPICE-subset I/O and MNA stamping;
 * :mod:`repro.sim` -- deterministic DC and fixed-step transient simulation;
+* :mod:`repro.stepping` -- the unified time-integration core every transient
+  engine runs on: the :class:`~repro.stepping.SteppingScheme` registry
+  (``trapezoidal``, ``backward-euler``, ``theta:<value>``), the shared
+  :class:`~repro.stepping.StepLoop` driver and the per-engine system
+  adapters (pick a scheme anywhere with ``scheme=...`` or ``--scheme``);
 * :mod:`repro.variation` -- process-variation models (inter-die W/T/Leff,
   intra-die Vth/leakage) producing stochastic MNA systems;
 * :mod:`repro.chaos` -- polynomial chaos bases (Hermite and the wider Askey
@@ -17,8 +22,9 @@ Variations" (Ghanta, Vrudhula, Panda, Wang -- DATE 2005).  It contains:
   Figure-1/2 distribution comparisons;
 * :mod:`repro.linalg` -- matrix-free Kronecker-sum operators for the
   augmented Galerkin system (:class:`~repro.linalg.KronSumOperator`) and
-  the ``mean-block-cg`` solver backend (one nominal-block LU
-  preconditioning all chaos blocks at once);
+  the block-preconditioned CG backends: ``mean-block-cg`` (one
+  nominal-block LU preconditioning all chaos blocks at once) and
+  ``degree-block-cg`` (exact LUs over chaos-degree bands);
 * :mod:`repro.mor` -- PRIMA-style model order reduction (extension);
 * :mod:`repro.api` -- the unified :class:`~repro.api.Analysis` session
   facade, the engine/solver registries and the shared result protocol;

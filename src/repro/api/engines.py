@@ -95,11 +95,19 @@ _TRANSIENT_OVERRIDES = ("t_stop", "dt", "t_start", "method")
 
 
 def _resolve_transient(session, options: dict) -> TransientConfig:
-    """Pop time-axis options and merge them over the session default."""
+    """Pop time-axis options and merge them over the session default.
+
+    ``scheme=`` is the engine-facing alias of ``method=`` (any registered
+    stepping-scheme spec, e.g. ``"trapezoidal"`` or ``"theta:0.75"``); it
+    wins when both are supplied.
+    """
     base = options.pop("transient", None)
     if base is None:
         base = session.transient
     overrides = {key: options.pop(key) for key in _TRANSIENT_OVERRIDES if key in options}
+    scheme = options.pop("scheme", None)
+    if scheme is not None:
+        overrides["method"] = str(scheme)
     if overrides:
         base = dataclasses.replace(base, **overrides)
     return base

@@ -37,6 +37,7 @@ from .errors import ReproError
 from .grid import generate_power_grid, spec_for_node_count, write_spice
 from .sim import TransientConfig
 from .sim.linear import solver_factory
+from .stepping import resolve_scheme, scheme_names
 from .variation import VariationSpec
 
 __all__ = ["main", "build_parser"]
@@ -140,6 +141,14 @@ def build_parser() -> argparse.ArgumentParser:
         "lazy (matrix-free Kronecker-sum operators), or auto (lazy exactly "
         "when the solver backend consumes operators, e.g. mean-block-cg)",
     )
+    analyze.add_argument(
+        "--scheme",
+        default=None,
+        metavar="NAME",
+        help="stepping scheme of the transient (registered: "
+        f"{', '.join(scheme_names())}; parametrised specs like theta:0.75 "
+        "are accepted)",
+    )
 
     compare = subparsers.add_parser("compare", help="compare OPERA against Monte Carlo")
     add_analysis_arguments(compare)
@@ -196,6 +205,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="K",
         help="schedule group count for hierarchical-engine cases",
     )
+    sweep.add_argument(
+        "--scheme",
+        default=None,
+        metavar="NAME",
+        help=f"stepping scheme of every case (registered: {', '.join(scheme_names())})",
+    )
     sweep.add_argument("--steps", type=int, default=12, help="transient steps of every case")
     sweep.add_argument("--dt", type=float, default=0.2e-9, help="transient step size (s)")
     sweep.add_argument("--base-seed", type=int, default=0, help="plan base seed")
@@ -243,6 +258,8 @@ def _check_names(args: argparse.Namespace) -> None:
         solver_factory(args.solver)  # raises SolverError with a listing
     if getattr(args, "engine", None) is not None:
         get_engine(args.engine)  # raises AnalysisError with a listing
+    if getattr(args, "scheme", None) is not None:
+        resolve_scheme(args.scheme)  # raises SchemeError with a listing
 
 
 def _command_generate(args: argparse.Namespace) -> int:
@@ -275,6 +292,8 @@ def _command_analyze(args: argparse.Namespace) -> int:
         options["partitions"] = args.partitions
     if getattr(args, "assemble", None) is not None:
         options["assemble"] = args.assemble
+    if getattr(args, "scheme", None) is not None:
+        options["scheme"] = args.scheme
     result = session.run(args.engine, **options)
 
     if hasattr(result.raw, "basis"):
@@ -316,6 +335,8 @@ def _command_sweep(args: argparse.Namespace) -> int:
 
     for engine in args.engines:
         get_engine(engine)  # fail fast with the registry's listing
+    if args.scheme is not None:
+        resolve_scheme(args.scheme)  # fail fast with the registry's listing
     transient = TransientConfig(t_stop=args.steps * args.dt, dt=args.dt)
     plan = SweepPlan.grid(
         args.nodes,
@@ -325,6 +346,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         samples=args.samples,
         mc_workers=args.mc_workers if args.mc_workers is not None else args.workers,
         partitions=args.partitions,
+        scheme=args.scheme,
         transient=transient,
         base_seed=args.base_seed,
     )

@@ -31,6 +31,15 @@ class ConvergenceError(SolverError):
     """Raised when an iterative solver fails to reach the requested tolerance."""
 
 
+class SchemeError(SolverError, ValueError):
+    """Raised for unknown or invalid time-integration schemes.
+
+    Also a :class:`ValueError`: scheme names travel through plain
+    configuration fields (``TransientConfig.method``, CLI flags) whose
+    callers traditionally catch ``ValueError`` for bad settings.
+    """
+
+
 class VariationModelError(ReproError):
     """Raised for inconsistent process-variation specifications."""
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Mapping, Optional
 
 from ..errors import AnalysisError
@@ -27,6 +27,10 @@ class OperaConfig:
         Linear solver for the augmented system (any registered backend,
         e.g. ``"direct"``, ``"cg"``, ``"ilu-cg"``, ``"mean-block-cg"``);
         defaults to the transient config's solver.
+    scheme:
+        Stepping-scheme spec for the augmented transient (any registered
+        scheme, e.g. ``"trapezoidal"``, ``"backward-euler"``,
+        ``"theta:0.75"``); defaults to the transient config's method.
     assemble:
         Representation of the augmented Galerkin matrices: ``"explicit"``
         materialises the Kronecker-sum CSR, ``"lazy"`` keeps it as a
@@ -49,6 +53,7 @@ class OperaConfig:
     transient: TransientConfig
     order: int = 2
     solver: Optional[str] = None
+    scheme: Optional[str] = None
     assemble: str = "auto"
     solver_options: Optional[Mapping] = None
     store_coefficients: bool = True
@@ -62,10 +67,24 @@ class OperaConfig:
                 "assemble must be 'auto', 'explicit' or 'lazy'; "
                 f"got {self.assemble!r}"
             )
+        if self.scheme is not None:
+            from ..stepping import resolve_scheme
+
+            resolve_scheme(self.scheme)  # raises SchemeError with a listing
 
     @property
     def effective_solver(self) -> str:
         return self.solver if self.solver is not None else self.transient.solver
+
+    @property
+    def effective_transient(self) -> TransientConfig:
+        """The transient config with the ``solver``/``scheme`` overrides folded in."""
+        transient = self.transient
+        if self.solver is not None and self.solver != transient.solver:
+            transient = replace(transient, solver=self.solver)
+        if self.scheme is not None and self.scheme != transient.method:
+            transient = replace(transient, method=self.scheme)
+        return transient
 
     @property
     def effective_assemble(self) -> str:

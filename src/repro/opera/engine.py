@@ -20,7 +20,6 @@ Section 5.1, which reuses a single factorisation of the nominal matrix.
 
 from __future__ import annotations
 
-import dataclasses
 import time
 from typing import Callable, Dict, Mapping, Optional
 
@@ -37,7 +36,7 @@ from ..chaos.galerkin import (
 )
 from ..chaos.response import StochasticField, StochasticTransientResult
 from ..sim.linear import make_solver, solver_accepts_operator
-from ..sim.transient import run_transient
+from ..stepping import GalerkinSystemAdapter, StepLoop
 from ..variation.model import StochasticSystem
 from .config import OperaConfig
 from .special_case import run_decoupled_transient
@@ -131,8 +130,10 @@ def run_opera_dc(
         augmented_conductance = assemble_augmented_operator(basis, conductance_coefficients)
     else:
         augmented_conductance = assemble_augmented_matrix(basis, conductance_coefficients)
-        if solver == "mean-block-cg":
+        if solver in ("mean-block-cg", "degree-block-cg"):
             solver_options.setdefault("num_nodes", system.num_nodes)
+    if solver == "degree-block-cg":
+        solver_options.setdefault("degrees", tuple(int(d) for d in basis.degrees))
     rhs = assemble_augmented_rhs(
         basis, system.excitation.pc_coefficients(basis, t), system.num_nodes
     )
@@ -165,7 +166,8 @@ def run_opera_transient(
     assemble = config.effective_assemble
     if galerkin is None:
         galerkin = build_galerkin_system(system, basis, assemble=assemble)
-    times = config.transient.times()
+    transient = config.effective_transient
+    times = transient.times()
     num_nodes = system.num_nodes
 
     store_full = config.store_coefficients
@@ -184,34 +186,18 @@ def run_opera_transient(
             if basis.size > 1:
                 variance[step] = np.sum(blocks[1:] ** 2, axis=0)
 
-    transient = config.transient
-    if config.solver is not None and config.solver != transient.solver:
-        transient = dataclasses.replace(transient, solver=config.solver)
-
-    solver_options = dict(config.solver_options or {})
-    if assemble == "lazy":
-        conductance = galerkin.conductance_operator
-        capacitance = galerkin.capacitance_operator
-    else:
-        conductance = galerkin.conductance
-        capacitance = galerkin.capacitance
-        if config.effective_solver == "mean-block-cg":
-            # The explicit matrix carries no block structure; hand the
-            # backend the block size so it can slice out the mean block.
-            solver_options.setdefault("num_nodes", num_nodes)
-    run_transient(
-        conductance,
-        capacitance,
-        galerkin.rhs,
-        transient,
-        vdd=system.vdd,
-        callback=collect,
-        store=False,
+    # The operator-aware adapter binds the representation, the solver (with
+    # block-structure options threaded automatically) and the precomputed
+    # rhs_series; the shared StepLoop does the marching.
+    adapter = GalerkinSystemAdapter(
+        galerkin,
+        assemble=assemble,
+        solver=transient.solver,
         solver_factory=solver_factory,
-        # Precomputed per-basis-index excitation waveforms: the per-step
-        # augmented RHS becomes a buffer fill (identical values either way).
-        rhs_series=galerkin.rhs_series(times),
-        solver_options=solver_options,
+        solver_options=config.solver_options,
+    )
+    StepLoop(adapter, transient.scheme, times, transient.dt).run(
+        callback=collect, store=False
     )
     elapsed = time.perf_counter() - started
 

@@ -8,22 +8,28 @@ equations
 
 ``(G + sC) a_j(s) = U_j(s)``    for  ``j = 0 .. N``
 
-(Eq. (27) of the paper).  A single LU factorisation of the stepping matrix is
+(Eq. (27) of the paper).  A single factorisation of the stepping matrix is
 therefore shared by every coefficient and every time step, which is what
 makes this special case almost as cheap as a single nominal simulation.
+
+The marching runs on the shared :mod:`repro.stepping` core: the active
+coefficients are stacked into one state vector behind a
+:class:`~repro.stepping.DecoupledSystemAdapter` (block-diagonal step matrix
+``I_J (x) (aG + bC/h)``), so each step is a single multi-RHS solve of the
+one ``n x n`` factorisation and any registered scheme applies.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, Optional
+from typing import Callable, Optional
 
 import numpy as np
 
 from ..chaos.basis import PolynomialChaosBasis
 from ..chaos.response import StochasticTransientResult
 from ..errors import AnalysisError
-from ..sim.linear import make_solver
+from ..stepping import DecoupledSystemAdapter, StackedRhsSeries, StepLoop
 from ..variation.model import StochasticSystem
 from .config import OperaConfig
 
@@ -56,54 +62,41 @@ def run_decoupled_transient(
         )
 
     started = time.perf_counter()
-    transient = config.transient
+    transient = config.effective_transient
     times = transient.times()
-    h = transient.dt
     n = system.num_nodes
 
     conductance = system.g_nominal.tocsr()
     capacitance = system.c_nominal.tocsr()
-    scaled_capacitance = capacitance / h
-
-    if transient.method == "backward-euler":
-        lhs = conductance + scaled_capacitance
-    else:  # trapezoidal
-        lhs = conductance + 2.0 * scaled_capacitance
-
-    factory = solver_factory if solver_factory is not None else make_solver
-    solver_name = config.effective_solver
-    dc_solver = factory(conductance, method=solver_name)
-    step_solver = factory(lhs, method=solver_name)
 
     # The set of active chaos coefficients is fixed by the excitation structure.
     initial_coefficients = system.excitation.pc_coefficients(basis, float(times[0]))
     active = sorted(initial_coefficients.keys())
 
     coefficients = np.zeros((times.size, basis.size, n))
-    for j in active:
-        coefficients[0, j] = dc_solver.solve(np.asarray(initial_coefficients[j], dtype=float))
+    if active:
+        series = StackedRhsSeries.from_coefficients(
+            lambda t: system.excitation.pc_coefficients(basis, t),
+            times,
+            active,
+            n,
+        )
+        adapter = DecoupledSystemAdapter(
+            conductance,
+            capacitance,
+            tracks=len(active),
+            rhs_series=series,
+            solver=config.effective_solver,
+            solver_factory=solver_factory,
+        )
+        active_rows = np.asarray(active, dtype=int)
 
-    previous_rhs: Dict[int, np.ndarray] = {
-        j: np.asarray(initial_coefficients[j], dtype=float) for j in active
-    }
+        def scatter(step: int, t: float, stacked: np.ndarray) -> None:
+            coefficients[step, active_rows] = stacked.reshape(len(active), n)
 
-    for k in range(1, times.size):
-        t = float(times[k])
-        current = system.excitation.pc_coefficients(basis, t)
-        for j in active:
-            u_now = np.asarray(current.get(j, np.zeros(n)), dtype=float)
-            a_prev = coefficients[k - 1, j]
-            if transient.method == "backward-euler":
-                b = u_now + scaled_capacitance @ a_prev
-            else:
-                b = (
-                    u_now
-                    + previous_rhs[j]
-                    + (2.0 * scaled_capacitance) @ a_prev
-                    - conductance @ a_prev
-                )
-            coefficients[k, j] = step_solver.solve(b)
-            previous_rhs[j] = u_now
+        StepLoop(adapter, transient.scheme, times, transient.dt).run(
+            callback=scatter, store=False
+        )
 
     elapsed = time.perf_counter() - started
     if config.store_coefficients:

@@ -57,8 +57,9 @@ from .partitioner import (
     partition_matrix,
     union_structure,
 )
+from ..stepping import SchurSystemAdapter, StepLoop
 from .schur import SchurComplement
-from .workers import HierarchicalWorkerPool, split_groups
+from .workers import split_groups
 
 __all__ = [
     "system_partition",
@@ -97,6 +98,7 @@ def run_hierarchical_transient(
     atoms: Optional[int] = None,
     partitions: Optional[int] = None,
     workers: int = 1,
+    solver: Optional[str] = None,
     store_coefficients: bool = False,
 ) -> StochasticTransientResult:
     """Partitioned stochastic Galerkin transient (exact Schur reduction).
@@ -106,7 +108,7 @@ def run_hierarchical_transient(
     system, galerkin:
         The stochastic system and its assembled augmented Galerkin system.
     transient:
-        Time axis and integration method (matches ``run_transient``).
+        Time axis and integration scheme (matches ``run_transient``).
     partition:
         Optional node partition; defaults to :func:`system_partition`.
     atoms:
@@ -117,6 +119,12 @@ def run_hierarchical_transient(
         scheduling parameter: results are bit-identical for every value.
     workers:
         Worker processes for per-block work; ``1`` runs in-process.
+    solver:
+        Step-solver backend: ``"schur"`` (default, exact reduction) or a
+        registered iterative backend such as ``"schwarz-cg"``, which runs
+        matrix-free on the stepping operator with the augmented partition's
+        block preconditioner and is warm-started across steps by the
+        shared loop.
     store_coefficients:
         Keep the full chaos-coefficient tensor (memory-hungry on large
         grids); by default only mean/variance waveforms are stored.
@@ -132,81 +140,38 @@ def run_hierarchical_transient(
         partition = system_partition(system, num_atoms=atoms)
     augmented = augment_partition(partition, basis.size)
 
-    conductance = galerkin.conductance.tocsr()
-    capacitance = galerkin.capacitance.tocsr()
-    h = transient.dt
-    scaled_capacitance = capacitance / h
-    if transient.method == "backward-euler":
-        stepping = conductance + scaled_capacitance
-    else:  # trapezoidal
-        stepping = conductance + 2.0 * scaled_capacitance
-    # The Schur reduction needs the explicit matrices above, but the per-step
-    # right-hand-side products reuse the matrix-free Kronecker-sum operators
-    # (hoisted with their scalings; applying them costs the grid fill, not
-    # the kron fill).
-    conductance_op = galerkin.conductance_operator
-    scaled_capacitance_op = galerkin.capacitance_operator * (1.0 / h)
-    double_scaled_op = 2.0 * scaled_capacitance_op
-
     atom_ids = [k for k, interior in enumerate(partition.interiors) if interior.size]
     groups = split_groups(atom_ids, partitions if partitions is not None else len(atom_ids))
-    pool = None
-    if workers > 1 and len(groups) > 1:
-        pool = HierarchicalWorkerPool(
-            workers,
-            matrices={"dc": conductance, "step": stepping},
-            partition=augmented,
-            groups=groups,
-        )
-    try:
-        dc_backend = pool.backend("dc") if pool is not None else None
-        step_backend = pool.backend("step") if pool is not None else None
-        schur_dc = SchurComplement(conductance, augmented, backend=dc_backend)
-        schur_step = SchurComplement(stepping, augmented, backend=step_backend)
+    adapter = SchurSystemAdapter(
+        galerkin,
+        augmented,
+        groups=groups,
+        workers=workers,
+        solver=solver if solver is not None else "schur",
+    )
 
-        times = transient.times()
+    times = transient.times()
+    if store_coefficients:
+        coefficients = np.zeros((times.size, basis.size, num_nodes))
+    else:
+        mean = np.zeros((times.size, num_nodes))
+        variance = np.zeros((times.size, num_nodes))
+
+    def collect(step: int, t: float, stacked: np.ndarray) -> None:
+        blocks = stacked.reshape(basis.size, num_nodes)
         if store_coefficients:
-            coefficients = np.zeros((times.size, basis.size, num_nodes))
+            coefficients[step] = blocks
         else:
-            mean = np.zeros((times.size, num_nodes))
-            variance = np.zeros((times.size, num_nodes))
+            mean[step] = blocks[0]
+            if basis.size > 1:
+                variance[step] = np.sum(blocks[1:] ** 2, axis=0)
 
-        def collect(step: int, stacked: np.ndarray) -> None:
-            blocks = stacked.reshape(basis.size, num_nodes)
-            if store_coefficients:
-                coefficients[step] = blocks
-            else:
-                mean[step] = blocks[0]
-                if basis.size > 1:
-                    variance[step] = np.sum(blocks[1:] ** 2, axis=0)
-
-        rhs_series = galerkin.rhs_series(times)
-        size = galerkin.size
-        u_now = np.zeros(size)
-        u_previous = np.zeros(size)
-        work = np.empty(size)
-        b = np.empty(size)
-        rhs_series.fill(0, u_previous)
-        state = schur_dc.solve(u_previous)
-        collect(0, state)
-
-        for step in range(1, times.size):
-            rhs_now = rhs_series.fill(step, u_now)
-            if transient.method == "backward-euler":
-                scaled_capacitance_op.matvec(state, out=work)
-                np.add(rhs_now, work, out=b)
-            else:
-                np.add(rhs_now, u_previous, out=b)
-                double_scaled_op.matvec(state, out=work)
-                b += work
-                conductance_op.matvec(state, out=work)
-                b -= work
-            state = schur_step.solve(b)
-            collect(step, state)
-            u_now, u_previous = u_previous, u_now
+    try:
+        StepLoop(adapter, transient.scheme, times, transient.dt).run(
+            callback=collect, store=False
+        )
     finally:
-        if pool is not None:
-            pool.shutdown()
+        adapter.close()
 
     elapsed = time.perf_counter() - started
     if store_coefficients:
@@ -228,7 +193,10 @@ def run_hierarchical_transient(
             node_names=system.node_names,
             wall_time=elapsed,
         )
-    result.partition_stats = _schedule_stats(partition, groups, workers, schur_step)
+    interface_nodes, factor_time = adapter.interface_stats()
+    result.partition_stats = _schedule_stats(
+        partition, groups, workers, interface_nodes, factor_time
+    )
     return result
 
 
@@ -248,17 +216,23 @@ def run_hierarchical_dc(
     solution = schur.solve(galerkin.rhs(float(t)))
     coefficients = solution.reshape(basis.size, system.num_nodes)
     field = StochasticField(basis, coefficients, vdd=system.vdd, node_names=system.node_names)
-    field.partition_stats = _schedule_stats(partition, [list(range(partition.num_parts))], 1, schur)
+    field.partition_stats = _schedule_stats(
+        partition,
+        [list(range(partition.num_parts))],
+        1,
+        int(schur.partition.boundary.size),
+        float(schur.factor_time),
+    )
     return field
 
 
-def _schedule_stats(partition, groups, workers, schur) -> dict:
+def _schedule_stats(partition, groups, workers, interface_nodes, factor_time_s) -> dict:
     return {
         **partition.stats(),
         "groups": len(groups),
         "workers": int(workers),
-        "augmented_interface_nodes": int(schur.partition.boundary.size),
-        "factor_time_s": float(schur.factor_time),
+        "augmented_interface_nodes": int(interface_nodes),
+        "factor_time_s": float(factor_time_s),
     }
 
 
@@ -268,8 +242,10 @@ def _run_hierarchical_engine(session, mode: Optional[str] = None, **options):
 
     Options: ``order`` (chaos order, default 2), ``partitions`` (schedule
     group count ``K``), ``workers`` (process-pool fan-out of per-block
-    work), ``atoms`` (fine-tiling override), ``store_coefficients``, time
-    axis overrides (``t_stop``/``dt``/...), and ``t`` in DC mode.
+    work), ``atoms`` (fine-tiling override), ``solver`` (step backend:
+    ``"schur"`` or an iterative backend like ``"schwarz-cg"``, transient
+    mode only), ``store_coefficients``, time axis overrides
+    (``t_stop``/``dt``/``scheme``/...), and ``t`` in DC mode.
     Statistics are bit-identical for every ``partitions``/``workers``
     setting; see :mod:`repro.partition.engine`.
     """
@@ -283,14 +259,16 @@ def _run_hierarchical_engine(session, mode: Optional[str] = None, **options):
     if atoms is not None:
         atoms = int(atoms)
     workers = int(options.pop("workers", 1))
+    solver = options.pop("solver", None)
     system = session.system
     galerkin = session.galerkin(order)
 
     if mode == "dc":
-        if partitions is not None or workers != 1:
+        if partitions is not None or workers != 1 or solver is not None:
             raise AnalysisError(
                 "hierarchical dc mode performs a single serial Schur solve; "
-                "'partitions' and 'workers' only apply to transient mode"
+                "'partitions', 'workers' and 'solver' only apply to "
+                "transient mode"
             )
         t = float(options.pop("t", 0.0))
         _reject_unknown(options, "hierarchical", mode)
@@ -311,6 +289,7 @@ def _run_hierarchical_engine(session, mode: Optional[str] = None, **options):
         atoms=atoms,
         partitions=partitions,
         workers=workers,
+        solver=solver,
         store_coefficients=store_coefficients,
     )
     view = StochasticResultView("hierarchical", "transient", result, system.vdd)

@@ -117,3 +117,6 @@ def _build_schwarz_cg(
 
 
 _build_schwarz_cg.accepts_operator = True
+#: Consumed by :class:`repro.stepping.SchurSystemAdapter`: this backend takes
+#: a precomputed ``partition=`` for its block structure.
+_build_schwarz_cg.accepts_partition = True

@@ -271,3 +271,8 @@ class SchurSolver(LinearSolver):
 @register_solver("schur")
 def _build_schur(matrix: sp.spmatrix, **options) -> SchurSolver:
     return SchurSolver(matrix, **options)
+
+
+#: Consumed by :class:`repro.stepping.SchurSystemAdapter`: this backend takes
+#: a precomputed ``partition=`` for its block structure.
+_build_schur.accepts_partition = True

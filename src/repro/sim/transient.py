@@ -3,42 +3,43 @@
 The grid satisfies ``C dx/dt + G x = u(t)``.  The paper carries out its
 transient analysis with a fixed time step, which lets both the deterministic
 and the stochastic (augmented) systems reuse a single matrix factorisation
-for all steps.  Two A-stable one-step methods are provided:
+for all steps.  Integration runs on the shared :mod:`repro.stepping` core:
+``TransientConfig.method`` names any registered
+:class:`~repro.stepping.SteppingScheme` -- the built-ins are
 
 * backward Euler  : ``(G + C/h) x_{k+1} = u_{k+1} + (C/h) x_k``
 * trapezoidal     : ``(G + 2C/h) x_{k+1} = u_{k+1} + u_k + (2C/h - G) x_k``
+* theta:<value>   : the generalised theta-method (``theta:1`` = backward
+  Euler, ``theta:0.5`` = trapezoidal)
 
 The initial condition defaults to the DC solution at the start time, which is
 the standard choice for IR-drop analysis (the grid starts in steady state).
 
 ``G`` and ``C`` may be explicit sparse matrices or lazy operators
 (:class:`repro.linalg.KronSumOperator`).  With operators the integrator runs
-a matrix-free fast path: the stepping operator ``G + C/h`` is composed
-without assembly (operator-aware backends like ``mean-block-cg`` consume it
-directly; others get a one-time CSR materialisation), per-step matvecs write
-into preallocated work buffers, every loop invariant (``C/h``, ``2C/h``) is
-hoisted, and -- when the caller supplies a precomputed ``rhs_series`` -- the
-per-step right-hand side is a buffer fill instead of a rebuild.
+a matrix-free fast path: the stepping operator is composed without assembly
+(operator-aware backends like ``mean-block-cg`` consume it directly; others
+get a one-time CSR materialisation), per-step matvecs write into
+preallocated work buffers, every loop invariant is hoisted, and -- when the
+caller supplies a precomputed ``rhs_series`` -- the per-step right-hand side
+is a buffer fill instead of a rebuild.  All of that now lives in
+:class:`~repro.stepping.StepLoop`; this module is the thin deterministic
+entry point.
 """
 
 from __future__ import annotations
 
-import inspect
 from dataclasses import dataclass
 from typing import Callable, Optional
 
 import numpy as np
-import scipy.sparse as sp
 
 from ..errors import SolverError
 from ..grid.stamping import StampedSystem
-from .linear import _is_lazy_operator, make_solver
+from ..stepping import MnaSystemAdapter, StepCallback, StepLoop, SteppingScheme, resolve_scheme
 from .results import TransientResult
 
-__all__ = ["TransientConfig", "run_transient", "transient_analysis"]
-
-#: Signature of a streaming observer: ``callback(step_index, time, voltages)``.
-StepCallback = Callable[[int, float, np.ndarray], None]
+__all__ = ["TransientConfig", "run_transient", "transient_analysis", "StepCallback"]
 
 
 @dataclass(frozen=True)
@@ -55,7 +56,9 @@ class TransientConfig:
         Start time; the initial condition is the DC solution at this time
         unless an explicit ``x0`` is supplied to the integrator.
     method:
-        ``"backward-euler"`` (default) or ``"trapezoidal"``.
+        Spec of a registered stepping scheme: ``"backward-euler"``
+        (default), ``"trapezoidal"``, ``"theta:<value>"``, or any name
+        added with :func:`repro.stepping.register_scheme`.
     solver:
         Linear solver used for the (constant) integration matrix:
         any registered backend name, e.g. ``"direct"``, ``"cg"``,
@@ -73,8 +76,14 @@ class TransientConfig:
             raise ValueError("dt must be positive")
         if self.t_stop <= self.t_start:
             raise ValueError("t_stop must be greater than t_start")
-        if self.method not in ("backward-euler", "trapezoidal"):
-            raise ValueError("method must be 'backward-euler' or 'trapezoidal'")
+        # Unknown schemes raise SchemeError, which is also a ValueError --
+        # the exception configuration callers historically caught here.
+        resolve_scheme(self.method)
+
+    @property
+    def scheme(self) -> SteppingScheme:
+        """The resolved stepping scheme of :attr:`method`."""
+        return resolve_scheme(self.method)
 
     @property
     def num_steps(self) -> int:
@@ -90,14 +99,6 @@ class TransientConfig:
 #: Defaults to :func:`~repro.sim.linear.make_solver`; the :class:`repro.api.Analysis`
 #: facade injects a caching provider so repeated runs reuse factorisations.
 SolverFactory = Callable[..., "object"]
-
-
-def _supports_warm_start(solver) -> bool:
-    """True when ``solver.solve`` accepts an ``x0`` initial guess."""
-    try:
-        return "x0" in inspect.signature(solver.solve).parameters
-    except (TypeError, ValueError):  # pragma: no cover - exotic callables
-        return False
 
 
 def run_transient(
@@ -125,7 +126,7 @@ def run_transient(
         Callable returning the excitation vector at a given time.  May be
         ``None`` when ``rhs_series`` is supplied.
     config:
-        Step size, horizon, method and solver selection.
+        Step size, horizon, scheme and solver selection.
     x0:
         Initial node voltages; defaults to the DC solution at ``t_start``.
     vdd:
@@ -152,110 +153,20 @@ def run_transient(
         ``rtol`` for iterative backends, ``num_nodes`` for an explicit
         ``mean-block-cg`` system).
     """
-    matrix_free = _is_lazy_operator(conductance)
-    if matrix_free != _is_lazy_operator(capacitance):
-        raise SolverError(
-            "G and C must both be explicit sparse matrices or both lazy "
-            "operators; mixing the representations is not supported "
-            "(materialise one side with to_csr() or build both as operators)"
-        )
-    if not matrix_free:
-        conductance = sp.csr_matrix(conductance)
-        capacitance = sp.csr_matrix(capacitance)
-    if conductance.shape != capacitance.shape:
-        raise SolverError("G and C must have identical shapes")
     if rhs_function is None and rhs_series is None:
         raise SolverError("either rhs_function or rhs_series is required")
-    n = conductance.shape[0]
-    factory = solver_factory if solver_factory is not None else make_solver
-    solver_options = dict(solver_options or {})
-
-    times = config.times()
-    h = config.dt
-    trapezoidal = config.method == "trapezoidal"
-
-    # ------------------------------------------------------------ excitation
-    if rhs_series is not None:
-        series_times = getattr(rhs_series, "times", None)
-        if series_times is not None and (
-            len(series_times) != times.size
-            or not np.allclose(series_times, times, rtol=0.0, atol=1e-18)
-        ):
-            raise SolverError("rhs_series does not match the configured time axis")
-        u_now = np.zeros(n)
-        u_previous = np.zeros(n)
-        rhs_series.fill(0, u_previous)
-        rhs_initial = u_previous
-    else:
-        rhs_initial = np.asarray(rhs_function(float(times[0])), dtype=float)
-
-    # ------------------------------------------------------ initial condition
-    if x0 is None:
-        dc_solver = factory(conductance, method=config.solver, **solver_options)
-        x = dc_solver.solve(rhs_initial)
-    else:
-        x = np.asarray(x0, dtype=float).copy()
-        if x.shape != (n,):
-            raise SolverError(f"x0 must have shape ({n},)")
-
-    # ------------------------------------------------ hoisted loop invariants
-    scaled_capacitance = capacitance / h
-    if trapezoidal:
-        lhs = conductance + 2.0 * capacitance / h
-        double_scaled = 2.0 * scaled_capacitance
-    else:
-        lhs = conductance + capacitance / h
-        double_scaled = None
-    step_solver = factory(lhs, method=config.solver, **solver_options)
-    warm_start = _supports_warm_start(step_solver)
-
-    if matrix_free:
-        work = np.empty(n)
-        b = np.empty(n)
-
-    history = np.empty((times.size, n)) if store else None
-    if store:
-        history[0] = x
-    if callback is not None:
-        callback(0, float(times[0]), x)
-
-    rhs_previous = rhs_initial
-
-    for k in range(1, times.size):
-        t = float(times[k])
-        if rhs_series is not None:
-            rhs_now = rhs_series.fill(k, u_now)
-        else:
-            rhs_now = np.asarray(rhs_function(t), dtype=float)
-        if matrix_free:
-            if trapezoidal:
-                np.add(rhs_now, rhs_previous, out=b)
-                double_scaled.matvec(x, out=work)
-                b += work
-                conductance.matvec(x, out=work)
-                b -= work
-            else:
-                scaled_capacitance.matvec(x, out=work)
-                np.add(rhs_now, work, out=b)
-        else:
-            if trapezoidal:
-                b = rhs_now + rhs_previous + double_scaled @ x - conductance @ x
-            else:
-                b = rhs_now + scaled_capacitance @ x
-        x = step_solver.solve(b, x0=x) if warm_start else step_solver.solve(b)
-        if store:
-            history[k] = x
-        if callback is not None:
-            callback(k, t, x)
-        if rhs_series is not None:
-            # Swap buffers: the one holding U(t_k) becomes "previous", the
-            # stale one is overwritten by the next fill.
-            u_now, u_previous = u_previous, u_now
-            rhs_previous = u_previous
-        else:
-            rhs_previous = rhs_now
-
-    return TransientResult(times=times, voltages=history, vdd=vdd)
+    adapter = MnaSystemAdapter(
+        conductance,
+        capacitance,
+        rhs_function=rhs_function,
+        rhs_series=rhs_series,
+        solver=config.solver,
+        solver_factory=solver_factory,
+        solver_options=solver_options,
+    )
+    loop = StepLoop(adapter, config.scheme, config.times(), config.dt)
+    history = loop.run(x0=x0, callback=callback, store=store)
+    return TransientResult(times=history.times, voltages=history.states, vdd=vdd)
 
 
 def transient_analysis(

@@ -1,0 +1,287 @@
+"""The shared fixed-step integration loop.
+
+One :class:`StepLoop` drives every transient engine of the library -- the
+deterministic simulator, the coupled (augmented Galerkin) OPERA engine, the
+decoupled special case, the partitioned (Schur) engine and each Monte Carlo
+sample.  The loop owns everything the per-engine copies used to duplicate:
+
+* the preallocated work buffers of the matrix-free path (nothing is
+  allocated per step);
+* the ``rhs_series`` double-buffering (per-step excitation becomes a buffer
+  fill, with the two buffers swapped instead of copied);
+* warm starting -- solvers whose ``solve`` accepts an ``x0`` initial guess
+  (duck-typed once, here) receive the previous step's state;
+* step callbacks (streaming observers) and optional waveform storage.
+
+Engines differ only in their :class:`SystemAdapter`: one ``prepare`` call
+yields the scheme's hoisted :class:`~repro.stepping.schemes.StepForms`, the
+solvers, and the excitation source for a given time axis (see
+:mod:`repro.stepping.adapters` for the concrete adapters).
+"""
+
+from __future__ import annotations
+
+import abc
+import inspect
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from ..errors import SolverError
+from .schemes import StepForms, SteppingScheme, resolve_scheme
+
+__all__ = [
+    "StepCallback",
+    "PreparedSystem",
+    "SystemAdapter",
+    "StepHistory",
+    "StepLoop",
+    "supports_warm_start",
+]
+
+#: Signature of a streaming observer: ``callback(step_index, time, state)``.
+StepCallback = Callable[[int, float, np.ndarray], None]
+
+
+def supports_warm_start(solver) -> bool:
+    """True when ``solver.solve`` accepts an ``x0`` initial guess.
+
+    The loop consults this once per run for whatever solver the adapter
+    supplied -- iterative backends (``cg``, ``mean-block-cg``,
+    ``degree-block-cg``, ``schwarz-cg``) opt in simply by having the
+    parameter, direct backends by not having it.
+    """
+    try:
+        return "x0" in inspect.signature(solver.solve).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return False
+
+
+@dataclass
+class PreparedSystem:
+    """Everything :meth:`SystemAdapter.prepare` hands the loop for one run.
+
+    Attributes
+    ----------
+    forms:
+        The scheme's hoisted LHS / RHS objects.
+    step_solver:
+        Solver for the constant step matrix (``solve(b)`` or
+        ``solve(b, x0=...)``).
+    dc_solver_factory:
+        Zero-argument factory for the initial-condition solver (the DC
+        system ``G x = u(t_0)``); called only when no explicit ``x0`` is
+        supplied, so adapters defer that factorisation.
+    rhs_series:
+        Optional precomputed excitation table with
+        ``fill(step_index, out) -> out`` (e.g.
+        :class:`repro.chaos.galerkin.AugmentedRhsSeries`).  When present
+        the per-step RHS is a buffer fill.
+    rhs_function:
+        Fallback callable returning the excitation vector at a time;
+        required when ``rhs_series`` is absent.
+    """
+
+    forms: StepForms
+    step_solver: object
+    dc_solver_factory: Callable[[], object]
+    rhs_series: Optional[object] = None
+    rhs_function: Optional[Callable[[float], np.ndarray]] = None
+
+
+class SystemAdapter(abc.ABC):
+    """What one engine must supply to run on the shared :class:`StepLoop`.
+
+    Concrete adapters (:mod:`repro.stepping.adapters`) wrap the
+    deterministic MNA system, the augmented Galerkin system (explicit or
+    matrix-free) and the partitioned Schur reduction.
+    """
+
+    @property
+    @abc.abstractmethod
+    def size(self) -> int:
+        """Dimension of the state vector."""
+
+    @abc.abstractmethod
+    def prepare(self, scheme: SteppingScheme, times: np.ndarray, h: float) -> PreparedSystem:
+        """Hoist forms, build solvers and bind the excitation for one run."""
+
+    def close(self) -> None:
+        """Release per-run resources (worker pools); default: nothing."""
+
+
+@dataclass
+class StepHistory:
+    """Result of one :meth:`StepLoop.run`: the time axis, the stored states
+    (``None`` in streaming mode) and the final state."""
+
+    times: np.ndarray
+    states: Optional[np.ndarray]
+    final: np.ndarray
+
+
+class StepLoop:
+    """The fixed-step driver: one loop, every engine.
+
+    Parameters
+    ----------
+    adapter:
+        The engine's :class:`SystemAdapter`.
+    scheme:
+        A :class:`~repro.stepping.schemes.SteppingScheme` or spec string
+        (``"trapezoidal"``, ``"backward-euler"``, ``"theta:0.75"``, any
+        registered name).
+    times:
+        The full time axis including the initial point (uniformly spaced
+        by ``h``; typically ``TransientConfig.times()``).
+    h:
+        The fixed step size.
+    """
+
+    def __init__(
+        self,
+        adapter: SystemAdapter,
+        scheme: Union[str, SteppingScheme],
+        times: np.ndarray,
+        h: float,
+    ):
+        self.adapter = adapter
+        self.scheme = resolve_scheme(scheme)
+        self.times = np.asarray(times, dtype=float)
+        if self.times.size < 2:
+            raise SolverError("the time axis needs at least two points")
+        self.h = float(h)
+        if self.h <= 0:
+            raise SolverError(f"step size must be positive, got {h}")
+
+    def run(
+        self,
+        x0: Optional[np.ndarray] = None,
+        callback: Optional[StepCallback] = None,
+        store: bool = True,
+    ) -> StepHistory:
+        """Integrate over the time axis.
+
+        ``x0`` overrides the initial condition (default: the DC solution at
+        the first time point).  ``callback(step, t, state)`` observes every
+        accepted step including step 0; ``store=False`` skips waveform
+        storage (streaming mode).
+        """
+        adapter = self.adapter
+        times = self.times
+        n = adapter.size
+        prepared = adapter.prepare(self.scheme, times, self.h)
+        forms = prepared.forms
+        series = prepared.rhs_series
+        rhs_function = prepared.rhs_function
+        if series is None and rhs_function is None:
+            raise SolverError("either rhs_function or rhs_series is required")
+
+        # ---------------------------------------------------------- excitation
+        if series is not None:
+            series_times = getattr(series, "times", None)
+            if series_times is not None and (
+                len(series_times) != times.size
+                or not np.allclose(series_times, times, rtol=0.0, atol=1e-18)
+            ):
+                raise SolverError("rhs_series does not match the configured time axis")
+            u_now = np.zeros(n)
+            u_previous = np.zeros(n)
+            series.fill(0, u_previous)
+            rhs_initial = u_previous
+        else:
+            rhs_initial = np.asarray(rhs_function(float(times[0])), dtype=float)
+
+        # --------------------------------------------------- initial condition
+        if x0 is None:
+            x = prepared.dc_solver_factory().solve(rhs_initial)
+        else:
+            x = np.asarray(x0, dtype=float).copy()
+            if x.shape != (n,):
+                raise SolverError(f"x0 must have shape ({n},)")
+
+        solver = prepared.step_solver
+        warm_start = supports_warm_start(solver)
+        matrix_free = forms.matrix_free
+        two_term = forms.rhs_u_old != 0.0
+        rhs_capacitance = forms.rhs_capacitance
+        rhs_conductance = forms.rhs_conductance
+        if matrix_free:
+            work = np.empty(n)
+            b = np.empty(n)
+
+        history = np.empty((times.size, n)) if store else None
+        if store:
+            history[0] = x
+        if callback is not None:
+            callback(0, float(times[0]), x)
+
+        rhs_previous = rhs_initial
+
+        for k in range(1, times.size):
+            t = float(times[k])
+            if series is not None:
+                rhs_now = series.fill(k, u_now)
+            else:
+                rhs_now = np.asarray(rhs_function(t), dtype=float)
+
+            # ------------------------------------------------- RHS assembly
+            # The branch structure mirrors the historical per-engine loops
+            # exactly (term order included) so the default schemes keep
+            # their floating-point trajectories bit for bit.
+            if matrix_free:
+                if two_term:
+                    if forms.rhs_u_old == 1.0 and forms.rhs_u_new == 1.0:
+                        np.add(rhs_now, rhs_previous, out=b)
+                    else:
+                        np.multiply(rhs_previous, forms.rhs_u_old, out=b)
+                        if forms.rhs_u_new == 1.0:
+                            b += rhs_now
+                        else:
+                            b += forms.rhs_u_new * rhs_now
+                    if rhs_capacitance is not None:
+                        rhs_capacitance.matvec(x, out=work)
+                        b += work
+                else:
+                    if rhs_capacitance is not None:
+                        rhs_capacitance.matvec(x, out=work)
+                        if forms.rhs_u_new == 1.0:
+                            np.add(rhs_now, work, out=b)
+                        else:
+                            np.multiply(rhs_now, forms.rhs_u_new, out=b)
+                            b += work
+                    else:
+                        np.multiply(rhs_now, forms.rhs_u_new, out=b)
+                if rhs_conductance is not None:
+                    rhs_conductance.matvec(x, out=work)
+                    b -= work
+            else:
+                if forms.rhs_u_new == 1.0:
+                    b = rhs_now if two_term else rhs_now.copy()
+                else:
+                    b = forms.rhs_u_new * rhs_now
+                if two_term:
+                    if forms.rhs_u_old == 1.0:
+                        b = b + rhs_previous
+                    else:
+                        b = b + forms.rhs_u_old * rhs_previous
+                if rhs_capacitance is not None:
+                    b = b + rhs_capacitance @ x
+                if rhs_conductance is not None:
+                    b = b - rhs_conductance @ x
+
+            x = solver.solve(b, x0=x) if warm_start else solver.solve(b)
+            if store:
+                history[k] = x
+            if callback is not None:
+                callback(k, t, x)
+            if series is not None:
+                # Swap buffers: the one holding U(t_k) becomes "previous",
+                # the stale one is overwritten by the next fill.
+                u_now, u_previous = u_previous, u_now
+                rhs_previous = u_previous
+            else:
+                rhs_previous = rhs_now
+
+        return StepHistory(times=times, states=history, final=x)

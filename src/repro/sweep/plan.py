@@ -94,6 +94,12 @@ class SweepCase:
     (``None`` keeps the engine default); like ``partitions`` it is part of
     the case identity when set -- a solver ablation (e.g. explicit ``direct``
     vs matrix-free ``mean-block-cg``) sweeps exactly this field.
+
+    ``scheme`` selects a registered stepping scheme for the case's
+    transient (``None`` keeps the plan transient's method); when set it
+    joins the case identity the same append-only way, so a scheme ablation
+    (e.g. ``trapezoidal`` vs ``backward-euler``) sweeps exactly this field
+    and pre-existing case identities keep their seeds.
     """
 
     engine: str
@@ -108,6 +114,7 @@ class SweepCase:
     chunk_size: int = DEFAULT_CHUNK_SIZE
     partitions: Optional[int] = None
     solver: Optional[str] = None
+    scheme: Optional[str] = None
     seed: int = 0
 
     def __post_init__(self):
@@ -125,6 +132,10 @@ class SweepCase:
                 raise AnalysisError(f"partitions must be at least 1, got {self.partitions}")
         if self.solver is not None and not str(self.solver).strip():
             raise AnalysisError("solver must be a non-empty backend name or None")
+        if self.scheme is not None:
+            from ..stepping import resolve_scheme
+
+            resolve_scheme(self.scheme)  # fail at plan construction, not in a worker
         corner_spec(self.corner)  # validate eagerly, before any worker sees it
         if self.engine == "montecarlo" and self.antithetic:
             # Mirror MonteCarloConfig's chunked-antithetic parity rules here
@@ -152,15 +163,17 @@ class SweepCase:
             parts.append(f"p{self.partitions}")
         if self.solver is not None:
             parts.append(self.solver)
+        if self.scheme is not None:
+            parts.append(self.scheme)
         parts.append(self.corner)
         return "-".join(parts)
 
     def key(self) -> Tuple:
         """Identity used to match cases across sweeps (excludes seeds).
 
-        ``solver`` is appended only when set, so the identities (and hence
-        the derived seeds) of solver-less cases predate and survive the
-        field's introduction.
+        ``solver`` and ``scheme`` are appended only when set, so the
+        identities (and hence the derived seeds) of cases without them
+        predate and survive the fields' introduction.
         """
         identity = (
             self.engine,
@@ -172,24 +185,39 @@ class SweepCase:
         )
         if self.solver is not None:
             identity = identity + (self.solver,)
+        if self.scheme is not None:
+            identity = identity + (self.scheme,)
         return identity
 
     def seed_identity(self) -> Tuple:
         """The identity tuple seed derivation uses (append-only convention).
 
-        Unlike :meth:`key`, optional fields (``partitions``, ``solver``)
-        join the tuple *only when set*, so the seeds of case identities
-        that predate those fields survive their introduction.  Hand-built
-        cases should derive their seed as
-        ``case_seed_for(base_seed, case.seed_identity())`` -- exactly what
-        :meth:`SweepPlan.grid` does.
+        Unlike :meth:`key`, optional fields (``partitions``, ``solver``,
+        ``scheme``) join the tuple *only when set*, so the seeds of case
+        identities that predate those fields survive their introduction.
+        Hand-built cases should derive their seed with
+        :meth:`with_derived_seed` -- exactly what :meth:`SweepPlan.grid`
+        does.
         """
         identity = (self.engine, self.nodes, self.order, self.samples, self.corner)
         if self.partitions is not None:
             identity = identity + (self.partitions,)
         if self.solver is not None:
             identity = identity + (self.solver,)
+        if self.scheme is not None:
+            identity = identity + (self.scheme,)
         return identity
+
+    def with_derived_seed(self, base_seed: int) -> "SweepCase":
+        """A copy whose seed is derived from ``base_seed`` and the identity.
+
+        The one sanctioned way to seed hand-built cases (solver/scheme
+        ablations, appended bench cases): it applies the same append-only
+        :meth:`seed_identity` convention as :meth:`SweepPlan.grid`, so a
+        hand-built case and a grid-built case with equal identities get
+        equal seeds.
+        """
+        return dataclasses.replace(self, seed=_case_seed(base_seed, self.seed_identity()))
 
     def run_options(self) -> Dict:
         """Options forwarded to :meth:`repro.api.Analysis.run`."""
@@ -200,6 +228,8 @@ class SweepCase:
             options["partitions"] = int(self.partitions)
         if self.solver is not None:
             options["solver"] = str(self.solver)
+        if self.scheme is not None:
+            options["scheme"] = str(self.scheme)
         if self.engine == "montecarlo":
             options["samples"] = int(self.samples or 200)
             options["seed"] = int(self.seed)
@@ -272,6 +302,7 @@ class SweepPlan:
         mc_workers: int = 1,
         mc_chunk_size: int = DEFAULT_CHUNK_SIZE,
         partitions: Optional[int] = None,
+        scheme: Optional[str] = None,
         transient: Optional[TransientConfig] = None,
         base_seed: int = 0,
     ) -> "SweepPlan":
@@ -295,6 +326,10 @@ class SweepPlan:
         ``hierarchical`` case (their statistics are bit-identical for any
         value; the setting is recorded in the case identity for partition
         ablations).  Non-partitioned engines ignore it.
+
+        ``scheme`` overrides the stepping scheme of every case (``None``
+        keeps the plan transient's method); set it on individual hand-built
+        cases for scheme ablations instead.
         """
         if not node_counts:
             raise AnalysisError("grid plans need at least one node count")
@@ -326,12 +361,9 @@ class SweepPlan:
                             workers=int(mc_workers) if engine == "montecarlo" else 1,
                             chunk_size=int(mc_chunk_size),
                             partitions=case_partitions,
+                            scheme=None if scheme is None else str(scheme),
                         )
-                        cases.append(
-                            dataclasses.replace(
-                                case, seed=_case_seed(base_seed, case.seed_identity())
-                            )
-                        )
+                        cases.append(case.with_derived_seed(base_seed))
         return cls(
             cases=tuple(cases),
             transient=transient if transient is not None else DEFAULT_SWEEP_TRANSIENT,

@@ -104,6 +104,8 @@ class BenchRecord:
             )
             if case.get("solver") is not None:
                 identity = identity + (case["solver"],)
+            if case.get("scheme") is not None:
+                identity = identity + (case["scheme"],)
             mapping[identity] = case
         return mapping
 

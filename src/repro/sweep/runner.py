@@ -53,6 +53,7 @@ class SweepCaseResult:
     vdd: float = 1.0
     partitions: Optional[int] = None
     solver: Optional[str] = None
+    scheme: Optional[str] = None
     times: Optional[np.ndarray] = field(default=None, repr=False)
     mean: Optional[np.ndarray] = field(default=None, repr=False)
     std: Optional[np.ndarray] = field(default=None, repr=False)
@@ -61,8 +62,9 @@ class SweepCaseResult:
     def key(self) -> Tuple:
         """Identity used to match results across sweeps (excludes seeds).
 
-        Mirrors :meth:`repro.sweep.plan.SweepCase.key`: ``solver`` joins the
-        identity only when set, so pre-existing identities are unchanged.
+        Mirrors :meth:`repro.sweep.plan.SweepCase.key`: ``solver`` and
+        ``scheme`` join the identity only when set, so pre-existing
+        identities are unchanged.
         """
         identity = (
             self.engine,
@@ -74,6 +76,8 @@ class SweepCaseResult:
         )
         if self.solver is not None:
             identity = identity + (self.solver,)
+        if self.scheme is not None:
+            identity = identity + (self.scheme,)
         return identity
 
     @property
@@ -110,6 +114,7 @@ class SweepCaseResult:
             "samples": None if self.samples is None else int(self.samples),
             "partitions": None if self.partitions is None else int(self.partitions),
             "solver": None if self.solver is None else str(self.solver),
+            "scheme": None if self.scheme is None else str(self.scheme),
             "seed": int(self.seed),
             "wall_time_s": float(self.wall_time),
             "worst_drop_v": float(self.worst_drop),
@@ -160,6 +165,7 @@ def _execute_case(args) -> SweepCaseResult:
         samples=case.samples,
         partitions=case.partitions,
         solver=case.solver,
+        scheme=case.scheme,
         seed=case.seed,
         name=case.name,
         num_nodes=int(mean.shape[-1]),
