@@ -1,0 +1,198 @@
+"""Sample-budget sweep of the non-intrusive ``pce-regression`` engine.
+
+The regression engine is the first whose accuracy/cost trade-off is driven
+by a *sample count* rather than an expansion order, so this bench answers
+the two questions that matter for it:
+
+1. **Convergence**: on the smallest bench grid, how do the fitted
+   coefficients (vs the intrusive ``opera`` projection at the same order)
+   and the mean/std statistics converge as the sample budget grows past the
+   classical 2x-oversampling point?
+2. **Versus Monte Carlo at equal budget**: at every budget the same germ
+   count feeds a plain Monte Carlo sweep; regression PCE should squeeze far
+   more moment accuracy out of the same solves (it fits a global polynomial
+   instead of averaging).
+
+Both studies land in the ``config`` block of a
+:class:`~repro.sweep.BenchRecord`; the record's *cases* are a paired
+``pce-regression`` vs ``montecarlo`` sweep over every bench grid at the
+shared bench sample count, so regression wall times are tracked in the same
+schema as every other perf artifact.  Scaled by the usual ``OPERA_BENCH_*``
+environment variables; run a larger study with::
+
+    OPERA_BENCH_NODE_COUNTS=600,2500 OPERA_BENCH_MC_SAMPLES=200 PYTHONPATH=src \
+    python benchmarks/bench_regression.py --output BENCH_regression.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.api import Analysis
+from repro.sweep import (
+    BenchRecord,
+    SweepCase,
+    SweepPlan,
+    SweepRunner,
+    compare_records,
+    record_from_outcome,
+)
+from repro.sweep.plan import grid_seed_for
+
+from _bench_config import (
+    bench_mc_samples,
+    bench_node_counts,
+    bench_transient,
+    bench_workers,
+)
+
+#: Base seed of the regression bench plan (fixed for reproducibility).
+BASE_SEED = 37
+
+#: Sample budgets of the convergence study, as multiples of the basis size.
+BUDGET_MULTIPLIERS = (1.5, 2.0, 4.0, 8.0)
+
+#: Chaos order of every case (the paper's standard setting).
+ORDER = 2
+
+
+def budget_sweep(nodes: int) -> list:
+    """Coefficient/mean/std error vs sample budget, against ``opera``."""
+    transient = bench_transient()
+    session = Analysis.from_spec(nodes, seed=grid_seed_for(nodes, BASE_SEED))
+    session.with_transient(transient)
+    reference = session.run("opera", order=ORDER)
+    ref_coefficients = reference.raw.coefficients
+    coeff_scale = float(np.linalg.norm(ref_coefficients))
+    mean_scale = float(np.max(np.abs(reference.mean())))
+    std_scale = max(float(np.max(reference.std())), 1e-300)
+    basis_size = reference.raw.basis.size
+
+    rows = []
+    for multiplier in BUDGET_MULTIPLIERS:
+        samples = int(np.ceil(multiplier * basis_size))
+        regression = session.run(
+            "pce-regression", order=ORDER, samples=samples, seed=BASE_SEED
+        )
+        montecarlo = session.run("montecarlo", samples=samples, seed=BASE_SEED)
+        rows.append(
+            {
+                "nodes": int(session.num_nodes),
+                "order": ORDER,
+                "basis_size": int(basis_size),
+                "samples": samples,
+                "oversampling": float(samples / basis_size),
+                "coefficient_relative_error": float(
+                    np.linalg.norm(regression.raw.coefficients - ref_coefficients)
+                    / max(coeff_scale, 1e-300)
+                ),
+                "mean_relative_error": float(
+                    np.max(np.abs(regression.mean() - reference.mean())) / mean_scale
+                ),
+                "std_relative_error": float(
+                    np.max(np.abs(regression.std() - reference.std())) / std_scale
+                ),
+                "mc_mean_relative_error": float(
+                    np.max(np.abs(montecarlo.mean() - reference.mean())) / mean_scale
+                ),
+                "mc_std_relative_error": float(
+                    np.max(np.abs(montecarlo.std() - reference.std())) / std_scale
+                ),
+                "regression_wall_s": float(regression.wall_time),
+                "montecarlo_wall_s": float(montecarlo.wall_time),
+            }
+        )
+    return rows
+
+
+def paired_plan(node_counts) -> SweepPlan:
+    """One pce-regression and one montecarlo case per grid, equal budgets."""
+    samples = bench_mc_samples()
+    cases = []
+    for nodes in node_counts:
+        grid_seed = grid_seed_for(nodes, BASE_SEED)
+        for engine in ("montecarlo", "pce-regression"):
+            case = SweepCase(
+                engine=engine,
+                nodes=int(nodes),
+                grid_seed=grid_seed,
+                order=ORDER if engine == "pce-regression" else None,
+                samples=samples,
+                workers=bench_workers(),
+                chunk_size=8,
+            )
+            cases.append(case.with_derived_seed(BASE_SEED))
+    return SweepPlan(cases=tuple(cases), transient=bench_transient(), base_seed=BASE_SEED)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_regression.json",
+        help="where to write the BenchRecord JSON (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="gate against this baseline artifact (exit 1 on regression)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=300.0,
+        metavar="PCT",
+        help="allowed wall-time growth vs the baseline, percent (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    smallest = min(bench_node_counts())
+    print(f"sample-budget convergence on ~{smallest} nodes, order {ORDER}")
+    rows = budget_sweep(smallest)
+    for row in rows:
+        print(
+            f"  s={row['samples']:4d} ({row['oversampling']:.1f}x)  "
+            f"coeff {row['coefficient_relative_error']:.2e}  "
+            f"mean {row['mean_relative_error']:.2e}  "
+            f"std {row['std_relative_error']:.2e}  |  "
+            f"MC mean {row['mc_mean_relative_error']:.2e}  "
+            f"std {row['mc_std_relative_error']:.2e}"
+        )
+
+    plan = paired_plan(bench_node_counts())
+    outcome = SweepRunner(workers=bench_workers()).run(plan)
+    record = record_from_outcome(
+        outcome,
+        config={"suite": "pce-regression", "budget_sweep": rows},
+    )
+
+    print(f"engine sweep: {len(outcome)} case(s), wall {outcome.wall_time:.2f}s")
+    for result in outcome:
+        print(f"  {result.name:48s} {result.wall_time:8.3f}s")
+
+    path = record.write(args.output)
+    print(f"wrote {path}")
+
+    if args.baseline is not None:
+        report = compare_records(
+            BenchRecord.load(args.baseline),
+            record,
+            max_regression_percent=args.max_regression,
+            min_seconds=0.5,
+        )
+        print()
+        print(report.format())
+        if not report.ok:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

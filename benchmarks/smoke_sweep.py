@@ -80,7 +80,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     plan = SweepPlan.grid(
         bench_node_counts(),
-        engines=("opera", "montecarlo", "hierarchical"),
+        # pce-regression rides the same grid: one non-intrusive case per
+        # grid, chunked over the same worker count as Monte Carlo.  Its
+        # cases are appended by identity, so pre-existing case seeds are
+        # untouched (append-only identity rule).
+        engines=("opera", "montecarlo", "hierarchical", "pce-regression"),
         orders=(2,),
         samples=bench_mc_samples(),
         mc_workers=bench_workers(),

@@ -1,0 +1,49 @@
+"""Non-intrusive regression PCE in ~30 lines.
+
+Builds a synthetic grid, fits a chaos expansion of the transient voltage
+drop from sampled deterministic solves (the ``pce-regression`` engine),
+and checks it against the intrusive Galerkin projection (``opera``): the
+moments agree to ~1e-2 relative at a 2x sample budget while never touching
+the grid equations.  Then a sparse Lasso fit at a budget *below* the basis
+size, and a germ ranking straight from the fitted coefficients.
+
+Run with:  python examples/pce_regression.py
+"""
+
+import numpy as np
+
+from repro import Analysis
+from repro.analysis import sobol_from_coefficients
+
+session = Analysis.from_spec(2000, seed=1).with_transient(t_stop=2.4e-9, dt=0.2e-9)
+
+# --- 1. regression fit vs Galerkin projection -----------------------------
+opera = session.run("opera", order=2)
+regression = session.run("pce-regression", order=2, samples=60, seed=3, workers=2)
+mean_error = np.max(np.abs(regression.mean() - opera.mean()))
+sigma_error = np.max(np.abs(regression.std() - opera.std()))
+print(f"regression vs opera: |mean diff| {mean_error:.2e} V, "
+      f"|sigma diff| {sigma_error:.2e} V")
+summary = regression.to_dict()
+print(f"fit: {summary['num_samples']} samples "
+      f"({summary['oversampling']:.1f}x oversampling), "
+      f"fitter {summary['fitter']}, "
+      f"design condition {summary['design_condition']:.2f}")
+
+# --- 2. a sparse fit below the determined sample budget -------------------
+basis = regression.raw.basis
+sparse = session.run(
+    "pce-regression", order=2, samples=basis.size - 1, seed=3, fit="lasso",
+    fit_options={"debias": True},
+)
+sparse_error = np.max(np.abs(sparse.mean() - opera.mean()))
+print(f"lasso with {basis.size - 1} samples < {basis.size} terms: "
+      f"|mean diff| {sparse_error:.2e} V")
+
+# --- 3. germ ranking straight from the fitted coefficients ----------------
+worst = regression.raw.worst_node()
+expansion = regression.raw.node_expansion(worst, regression.raw.peak_time_index(worst))
+indices = sobol_from_coefficients(basis, expansion[:, None])
+print(f"variance ranking at the worst node ({regression.raw.node_names[worst]}):")
+for name, total in indices.ranked(0):
+    print(f"  {name:12s} total effect {total:.3f}")

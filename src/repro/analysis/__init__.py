@@ -2,12 +2,18 @@
 
 from .histogram import DropDistributionComparison, ascii_histogram, drop_distribution_comparison
 from .metrics import AccuracyMetrics, compare_to_monte_carlo, three_sigma_spread_percent
-from .sobol import SobolIndices, sobol_indices, transient_total_indices
+from .sobol import (
+    SobolIndices,
+    sobol_from_coefficients,
+    sobol_indices,
+    transient_total_indices,
+)
 from .tables import PAPER_TABLE1, Table1Row, format_table1
 
 __all__ = [
     "SobolIndices",
     "sobol_indices",
+    "sobol_from_coefficients",
     "transient_total_indices",
     "DropDistributionComparison",
     "ascii_histogram",

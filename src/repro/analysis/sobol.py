@@ -27,7 +27,12 @@ import numpy as np
 from ..chaos.response import StochasticField, StochasticTransientResult
 from ..errors import AnalysisError
 
-__all__ = ["SobolIndices", "sobol_indices", "transient_total_indices"]
+__all__ = [
+    "SobolIndices",
+    "sobol_indices",
+    "sobol_from_coefficients",
+    "transient_total_indices",
+]
 
 
 @dataclass(frozen=True)
@@ -108,6 +113,26 @@ def sobol_indices(
         interaction=interaction_mass / safe,
         variance=variance,
     )
+
+
+def sobol_from_coefficients(
+    basis,
+    coefficients: np.ndarray,
+    variable_names: Optional[Sequence[str]] = None,
+    variance_floor: float = 0.0,
+) -> SobolIndices:
+    """Sobol' indices straight from a chaos coefficient array.
+
+    The variance decomposition only needs the basis multi-indices and the
+    squared coefficients, so it is agnostic to *how* the coefficients were
+    obtained -- Galerkin projection (``opera``) and sampled regression fits
+    (``pce-regression``, or a raw :class:`~repro.regression.FitResult` mapped
+    through ``DesignMatrix.unscale``/``expand``) feed the identical formula.
+    ``coefficients`` has shape ``(basis.size,)`` for a scalar response or
+    ``(basis.size, num_values)`` for a field.
+    """
+    field = StochasticField(basis, coefficients)
+    return sobol_indices(field, variable_names=variable_names, variance_floor=variance_floor)
 
 
 def transient_total_indices(

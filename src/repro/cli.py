@@ -118,7 +118,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--samples",
         type=int,
         default=None,
-        help="sample count for the montecarlo engine (engine default: 200)",
+        help="sample count for the sampling engines (montecarlo default: 200; "
+        "pce-regression default: twice the basis size)",
+    )
+    analyze.add_argument(
+        "--degree",
+        type=int,
+        dest="order",
+        help="alias of --order (regression-PCE vocabulary)",
+    )
+    analyze.add_argument(
+        "--fit",
+        default=None,
+        metavar="NAME",
+        help="coefficient fitter for the pce-regression engine "
+        "(registered: ols, ridge, omp, lasso, ...)",
     )
     analyze.add_argument(
         "--workers",
@@ -260,6 +274,10 @@ def _check_names(args: argparse.Namespace) -> None:
         get_engine(args.engine)  # raises AnalysisError with a listing
     if getattr(args, "scheme", None) is not None:
         resolve_scheme(args.scheme)  # raises SchemeError with a listing
+    if getattr(args, "fit", None) is not None:
+        from .regression.fit import get_fitter
+
+        get_fitter(args.fit)  # raises RegressionError with a listing
 
 
 def _command_generate(args: argparse.Namespace) -> int:
@@ -294,6 +312,8 @@ def _command_analyze(args: argparse.Namespace) -> int:
         options["assemble"] = args.assemble
     if getattr(args, "scheme", None) is not None:
         options["scheme"] = args.scheme
+    if getattr(args, "fit", None) is not None:
+        options["fit"] = args.fit
     result = session.run(args.engine, **options)
 
     if hasattr(result.raw, "basis"):

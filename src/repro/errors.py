@@ -50,3 +50,8 @@ class BasisError(ReproError):
 
 class AnalysisError(ReproError):
     """Raised when a stochastic analysis is configured inconsistently."""
+
+
+class RegressionError(AnalysisError):
+    """Raised for invalid non-intrusive regression setups (design matrices,
+    fitter configuration, cross-validation settings)."""

@@ -38,14 +38,14 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
-from ..errors import ConvergenceError, SolverError
-from ..sim.linear import LinearSolver, register_solver
+from ..errors import SolverError
+from ..sim.linear import PreconditionedCGSolver, register_solver
 from .operator import KronSumOperator, is_operator, kron_sum_csr
 
 __all__ = ["MeanBlockCGSolver", "DegreeBlockCGSolver"]
 
 
-class MeanBlockCGSolver(LinearSolver):
+class MeanBlockCGSolver(PreconditionedCGSolver):
     """Conjugate gradients on a Kronecker-sum operator, preconditioned by
     one LU of the mean (nominal) block applied to all chaos blocks at once.
 
@@ -74,6 +74,9 @@ class MeanBlockCGSolver(LinearSolver):
     final relative residual), matching the diagnostics contract of the
     other iterative backends.
     """
+
+    method_name = "mean-block-cg"
+    error_label = "mean-block CG"
 
     def __init__(
         self,
@@ -129,73 +132,18 @@ class MeanBlockCGSolver(LinearSolver):
             self._mean_lu = spla.splu(mean_block)
         except RuntimeError as exc:  # singular mean block
             raise SolverError(f"mean-block LU factorisation failed: {exc}") from exc
-        self._preconditioner = spla.LinearOperator(
-            self.shape, matvec=self._apply_mean_inverse, dtype=float
+        self._configure_cg(
+            self._apply,
+            residual_target=self._operator,
+            preconditioner=spla.LinearOperator(
+                self.shape, matvec=self._apply_mean_inverse, dtype=float
+            ),
         )
-        self.stats = {
-            "method": "mean-block-cg",
-            "solves": 0,
-            "total_iterations": 0,
-            "last_iterations": 0,
-            "last_relative_residual": None,
-        }
 
     def _apply_mean_inverse(self, residual: np.ndarray) -> np.ndarray:
         """``(I_P (x) M0^{-1}) r``: one 2-D solve over all chaos blocks."""
         blocks = np.asarray(residual, dtype=float).reshape(self.basis_size, self.num_nodes)
         return self._mean_lu.solve(blocks.T).T.ravel()
-
-    def solve(self, rhs: np.ndarray, x0: Optional[np.ndarray] = None) -> np.ndarray:
-        rhs = np.asarray(rhs, dtype=float)
-        if rhs.shape != (self.shape[0],):
-            raise SolverError(
-                f"right-hand side has shape {rhs.shape}, expected ({self.shape[0]},)"
-            )
-        iterations = 0
-
-        def count(_):
-            nonlocal iterations
-            iterations += 1
-
-        solution, info = spla.cg(
-            self._apply,
-            rhs,
-            x0=x0,
-            rtol=self.rtol,
-            maxiter=self.maxiter,
-            M=self._preconditioner,
-            callback=count,
-        )
-        if info > 0:
-            raise ConvergenceError(
-                f"mean-block CG did not converge in {self.maxiter} iterations"
-            )
-        if info < 0:
-            raise SolverError("mean-block CG reported an illegal input")
-        rhs_norm = float(np.linalg.norm(rhs))
-        residual = float(np.linalg.norm(rhs - self._operator @ solution))
-        self.stats["solves"] += 1
-        self.stats["total_iterations"] += iterations
-        self.stats["last_iterations"] = iterations
-        self.stats["last_relative_residual"] = residual / rhs_norm if rhs_norm > 0 else residual
-        return solution
-
-    def solve_many(self, rhs_columns: np.ndarray) -> np.ndarray:
-        """Warm-started column sweep (previous solution as the next ``x0``)."""
-        rhs_columns = np.asarray(rhs_columns, dtype=float)
-        if rhs_columns.ndim == 1:
-            return self.solve(rhs_columns)
-        if rhs_columns.shape[0] != self.shape[0]:
-            raise SolverError(
-                f"right-hand sides have length {rhs_columns.shape[0]}, "
-                f"expected {self.shape[0]}"
-            )
-        solution = np.empty_like(rhs_columns)
-        previous: Optional[np.ndarray] = None
-        for j in range(rhs_columns.shape[1]):
-            previous = self.solve(rhs_columns[:, j], x0=previous)
-            solution[:, j] = previous
-        return solution
 
 
 @register_solver("mean-block-cg")
@@ -233,7 +181,7 @@ def _degree_bands(degrees: np.ndarray, band_degrees: int) -> List[Tuple[int, int
     return bands
 
 
-class DegreeBlockCGSolver(LinearSolver):
+class DegreeBlockCGSolver(PreconditionedCGSolver):
     """CG preconditioned by exact block LUs over chaos-degree bands.
 
     Parameters
@@ -261,6 +209,9 @@ class DegreeBlockCGSolver(LinearSolver):
     Every solve updates ``stats``; the band layout is reported as
     ``band_sizes`` (chaos indices per band).
     """
+
+    method_name = "degree-block-cg"
+    error_label = "degree-block CG"
 
     def __init__(
         self,
@@ -327,19 +278,16 @@ class DegreeBlockCGSolver(LinearSolver):
                     f"[{start}, {stop}): {exc}"
                 ) from exc
             self._bands.append((start * self.num_nodes, stop * self.num_nodes, lu))
-        self._preconditioner = spla.LinearOperator(
-            self.shape, matvec=self._apply_band_inverses, dtype=float
-        )
-        self.stats = {
-            "method": "degree-block-cg",
-            "solves": 0,
-            "total_iterations": 0,
-            "last_iterations": 0,
-            "last_relative_residual": None,
-            "band_sizes": [
+        self._configure_cg(
+            self._apply,
+            residual_target=self._operator,
+            preconditioner=spla.LinearOperator(
+                self.shape, matvec=self._apply_band_inverses, dtype=float
+            ),
+            band_sizes=[
                 (stop - start) // self.num_nodes for start, stop, _ in self._bands
             ],
-        }
+        )
 
     def _band_matrix(self, start: int, stop: int) -> sp.csr_matrix:
         """The exact sub-matrix coupling chaos indices ``[start, stop)``."""
@@ -361,58 +309,6 @@ class DegreeBlockCGSolver(LinearSolver):
         for start, stop, lu in self._bands:
             out[start:stop] = lu.solve(residual[start:stop])
         return out
-
-    def solve(self, rhs: np.ndarray, x0: Optional[np.ndarray] = None) -> np.ndarray:
-        rhs = np.asarray(rhs, dtype=float)
-        if rhs.shape != (self.shape[0],):
-            raise SolverError(
-                f"right-hand side has shape {rhs.shape}, expected ({self.shape[0]},)"
-            )
-        iterations = 0
-
-        def count(_):
-            nonlocal iterations
-            iterations += 1
-
-        solution, info = spla.cg(
-            self._apply,
-            rhs,
-            x0=x0,
-            rtol=self.rtol,
-            maxiter=self.maxiter,
-            M=self._preconditioner,
-            callback=count,
-        )
-        if info > 0:
-            raise ConvergenceError(
-                f"degree-block CG did not converge in {self.maxiter} iterations"
-            )
-        if info < 0:
-            raise SolverError("degree-block CG reported an illegal input")
-        rhs_norm = float(np.linalg.norm(rhs))
-        residual = float(np.linalg.norm(rhs - self._operator @ solution))
-        self.stats["solves"] += 1
-        self.stats["total_iterations"] += iterations
-        self.stats["last_iterations"] = iterations
-        self.stats["last_relative_residual"] = residual / rhs_norm if rhs_norm > 0 else residual
-        return solution
-
-    def solve_many(self, rhs_columns: np.ndarray) -> np.ndarray:
-        """Warm-started column sweep (previous solution as the next ``x0``)."""
-        rhs_columns = np.asarray(rhs_columns, dtype=float)
-        if rhs_columns.ndim == 1:
-            return self.solve(rhs_columns)
-        if rhs_columns.shape[0] != self.shape[0]:
-            raise SolverError(
-                f"right-hand sides have length {rhs_columns.shape[0]}, "
-                f"expected {self.shape[0]}"
-            )
-        solution = np.empty_like(rhs_columns)
-        previous: Optional[np.ndarray] = None
-        for j in range(rhs_columns.shape[1]):
-            previous = self.solve(rhs_columns[:, j], x0=previous)
-            solution[:, j] = previous
-        return solution
 
 
 @register_solver("degree-block-cg")

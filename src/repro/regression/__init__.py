@@ -1,0 +1,44 @@
+"""Non-intrusive regression polynomial chaos (the ``pce-regression`` engine).
+
+Instead of projecting the stochastic grid equations (the intrusive Galerkin
+path of :mod:`repro.opera`), this subsystem *samples* them: evaluate the
+orthonormal chaos basis at drawn germ points (:mod:`repro.regression.design`),
+run one deterministic solve per sample, and fit the chaos coefficients with a
+pluggable linear-regression backend (:mod:`repro.regression.fit` -- OLS,
+ridge, orthogonal matching pursuit, cross-validated Lasso).  The fitted
+expansion is the same analytic object the intrusive engines produce, so every
+downstream statistic (moments, densities, Sobol indices) works unchanged.
+"""
+
+from .design import DesignMatrix, build_design_matrix
+from .engine import (
+    RegressionConfig,
+    RegressionResultView,
+    run_regression_dc,
+    run_regression_transient,
+)
+from .fit import (
+    FitResult,
+    fit_coefficients,
+    fitter_names,
+    get_fitter,
+    kfold_indices,
+    register_fitter,
+    unregister_fitter,
+)
+
+__all__ = [
+    "DesignMatrix",
+    "build_design_matrix",
+    "FitResult",
+    "fit_coefficients",
+    "fitter_names",
+    "get_fitter",
+    "kfold_indices",
+    "register_fitter",
+    "unregister_fitter",
+    "RegressionConfig",
+    "RegressionResultView",
+    "run_regression_dc",
+    "run_regression_transient",
+]

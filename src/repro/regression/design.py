@@ -1,0 +1,205 @@
+"""Design matrices for non-intrusive polynomial chaos regression.
+
+The regression path of the library replaces the Galerkin projection by a
+least-squares problem: evaluate every (orthonormal) basis function of a
+:class:`~repro.chaos.basis.PolynomialChaosBasis` at sampled germ points and
+fit the chaos coefficients to the sampled responses.  The matrix of basis
+values is the *design matrix*
+
+``Phi[s, i] = psi_i(xi_s)``,   shape ``(num_samples, basis.size)``.
+
+Because the basis is orthonormal under the germ density, ``Phi^T Phi / m``
+converges to the identity as the sample count grows; the root-mean-square
+norm of each column is therefore a direct diagnostic of how well the sample
+set resolves that basis function, and dividing the columns by it equilibrates
+the least-squares problem without changing its solution (the recorded norms
+undo the scaling on the fitted coefficients).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..chaos.basis import PolynomialChaosBasis
+from ..errors import RegressionError
+
+__all__ = ["DesignMatrix", "build_design_matrix"]
+
+
+@dataclass(frozen=True)
+class DesignMatrix:
+    """Basis values at sampled germ points, ready for least-squares fitting.
+
+    Attributes
+    ----------
+    matrix:
+        The (possibly column-normalised) basis values, shape
+        ``(num_samples, num_terms)``.
+    basis:
+        The chaos basis the columns were evaluated from.
+    column_indices:
+        Position of each column in the basis ordering (identity unless a
+        sub-set of terms was requested).
+    column_norms:
+        Root-mean-square norm of each *raw* column.  When ``normalized`` is
+        true the stored columns were divided by these, and
+        :meth:`unscale` maps fitted coefficients back to the basis scale.
+    normalized:
+        Whether the stored columns carry unit RMS norm.
+    """
+
+    matrix: np.ndarray
+    basis: PolynomialChaosBasis
+    column_indices: Tuple[int, ...]
+    column_norms: np.ndarray
+    normalized: bool
+    _condition: Dict[str, float] = field(default_factory=dict, repr=False, compare=False)
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def num_samples(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def num_terms(self) -> int:
+        return self.matrix.shape[1]
+
+    @property
+    def oversampling(self) -> float:
+        """Rows per column; classical regression PCE aims for ~2 or more."""
+        return self.num_samples / self.num_terms
+
+    # ------------------------------------------------------------ diagnostics
+    def condition_number(self) -> float:
+        """2-norm condition number of the stored matrix (cached)."""
+        if "value" not in self._condition:
+            singular = np.linalg.svd(self.matrix, compute_uv=False)
+            smallest = singular[-1] if singular.size else 0.0
+            self._condition["value"] = (
+                float(singular[0] / smallest) if smallest > 0 else float("inf")
+            )
+        return self._condition["value"]
+
+    def diagnostics(self) -> Dict[str, float]:
+        """Conditioning summary of the sampled least-squares problem."""
+        return {
+            "num_samples": self.num_samples,
+            "num_terms": self.num_terms,
+            "oversampling": float(self.oversampling),
+            "condition": self.condition_number(),
+            "normalized": self.normalized,
+            "min_column_norm": float(np.min(self.column_norms)),
+            "max_column_norm": float(np.max(self.column_norms)),
+        }
+
+    # ------------------------------------------------------------ coefficients
+    def unscale(self, coefficients: np.ndarray) -> np.ndarray:
+        """Map coefficients fitted against ``matrix`` back to the basis scale.
+
+        Accepts shape ``(num_terms,)`` or ``(num_terms, num_rhs)``; a no-op
+        (copy) when the columns were not normalised.
+        """
+        coefficients = np.asarray(coefficients, dtype=float)
+        if coefficients.shape[0] != self.num_terms:
+            raise RegressionError(
+                f"coefficients have {coefficients.shape[0]} rows, "
+                f"expected {self.num_terms}"
+            )
+        if not self.normalized:
+            return coefficients.copy()
+        norms = self.column_norms
+        return coefficients / (norms[:, None] if coefficients.ndim == 2 else norms)
+
+    def expand(self, coefficients: np.ndarray) -> np.ndarray:
+        """Scatter (basis-scale) coefficients into the full basis ordering.
+
+        Columns not part of this design (when a term sub-set was requested)
+        become zero rows; the result always has ``basis.size`` rows.
+        """
+        coefficients = np.asarray(coefficients, dtype=float)
+        if coefficients.shape[0] != self.num_terms:
+            raise RegressionError(
+                f"coefficients have {coefficients.shape[0]} rows, "
+                f"expected {self.num_terms}"
+            )
+        shape = (self.basis.size,) + coefficients.shape[1:]
+        full = np.zeros(shape, dtype=float)
+        full[list(self.column_indices)] = coefficients
+        return full
+
+
+def build_design_matrix(
+    basis: PolynomialChaosBasis,
+    points: np.ndarray,
+    indices: Optional[Sequence[int]] = None,
+    normalize: bool = True,
+) -> DesignMatrix:
+    """Evaluate a chaos basis over germ samples as a regression design matrix.
+
+    Parameters
+    ----------
+    basis:
+        Any :class:`~repro.chaos.basis.PolynomialChaosBasis` (Hermite or the
+        Askey Legendre/Laguerre/Jacobi families, mixed per dimension).
+    points:
+        Germ samples of shape ``(num_samples, basis.num_vars)``.
+    indices:
+        Optional sub-set of basis-term positions to retain as columns (any
+        sparse multi-index selection); defaults to every term.
+    normalize:
+        Divide each column by its RMS norm (recorded, so fitted coefficients
+        can be mapped back with :meth:`DesignMatrix.unscale`).  Equilibrating
+        the columns keeps the fit well-scaled for penalised fitters whose
+        shrinkage is otherwise column-scale dependent.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2:
+        raise RegressionError(
+            f"germ points must be a 2-D array (num_samples, num_vars); "
+            f"got {points.ndim} dimension(s)"
+        )
+    if points.shape[1] != basis.num_vars:
+        raise RegressionError(
+            f"germ points have {points.shape[1]} dimensions, "
+            f"basis expects {basis.num_vars}"
+        )
+    if points.shape[0] < 1:
+        raise RegressionError("at least one germ sample is required")
+
+    if indices is None:
+        column_indices = tuple(range(basis.size))
+        matrix = np.array(basis.evaluate(points), dtype=float)
+    else:
+        column_indices = tuple(int(i) for i in indices)
+        if not column_indices:
+            raise RegressionError("the design matrix needs at least one column")
+        for position in column_indices:
+            if not (0 <= position < basis.size):
+                raise RegressionError(
+                    f"basis-term index {position} out of range for a "
+                    f"size-{basis.size} basis"
+                )
+        if len(set(column_indices)) != len(column_indices):
+            raise RegressionError("basis-term indices must be unique")
+        matrix = np.array(basis.evaluate(points)[:, list(column_indices)], dtype=float)
+
+    norms = np.sqrt(np.mean(matrix**2, axis=0))
+    if normalize:
+        degenerate = np.flatnonzero(norms <= 0)
+        if degenerate.size:
+            raise RegressionError(
+                "design-matrix column(s) "
+                f"{', '.join(str(column_indices[i]) for i in degenerate)} vanish "
+                "on the sampled germ points; draw more (or less degenerate) samples"
+            )
+        matrix = matrix / norms
+    return DesignMatrix(
+        matrix=matrix,
+        basis=basis,
+        column_indices=column_indices,
+        column_norms=norms,
+        normalized=bool(normalize),
+    )

@@ -31,6 +31,7 @@ from ..registry import Registry
 __all__ = [
     "LinearSolver",
     "DirectSolver",
+    "PreconditionedCGSolver",
     "ConjugateGradientSolver",
     "make_solver",
     "register_solver",
@@ -108,7 +109,120 @@ class DirectSolver(LinearSolver):
         return solution
 
 
-class ConjugateGradientSolver(LinearSolver):
+class PreconditionedCGSolver(LinearSolver):
+    """Shared scaffolding of every preconditioned-CG backend.
+
+    The three CG backends of the library (``cg``/``ilu-cg`` here,
+    ``mean-block-cg`` and ``degree-block-cg`` in :mod:`repro.linalg.solvers`)
+    differ only in how they build their preconditioner; the solve loop, the
+    diagnostics bookkeeping and the warm-started multi-RHS sweep are
+    identical.  This base class holds that common machinery:
+
+    * :meth:`solve` runs :func:`scipy.sparse.linalg.cg` with iteration
+      counting, converts non-convergence into
+      :class:`~repro.errors.ConvergenceError`, and updates ``stats`` (solve
+      and iteration counters plus the final *true* relative residual
+      ``|b - Ax| / |b|``);
+    * :meth:`solve_many` sweeps the columns of a 2-D right-hand side,
+      warm-starting each solve from the previous column's solution --
+      consecutive right-hand sides of the transient/Galerkin callers are
+      strongly correlated, so the warm start typically saves a large
+      fraction of the iterations the naive cold-start loop would spend.
+
+    Subclasses set :attr:`method_name` (the ``stats["method"]`` value) and
+    :attr:`error_label` (the noun used in error messages), populate
+    ``self.shape``, and call :meth:`_configure_cg` at the end of their
+    ``__init__``.
+    """
+
+    #: Backend name recorded in ``stats["method"]``.
+    method_name: str = "cg"
+    #: Human-readable solver noun used in convergence/error messages.
+    error_label: str = "conjugate gradients"
+
+    def _configure_cg(
+        self,
+        cg_target,
+        residual_target=None,
+        preconditioner=None,
+        **extra_stats,
+    ) -> None:
+        """Install the CG operands and initialise the ``stats`` dict.
+
+        ``cg_target`` is what :func:`scipy.sparse.linalg.cg` iterates on (a
+        sparse matrix, lazy operator or ``LinearOperator``);
+        ``residual_target`` is what the true-residual check multiplies by
+        (defaults to ``cg_target``; the block backends pass their native
+        operator here and a wrapped ``LinearOperator`` to CG).  Extra
+        keyword arguments become additional ``stats`` entries (e.g. the
+        ``band_sizes`` layout of ``degree-block-cg``).
+        """
+        self._cg_target = cg_target
+        self._residual_target = residual_target if residual_target is not None else cg_target
+        self._preconditioner = preconditioner
+        self.stats = {
+            "method": self.method_name,
+            "solves": 0,
+            "total_iterations": 0,
+            "last_iterations": 0,
+            "last_relative_residual": None,
+            **extra_stats,
+        }
+
+    def solve(self, rhs: np.ndarray, x0: Optional[np.ndarray] = None) -> np.ndarray:
+        rhs = np.asarray(rhs, dtype=float)
+        if rhs.shape != (self.shape[0],):
+            raise SolverError(
+                f"right-hand side has shape {rhs.shape}, expected ({self.shape[0]},)"
+            )
+        iterations = 0
+
+        def count(_):
+            nonlocal iterations
+            iterations += 1
+
+        solution, info = spla.cg(
+            self._cg_target,
+            rhs,
+            x0=x0,
+            rtol=self.rtol,
+            maxiter=self.maxiter,
+            M=self._preconditioner,
+            callback=count,
+        )
+        if info > 0:
+            raise ConvergenceError(
+                f"{self.error_label} did not converge in {self.maxiter} iterations"
+            )
+        if info < 0:
+            raise SolverError(f"{self.error_label} reported an illegal input")
+        rhs_norm = float(np.linalg.norm(rhs))
+        residual = float(np.linalg.norm(rhs - self._residual_target @ solution))
+        self.stats["solves"] += 1
+        self.stats["total_iterations"] += iterations
+        self.stats["last_iterations"] = iterations
+        self.stats["last_relative_residual"] = residual / rhs_norm if rhs_norm > 0 else residual
+        return solution
+
+    def solve_many(self, rhs_columns: np.ndarray) -> np.ndarray:
+        """Warm-started column sweep (previous solution as the next ``x0``)."""
+        rhs_columns = np.asarray(rhs_columns, dtype=float)
+        if rhs_columns.ndim == 1:
+            return self.solve(rhs_columns)
+        if rhs_columns.shape[0] != self.shape[0]:
+            raise SolverError(
+                f"right-hand sides have length {rhs_columns.shape[0]}, "
+                f"expected {self.shape[0]}"
+            )
+        solution = np.empty_like(rhs_columns)
+        previous: Optional[np.ndarray] = None
+        for j in range(rhs_columns.shape[1]):
+            previous = self.solve(rhs_columns[:, j], x0=previous)
+            solution[:, j] = previous
+        return solution
+
+
+class ConjugateGradientSolver(PreconditionedCGSolver):
     """Preconditioned conjugate gradients for symmetric positive definite systems.
 
     Parameters
@@ -146,14 +260,9 @@ class ConjugateGradientSolver(LinearSolver):
         self.shape = self._matrix.shape
         self.rtol = float(rtol)
         self.maxiter = int(maxiter)
-        self._preconditioner = self._build_preconditioner(preconditioner)
-        self.stats = {
-            "method": "cg",
-            "solves": 0,
-            "total_iterations": 0,
-            "last_iterations": 0,
-            "last_relative_residual": None,
-        }
+        self._configure_cg(
+            self._matrix, preconditioner=self._build_preconditioner(preconditioner)
+        )
 
     def _build_preconditioner(self, kind):
         if kind is None:
@@ -188,60 +297,6 @@ class ConjugateGradientSolver(LinearSolver):
             "preconditioner must be a name, a LinearOperator, an object with "
             f"as_linear_operator()/matvec(), or a callable; got {type(kind).__name__}"
         )
-
-    def solve(self, rhs: np.ndarray, x0: Optional[np.ndarray] = None) -> np.ndarray:
-        rhs = np.asarray(rhs, dtype=float)
-        iterations = 0
-
-        def count(_):
-            nonlocal iterations
-            iterations += 1
-
-        solution, info = spla.cg(
-            self._matrix,
-            rhs,
-            x0=x0,
-            rtol=self.rtol,
-            maxiter=self.maxiter,
-            M=self._preconditioner,
-            callback=count,
-        )
-        if info > 0:
-            raise ConvergenceError(
-                f"conjugate gradients did not converge in {self.maxiter} iterations"
-            )
-        if info < 0:
-            raise SolverError("conjugate gradients reported an illegal input")
-        rhs_norm = float(np.linalg.norm(rhs))
-        residual = float(np.linalg.norm(rhs - self._matrix @ solution))
-        self.stats["solves"] += 1
-        self.stats["total_iterations"] += iterations
-        self.stats["last_iterations"] = iterations
-        self.stats["last_relative_residual"] = (residual / rhs_norm if rhs_norm > 0 else residual)
-        return solution
-
-    def solve_many(self, rhs_columns: np.ndarray) -> np.ndarray:
-        """Warm-started column sweep sharing one preconditioner.
-
-        Each column's solve starts from the previous column's solution --
-        consecutive right-hand sides of the transient/Galerkin callers are
-        strongly correlated, so the warm start typically saves a large
-        fraction of the iterations the naive cold-start loop would spend.
-        """
-        rhs_columns = np.asarray(rhs_columns, dtype=float)
-        if rhs_columns.ndim == 1:
-            return self.solve(rhs_columns)
-        if rhs_columns.shape[0] != self.shape[0]:
-            raise SolverError(
-                f"right-hand sides have length {rhs_columns.shape[0]}, "
-                f"expected {self.shape[0]}"
-            )
-        solution = np.empty_like(rhs_columns)
-        previous: Optional[np.ndarray] = None
-        for j in range(rhs_columns.shape[1]):
-            previous = self.solve(rhs_columns[:, j], x0=previous)
-            solution[:, j] = previous
-        return solution
 
 
 # ---------------------------------------------------------------------------

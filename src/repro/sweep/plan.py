@@ -41,7 +41,11 @@ __all__ = [
 DEFAULT_SWEEP_TRANSIENT = TransientConfig(t_stop=2.4e-9, dt=0.2e-9)
 
 #: Engines whose options include a chaos expansion order.
-_CHAOS_ENGINES = ("opera", "decoupled", "hierarchical")
+_CHAOS_ENGINES = ("opera", "decoupled", "hierarchical", "pce-regression")
+
+#: Engines that consume germ samples (and therefore chunked ``workers`` /
+#: ``chunk_size`` settings plus a sample count in their identity).
+_SAMPLED_ENGINES = ("montecarlo", "pce-regression")
 
 # Named variation corners.  "paper" is the experiment setting of Section 6;
 # "wide"/"tight" bracket it; "rhs-only" disables matrix variation so the
@@ -78,12 +82,13 @@ def corner_spec(name: str) -> VariationSpec:
 class SweepCase:
     """One engine run of a sweep: grid, engine, settings, deterministic seed.
 
-    ``workers`` applies to the ``montecarlo`` engine only: the case's sample
-    sweep is chunked (fixed ``chunk_size``-sample chunks, independently
-    seeded streams) and fanned over that many processes.  Monte Carlo cases
-    always run the chunked path -- even with ``workers=1`` -- so their
-    statistics never depend on the worker count; ``workers`` is therefore
-    excluded from the case identity (:meth:`key`, :attr:`name`, seeds).
+    ``workers`` applies to the sampled engines (``montecarlo``,
+    ``pce-regression``) only: the case's sample sweep is chunked (fixed
+    ``chunk_size``-sample chunks, independently seeded streams) and fanned
+    over that many processes.  Sampled cases always run the chunked path --
+    even with ``workers=1`` -- so their statistics never depend on the
+    worker count; ``workers`` is therefore excluded from the case identity
+    (:meth:`key`, :attr:`name`, seeds).
 
     ``partitions`` applies to the ``hierarchical`` engine only: the schedule
     group count ``K`` of the partitioned Galerkin run.  It *is* part of the
@@ -240,6 +245,14 @@ class SweepCase:
             options["chunk_size"] = int(self.chunk_size)
             if self.store_nodes:
                 options["store_nodes"] = tuple(int(node) for node in self.store_nodes)
+        elif self.engine == "pce-regression":
+            # The regression engine shares the chunked-sampling contract:
+            # germ draws depend on (seed, samples, chunk_size), never on the
+            # worker count, so sweep statistics stay bit-identical.
+            options["samples"] = int(self.samples or 200)
+            options["seed"] = int(self.seed)
+            options["workers"] = int(self.workers)
+            options["chunk_size"] = int(self.chunk_size)
         return options
 
 
@@ -344,7 +357,7 @@ class SweepPlan:
                 for engine in engines:
                     engine_orders = orders if engine in _CHAOS_ENGINES else (None,)
                     for order in engine_orders:
-                        engine_samples = samples if engine == "montecarlo" else None
+                        engine_samples = samples if engine in _SAMPLED_ENGINES else None
                         case_partitions = (
                             int(partitions)
                             if engine == "hierarchical" and partitions is not None
@@ -358,7 +371,7 @@ class SweepPlan:
                             order=None if order is None else int(order),
                             samples=engine_samples,
                             antithetic=bool(antithetic) if engine == "montecarlo" else False,
-                            workers=int(mc_workers) if engine == "montecarlo" else 1,
+                            workers=int(mc_workers) if engine in _SAMPLED_ENGINES else 1,
                             chunk_size=int(mc_chunk_size),
                             partitions=case_partitions,
                             scheme=None if scheme is None else str(scheme),

@@ -276,10 +276,11 @@ class SweepRunner:
     def run(self, plan: SweepPlan) -> SweepOutcome:
         """Execute every case of ``plan``; results come back in plan order.
 
-        Scheduling: Monte Carlo cases that chunk over their own worker pool
-        (``case.workers > 1``) execute in the driver process, one at a time,
-        while every other case fans out over the case pool.  Process counts
-        therefore *add* (``workers + mc workers``) instead of multiplying --
+        Scheduling: sampled cases (Monte Carlo, regression PCE) that chunk
+        over their own worker pool (``case.workers > 1``) execute in the
+        driver process, one at a time, while every other case fans out over
+        the case pool.  Process counts therefore *add* (``workers + chunk
+        workers``) instead of multiplying --
         nesting a chunk pool per pool worker would oversubscribe the
         machine -- and the sweep's critical path (usually its largest MC
         case) still gets split across processes.
@@ -289,7 +290,7 @@ class SweepRunner:
         driver_indices = [
             index
             for index, case in enumerate(plan.cases)
-            if case.engine == "montecarlo" and case.workers > 1
+            if case.engine in ("montecarlo", "pce-regression") and case.workers > 1
         ]
         pooled_indices = [index for index in range(len(jobs)) if index not in set(driver_indices)]
         results: List[Optional[SweepCaseResult]] = [None] * len(jobs)

@@ -1,0 +1,396 @@
+"""Unit tests for the non-intrusive regression PCE building blocks.
+
+Covers the design-matrix builder (evaluation, normalisation, validation),
+the pluggable fitters (OLS exact recovery across germ families, ridge/OMP/
+Lasso behaviour, deterministic cross-validation) and the coefficient-level
+Sobol entry point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import sobol_from_coefficients, sobol_indices
+from repro.chaos import PolynomialChaosBasis, StochasticField
+from repro.errors import RegressionError
+from repro.regression import (
+    DesignMatrix,
+    FitResult,
+    build_design_matrix,
+    fit_coefficients,
+    fitter_names,
+    get_fitter,
+    kfold_indices,
+    register_fitter,
+    unregister_fitter,
+)
+
+
+def _hermite_points(num_samples, num_vars, seed=0):
+    return np.random.default_rng(seed).standard_normal((num_samples, num_vars))
+
+
+def _legendre_points(num_samples, num_vars, seed=0):
+    return np.random.default_rng(seed).uniform(-1.0, 1.0, (num_samples, num_vars))
+
+
+# ---------------------------------------------------------------------------
+# Design matrices
+# ---------------------------------------------------------------------------
+class TestDesignMatrix:
+    def test_shape_and_first_column_is_constant(self):
+        basis = PolynomialChaosBasis("hermite", order=3, num_vars=2)
+        points = _hermite_points(40, 2)
+        design = build_design_matrix(basis, points, normalize=False)
+        assert design.matrix.shape == (40, basis.size)
+        assert design.num_samples == 40
+        assert design.num_terms == basis.size
+        # psi_0 == 1 everywhere for an orthonormal basis.
+        np.testing.assert_allclose(design.matrix[:, 0], 1.0)
+
+    def test_gram_approaches_identity_for_orthonormal_basis(self):
+        basis = PolynomialChaosBasis("hermite", order=2, num_vars=2)
+        points = _hermite_points(200_0, 2, seed=3)
+        design = build_design_matrix(basis, points, normalize=False)
+        gram = design.matrix.T @ design.matrix / design.num_samples
+        assert np.max(np.abs(gram - np.eye(basis.size))) < 0.2
+
+    def test_normalization_and_unscale_round_trip(self):
+        basis = PolynomialChaosBasis("hermite", order=3, num_vars=2)
+        points = _hermite_points(60, 2, seed=1)
+        raw = build_design_matrix(basis, points, normalize=False)
+        scaled = build_design_matrix(basis, points, normalize=True)
+        np.testing.assert_allclose(
+            np.sqrt(np.mean(scaled.matrix**2, axis=0)), 1.0, atol=1e-12
+        )
+        # Scaled columns times the recorded norms reproduce the raw matrix.
+        np.testing.assert_allclose(scaled.matrix * scaled.column_norms, raw.matrix)
+        # unscale maps fitted coefficients back to the basis scale.
+        rng = np.random.default_rng(2)
+        coefficients = rng.standard_normal(basis.size)
+        np.testing.assert_allclose(
+            scaled.matrix @ coefficients,
+            raw.matrix @ scaled.unscale(coefficients),
+        )
+
+    def test_column_subset_and_expand(self):
+        basis = PolynomialChaosBasis("hermite", order=2, num_vars=2)
+        points = _hermite_points(30, 2, seed=4)
+        design = build_design_matrix(basis, points, indices=[0, 3, 5])
+        assert design.column_indices == (0, 3, 5)
+        assert design.num_terms == 3
+        full = design.expand(np.array([1.0, 2.0, 3.0]))
+        assert full.shape == (basis.size,)
+        np.testing.assert_allclose(full[[0, 3, 5]], [1.0, 2.0, 3.0])
+        assert np.all(full[[1, 2, 4]] == 0.0)
+
+    def test_diagnostics_keys_and_condition(self):
+        basis = PolynomialChaosBasis("hermite", order=2, num_vars=2)
+        design = build_design_matrix(basis, _hermite_points(50, 2, seed=5))
+        info = design.diagnostics()
+        for key in (
+            "num_samples",
+            "num_terms",
+            "oversampling",
+            "condition",
+            "normalized",
+            "min_column_norm",
+            "max_column_norm",
+        ):
+            assert key in info
+        assert info["condition"] >= 1.0
+        assert info["oversampling"] == pytest.approx(50 / basis.size)
+
+    def test_validation_errors(self):
+        basis = PolynomialChaosBasis("hermite", order=2, num_vars=2)
+        with pytest.raises(RegressionError, match="2-D"):
+            build_design_matrix(basis, np.zeros(5))
+        with pytest.raises(RegressionError, match="dimensions"):
+            build_design_matrix(basis, np.zeros((5, 3)))
+        points = _hermite_points(10, 2)
+        with pytest.raises(RegressionError, match="out of range"):
+            build_design_matrix(basis, points, indices=[0, 99])
+        with pytest.raises(RegressionError, match="unique"):
+            build_design_matrix(basis, points, indices=[0, 0])
+        with pytest.raises(RegressionError, match="at least one column"):
+            build_design_matrix(basis, points, indices=[])
+
+    def test_unscale_rejects_wrong_row_count(self):
+        basis = PolynomialChaosBasis("hermite", order=1, num_vars=2)
+        design = build_design_matrix(basis, _hermite_points(12, 2))
+        with pytest.raises(RegressionError, match="rows"):
+            design.unscale(np.zeros(basis.size + 1))
+
+
+# ---------------------------------------------------------------------------
+# Exact recovery: the whole point of regression PCE
+# ---------------------------------------------------------------------------
+class TestExactRecovery:
+    """A polynomial response is recovered to round-off by every dense fit."""
+
+    @pytest.mark.parametrize(
+        "families, sampler",
+        [
+            ("hermite", _hermite_points),
+            ("legendre", _legendre_points),
+            (("hermite", "legendre"), None),
+        ],
+        ids=["hermite", "legendre-uniform", "mixed-hermite-legendre"],
+    )
+    def test_ols_recovers_polynomial_exactly(self, families, sampler):
+        basis = PolynomialChaosBasis(families, order=3, num_vars=2)
+        if sampler is None:  # mixed germ: gaussian x uniform
+            rng = np.random.default_rng(11)
+            points = np.column_stack(
+                [rng.standard_normal(80), rng.uniform(-1.0, 1.0, 80)]
+            )
+        else:
+            points = sampler(80, 2, seed=11)
+        truth = np.zeros(basis.size)
+        truth[basis.index_of((0, 0))] = 0.7
+        truth[basis.index_of((1, 0))] = -0.3
+        truth[basis.index_of((0, 2))] = 0.05
+        truth[basis.index_of((2, 1))] = 0.01
+        raw = build_design_matrix(basis, points, normalize=False)
+        targets = raw.matrix @ truth
+
+        design = build_design_matrix(basis, points)
+        result = fit_coefficients(design.matrix, targets, method="ols")
+        recovered = design.unscale(result.coefficients)
+        np.testing.assert_allclose(recovered, truth, atol=1e-10)
+        # Per-multi-index check: the mean and first-order terms individually.
+        assert recovered[basis.index_of((0, 0))] == pytest.approx(0.7, abs=1e-10)
+        assert recovered[basis.index_of((1, 0))] == pytest.approx(-0.3, abs=1e-10)
+
+    def test_multi_rhs_matches_column_by_column(self):
+        basis = PolynomialChaosBasis("hermite", order=2, num_vars=2)
+        points = _hermite_points(40, 2, seed=7)
+        design = build_design_matrix(basis, points)
+        rng = np.random.default_rng(8)
+        targets = rng.standard_normal((40, 3))
+        batch = fit_coefficients(design.matrix, targets, method="ols")
+        assert batch.coefficients.shape == (basis.size, 3)
+        for j in range(3):
+            single = fit_coefficients(design.matrix, targets[:, j], method="ols")
+            assert single.coefficients.shape == (basis.size,)
+            np.testing.assert_allclose(batch.coefficients[:, j], single.coefficients)
+
+
+# ---------------------------------------------------------------------------
+# Fitter registry
+# ---------------------------------------------------------------------------
+class TestFitterRegistry:
+    def test_builtins_are_registered(self):
+        names = fitter_names()
+        for name in ("ols", "lstsq", "least-squares", "ridge", "omp", "lasso"):
+            assert name in names
+
+    def test_unknown_fitter_lists_alternatives(self):
+        with pytest.raises(RegressionError, match="ols"):
+            get_fitter("nonsense")
+        with pytest.raises(RegressionError, match="lasso"):
+            fit_coefficients(np.eye(3), np.zeros(3), method="nonsense")
+
+    def test_custom_fitter_registration(self):
+        def zeros_fitter(matrix, targets):
+            return np.zeros((matrix.shape[1], targets.shape[1])), {"custom": True}
+
+        register_fitter("zeros-test", zeros_fitter)
+        try:
+            result = fit_coefficients(np.eye(4), np.ones(4), method="zeros-test")
+            assert isinstance(result, FitResult)
+            assert result.diagnostics["custom"] is True
+            np.testing.assert_allclose(result.coefficients, 0.0)
+        finally:
+            unregister_fitter("zeros-test")
+        with pytest.raises(RegressionError):
+            get_fitter("zeros-test")
+
+    def test_shape_validation(self):
+        with pytest.raises(RegressionError, match="2-D"):
+            fit_coefficients(np.zeros(4), np.zeros(4))
+        with pytest.raises(RegressionError, match="targets"):
+            fit_coefficients(np.zeros((4, 2)), np.zeros(5))
+
+
+# ---------------------------------------------------------------------------
+# Cross-validation folds
+# ---------------------------------------------------------------------------
+class TestKFold:
+    def test_folds_partition_all_samples(self):
+        folds = kfold_indices(23, 5, seed=0)
+        assert len(folds) == 5
+        combined = np.sort(np.concatenate(folds))
+        np.testing.assert_array_equal(combined, np.arange(23))
+
+    def test_same_seed_same_folds(self):
+        first = kfold_indices(40, 4, seed=9)
+        second = kfold_indices(40, 4, seed=9)
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+    def test_different_seed_different_folds(self):
+        first = kfold_indices(40, 4, seed=9)
+        second = kfold_indices(40, 4, seed=10)
+        assert any(
+            a.shape != b.shape or not np.array_equal(a, b)
+            for a, b in zip(first, second)
+        )
+
+    def test_validation_errors(self):
+        with pytest.raises(RegressionError, match="at least 2"):
+            kfold_indices(10, 1)
+        with pytest.raises(RegressionError, match="cannot split"):
+            kfold_indices(3, 4)
+
+
+# ---------------------------------------------------------------------------
+# Penalised fitters
+# ---------------------------------------------------------------------------
+def _sparse_problem(seed=21, num_samples=60):
+    """An exactly sparse expansion: mean + one linear + one quadratic term."""
+    basis = PolynomialChaosBasis("hermite", order=3, num_vars=2)
+    points = _hermite_points(num_samples, 2, seed=seed)
+    truth = np.zeros(basis.size)
+    support = sorted(
+        basis.index_of(mi) for mi in [(0, 0), (1, 0), (0, 2)]
+    )
+    truth[basis.index_of((0, 0))] = 0.9
+    truth[basis.index_of((1, 0))] = -0.2
+    truth[basis.index_of((0, 2))] = 0.05
+    design = build_design_matrix(basis, points)
+    raw = build_design_matrix(basis, points, normalize=False)
+    targets = raw.matrix @ truth
+    return basis, design, targets, truth, support
+
+
+class TestRidge:
+    def test_tiny_alpha_matches_ols(self):
+        _, design, targets, truth, _ = _sparse_problem()
+        result = fit_coefficients(design.matrix, targets, method="ridge", alpha=1e-12)
+        np.testing.assert_allclose(design.unscale(result.coefficients), truth, atol=1e-8)
+
+    def test_alpha_sequence_triggers_cv(self):
+        _, design, targets, _, _ = _sparse_problem()
+        result = fit_coefficients(
+            design.matrix,
+            targets,
+            method="ridge",
+            alpha=[1e-10, 1e-4, 10.0],
+            folds=4,
+            cv_seed=3,
+        )
+        info = result.diagnostics
+        assert info["cv_alphas"] == [1e-10, 1e-4, 10.0]
+        assert len(info["cv_scores"]) == 3
+        # An exactly polynomial target wants the weakest penalty.
+        assert info["alpha"] == pytest.approx(1e-10)
+
+    def test_cv_is_seed_deterministic(self):
+        _, design, targets, _, _ = _sparse_problem()
+        kwargs = dict(method="ridge", alpha=[1e-8, 1e-2], folds=3, cv_seed=7)
+        first = fit_coefficients(design.matrix, targets, **kwargs)
+        second = fit_coefficients(design.matrix, targets, **kwargs)
+        np.testing.assert_array_equal(first.coefficients, second.coefficients)
+        assert first.diagnostics["cv_scores"] == second.diagnostics["cv_scores"]
+
+    def test_negative_alpha_rejected(self):
+        _, design, targets, _, _ = _sparse_problem()
+        with pytest.raises(RegressionError, match="non-negative"):
+            fit_coefficients(design.matrix, targets, method="ridge", alpha=-1.0)
+
+
+class TestOMP:
+    def test_recovers_exact_support_and_values(self):
+        _, design, targets, truth, support = _sparse_problem()
+        result = fit_coefficients(
+            design.matrix, targets, method="omp", num_terms=len(support)
+        )
+        assert result.diagnostics["supports"] == [support]
+        np.testing.assert_allclose(design.unscale(result.coefficients), truth, atol=1e-10)
+
+    def test_tolerance_stops_early(self):
+        _, design, targets, truth, support = _sparse_problem()
+        result = fit_coefficients(design.matrix, targets, method="omp", tol=1e-10)
+        # The residual hits the floor once the true support is found.
+        assert result.diagnostics["support_sizes"] == [len(support)]
+
+    def test_budget_validation(self):
+        _, design, targets, _, _ = _sparse_problem()
+        with pytest.raises(RegressionError, match="num_terms"):
+            fit_coefficients(design.matrix, targets, method="omp", num_terms=0)
+
+
+class TestLasso:
+    def test_sparsity_pattern_recovery_with_debias(self):
+        _, design, targets, truth, support = _sparse_problem()
+        result = fit_coefficients(
+            design.matrix, targets, method="lasso", debias=True, cv_seed=1
+        )
+        recovered = design.unscale(result.coefficients)
+        nonzero = sorted(np.flatnonzero(np.abs(recovered) > 1e-8).tolist())
+        assert nonzero == support
+        np.testing.assert_allclose(recovered, truth, atol=1e-8)
+
+    def test_large_alpha_keeps_only_intercept(self):
+        _, design, targets, truth, _ = _sparse_problem()
+        result = fit_coefficients(design.matrix, targets, method="lasso", alpha=1e6)
+        recovered = design.unscale(result.coefficients)
+        # Every penalised coefficient collapses; the exempt intercept stays
+        # at the sample mean, so mean() would remain unbiased.
+        assert np.count_nonzero(recovered[1:]) == 0
+        assert recovered[0] == pytest.approx(np.mean(targets))
+
+    def test_cv_grid_is_deterministic(self):
+        _, design, targets, _, _ = _sparse_problem()
+        kwargs = dict(method="lasso", folds=4, cv_seed=5, num_alphas=6)
+        first = fit_coefficients(design.matrix, targets, **kwargs)
+        second = fit_coefficients(design.matrix, targets, **kwargs)
+        np.testing.assert_array_equal(first.coefficients, second.coefficients)
+        assert first.diagnostics["alpha"] == second.diagnostics["alpha"]
+        assert first.diagnostics["cv_alphas"] == second.diagnostics["cv_alphas"]
+
+    def test_diagnostics_report_nonzeros(self):
+        _, design, targets, _, support = _sparse_problem()
+        result = fit_coefficients(design.matrix, targets, method="lasso", cv_seed=2)
+        assert result.diagnostics["nonzeros"][0] >= len(support)
+
+
+# ---------------------------------------------------------------------------
+# Sobol indices straight from fitted coefficients
+# ---------------------------------------------------------------------------
+class TestSobolFromCoefficients:
+    def test_matches_field_based_indices(self):
+        basis = PolynomialChaosBasis("hermite", order=2, num_vars=3)
+        rng = np.random.default_rng(17)
+        coefficients = rng.standard_normal((basis.size, 4))
+        field = StochasticField(basis, coefficients)
+        direct = sobol_indices(field)
+        from_coefficients = sobol_from_coefficients(basis, coefficients)
+        np.testing.assert_allclose(direct.first_order, from_coefficients.first_order)
+        np.testing.assert_allclose(direct.total_effect, from_coefficients.total_effect)
+        np.testing.assert_allclose(direct.variance, from_coefficients.variance)
+
+    def test_regression_fit_reproduces_projection_indices(self):
+        """Sobol indices of a regression fit match the analytic expansion."""
+        basis = PolynomialChaosBasis("hermite", order=2, num_vars=2)
+        truth = np.zeros((basis.size, 1))
+        truth[basis.index_of((0, 0)), 0] = 1.0
+        truth[basis.index_of((1, 0)), 0] = 0.4
+        truth[basis.index_of((0, 1)), 0] = 0.2
+        truth[basis.index_of((1, 1)), 0] = 0.1
+        points = _hermite_points(50, 2, seed=23)
+        raw = build_design_matrix(basis, points, normalize=False)
+        design = build_design_matrix(basis, points)
+        fit = fit_coefficients(design.matrix, raw.matrix @ truth, method="ols")
+        fitted = design.unscale(fit.coefficients)
+        projection = sobol_from_coefficients(basis, truth, variable_names=["a", "b"])
+        regression = sobol_from_coefficients(basis, fitted, variable_names=["a", "b"])
+        np.testing.assert_allclose(
+            regression.first_order, projection.first_order, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            regression.total_effect, projection.total_effect, atol=1e-9
+        )
+        assert regression.ranked(0)[0][0] == "a"

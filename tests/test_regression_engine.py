@@ -1,0 +1,274 @@
+"""Integration tests for the ``pce-regression`` engine.
+
+Checks the sampled/fitted expansion against the intrusive ``opera``
+projection (moments agree to ~1e-2 at matching orders), worker-count
+bit-identity of the fitted coefficients, the engine registration (modes,
+option validation, result views), the CLI plumbing (``--fit``/``--degree``)
+and the sweep-plan integration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import Analysis
+from repro.cli import main as cli_main
+from repro.errors import RegressionError
+from repro.opera import OperaConfig, run_opera_dc, run_opera_transient
+from repro.regression import (
+    RegressionConfig,
+    run_regression_dc,
+    run_regression_transient,
+)
+from repro.sim import TransientConfig
+from repro.sweep import SweepCase, SweepPlan
+
+
+def _relative(fitted, reference, scale):
+    return float(np.max(np.abs(fitted - reference)) / scale)
+
+
+# ---------------------------------------------------------------------------
+# Moments vs the intrusive Galerkin projection
+# ---------------------------------------------------------------------------
+class TestTransientVsOpera:
+    @pytest.mark.parametrize("order", [2, 3])
+    def test_mean_and_std_match_projection(self, small_system, fast_transient, order):
+        reference = run_opera_transient(
+            small_system, OperaConfig(transient=fast_transient, order=order)
+        )
+        config = RegressionConfig(
+            transient=fast_transient,
+            order=order,
+            samples=None,  # 2x-oversampling default
+            seed=5,
+        )
+        result = run_regression_transient(small_system, config)
+        assert result.coefficients.shape == reference.coefficients.shape
+        mean_scale = float(np.max(np.abs(reference.mean_voltage)))
+        std_scale = max(float(np.max(reference.std_voltage)), 1e-300)
+        assert _relative(result.mean_voltage, reference.mean_voltage, mean_scale) < 1e-2
+        assert _relative(result.std_voltage, reference.std_voltage, std_scale) < 1e-2
+
+    def test_diagnostics_are_attached(self, small_system, fast_transient):
+        config = RegressionConfig(transient=fast_transient, order=2, seed=1)
+        result = run_regression_transient(small_system, config)
+        info = result.regression_info
+        assert info["fitter"] == "ols"
+        assert info["num_samples"] == config.resolved_samples(result.basis)
+        assert info["design"]["oversampling"] >= 2.0
+        assert np.isfinite(info["design"]["condition"])
+
+
+class TestDCVsOpera:
+    def test_mean_and_std_match_projection(self, small_system):
+        reference = run_opera_dc(small_system, order=2)
+        field = run_regression_dc(small_system, order=2, samples=60, seed=3)
+        mean_scale = float(np.max(np.abs(reference.mean)))
+        std_scale = max(float(np.max(reference.std)), 1e-300)
+        assert _relative(field.mean, reference.mean, mean_scale) < 1e-2
+        assert _relative(field.std, reference.std, std_scale) < 1e-2
+        assert field.regression_info["num_samples"] == 60
+
+    def test_sparse_fitters_run_end_to_end(self, small_system):
+        field = run_regression_dc(
+            small_system, order=2, samples=40, seed=3, fit="omp"
+        )
+        reference = run_opera_dc(small_system, order=2)
+        mean_scale = float(np.max(np.abs(reference.mean)))
+        assert _relative(field.mean, reference.mean, mean_scale) < 1e-2
+        assert field.regression_info["fitter"] == "omp"
+
+
+# ---------------------------------------------------------------------------
+# Determinism
+# ---------------------------------------------------------------------------
+class TestDeterminism:
+    def test_coefficients_bit_identical_across_worker_counts(
+        self, small_system, fast_transient
+    ):
+        def run(workers):
+            config = RegressionConfig(
+                transient=fast_transient,
+                order=2,
+                samples=12,
+                seed=9,
+                chunk_size=4,
+                workers=workers,
+            )
+            return run_regression_transient(small_system, config).coefficients
+
+        serial = run(1)
+        parallel = run(2)
+        assert np.array_equal(serial, parallel)
+
+    def test_same_seed_same_result_different_seed_differs(self, small_system):
+        first = run_regression_dc(small_system, order=2, samples=20, seed=4)
+        second = run_regression_dc(small_system, order=2, samples=20, seed=4)
+        other = run_regression_dc(small_system, order=2, samples=20, seed=5)
+        assert np.array_equal(first.coefficients, second.coefficients)
+        assert not np.array_equal(first.coefficients, other.coefficients)
+
+
+# ---------------------------------------------------------------------------
+# Validation
+# ---------------------------------------------------------------------------
+class TestValidation:
+    def test_underdetermined_dense_fit_is_rejected(self, small_system):
+        with pytest.raises(RegressionError, match="sparse fitter"):
+            run_regression_dc(small_system, order=2, samples=3, seed=0)
+
+    def test_sparse_fitter_accepts_underdetermined_setup(self, small_system):
+        field = run_regression_dc(
+            small_system,
+            order=2,
+            samples=4,
+            seed=0,
+            fit="omp",
+            fit_options={"num_terms": 2},
+        )
+        assert field.coefficients.shape[0] == field.basis.size
+
+    def test_config_validation(self, fast_transient):
+        with pytest.raises(RegressionError, match="order"):
+            RegressionConfig(transient=fast_transient, order=-1)
+        with pytest.raises(RegressionError, match="at least 2 samples"):
+            RegressionConfig(transient=fast_transient, samples=1)
+        with pytest.raises(RegressionError, match="workers"):
+            RegressionConfig(transient=fast_transient, workers=0)
+        # Unknown fitters fail at construction with the registry's listing.
+        with pytest.raises(RegressionError, match="ols"):
+            RegressionConfig(transient=fast_transient, fit="nonsense")
+
+
+# ---------------------------------------------------------------------------
+# Engine registration through the Analysis facade
+# ---------------------------------------------------------------------------
+class TestEngineRegistration:
+    @pytest.fixture(scope="class")
+    def session(self):
+        return Analysis.from_spec(
+            80, seed=2, transient=TransientConfig(t_stop=1.0e-9, dt=0.25e-9)
+        )
+
+    def test_transient_view(self, session):
+        view = session.run("pce-regression", samples=16, seed=1)
+        assert view.engine == "pce-regression"
+        assert view.mode == "transient"
+        assert view.worst_drop() > 0
+        summary = view.to_dict()
+        assert summary["num_samples"] == 16
+        assert summary["fitter"] == "ols"
+        assert summary["design_condition"] >= 1.0
+        assert summary["oversampling"] == pytest.approx(16 / view.raw.basis.size)
+
+    def test_degree_is_an_order_alias(self, session):
+        by_degree = session.run("pce-regression", degree=1, samples=12, seed=1)
+        by_order = session.run("pce-regression", order=1, samples=12, seed=1)
+        assert by_degree.raw.basis.order == 1
+        assert np.array_equal(by_degree.raw.coefficients, by_order.raw.coefficients)
+
+    def test_dc_mode(self, session):
+        view = session.run("pce-regression", mode="dc", samples=16, seed=1)
+        assert view.mode == "dc"
+        assert view.mean().shape == (session.num_nodes,)
+
+    def test_matches_opera_engine_through_facade(self, session):
+        reference = session.run("opera", order=2)
+        view = session.run("pce-regression", order=2, samples=40, seed=7)
+        mean_scale = float(np.max(np.abs(reference.mean())))
+        assert _relative(view.mean(), reference.mean(), mean_scale) < 1e-2
+
+    def test_unknown_option_rejected(self, session):
+        with pytest.raises(Exception, match="bogus"):
+            session.run("pce-regression", samples=16, bogus=1)
+
+    def test_unknown_fitter_fails_fast_with_listing(self, session):
+        with pytest.raises(RegressionError, match="lasso"):
+            session.run("pce-regression", samples=16, fit="nonsense")
+
+
+# ---------------------------------------------------------------------------
+# CLI plumbing
+# ---------------------------------------------------------------------------
+class TestCLI:
+    ARGS = [
+        "analyze",
+        "--synthetic-nodes",
+        "80",
+        "--seed",
+        "2",
+        "--engine",
+        "pce-regression",
+        "--t-stop",
+        "1e-9",
+        "--dt",
+        "0.25e-9",
+    ]
+
+    def test_analyze_with_fit_and_degree(self, capsys):
+        code = cli_main(
+            self.ARGS + ["--samples", "16", "--fit", "ols", "--degree", "2"]
+        )
+        assert code == 0
+        assert "worst node" in capsys.readouterr().out
+
+    def test_bad_fit_fails_fast_with_listing(self, capsys):
+        code = cli_main(self.ARGS + ["--samples", "16", "--fit", "nonsense"])
+        assert code == 2
+        err = capsys.readouterr().err
+        # Fail-fast happens before any sampling; the listing names fitters.
+        for name in ("ols", "ridge", "omp", "lasso"):
+            assert name in err
+
+
+# ---------------------------------------------------------------------------
+# Sweep-plan integration
+# ---------------------------------------------------------------------------
+class TestSweepIntegration:
+    TRANSIENT = TransientConfig(t_stop=1.0e-9, dt=0.5e-9)
+
+    def test_grid_builds_sampled_regression_cases(self):
+        plan = SweepPlan.grid(
+            [60],
+            engines=("opera", "pce-regression"),
+            orders=(2,),
+            samples=12,
+            mc_workers=2,
+            transient=self.TRANSIENT,
+        )
+        case = next(c for c in plan.cases if c.engine == "pce-regression")
+        assert case.samples == 12
+        assert case.order == 2
+        assert case.workers == 2
+        options = case.run_options()
+        assert options["samples"] == 12
+        assert options["seed"] == case.seed
+        assert options["workers"] == 2
+        assert "chunk_size" in options
+
+    def test_appending_regression_engine_keeps_existing_seeds(self):
+        base = SweepPlan.grid(
+            [60], engines=("opera", "montecarlo"), samples=8, transient=self.TRANSIENT
+        )
+        extended = SweepPlan.grid(
+            [60],
+            engines=("opera", "montecarlo", "pce-regression"),
+            samples=8,
+            transient=self.TRANSIENT,
+        )
+        seeds = {case.key(): case.seed for case in base.cases}
+        for case in extended.cases:
+            if case.key() in seeds:
+                assert case.seed == seeds[case.key()]
+
+    def test_derived_seed_depends_only_on_identity(self):
+        case = SweepCase(
+            engine="pce-regression", nodes=60, order=2, samples=8
+        ).with_derived_seed(11)
+        again = SweepCase(
+            engine="pce-regression", nodes=60, order=2, samples=8, workers=4
+        ).with_derived_seed(11)
+        # workers are not part of the identity: same derived seed.
+        assert case.seed == again.seed
