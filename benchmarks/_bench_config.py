@@ -7,6 +7,8 @@ in minutes; set these environment variables for larger runs:
 ``OPERA_BENCH_MC_SAMPLES``   Monte Carlo samples          (default ``60``; paper: 1000)
 ``OPERA_BENCH_STEPS``        transient steps              (default ``12``)
 ``OPERA_BENCH_WORKERS``      sweep worker processes       (default ``1``)
+``OPERA_BENCH_STORE``        results-store directory      (default: unset -- in-memory;
+                             set to make the sweep-driven benches resumable)
 
 The same variables scale the CI ``bench-smoke`` job (see
 ``benchmarks/smoke_sweep.py``), which runs the sweep on tiny grids.
@@ -61,6 +63,24 @@ def bench_transient() -> TransientConfig:
     steps = bench_num_steps()
     dt = 0.2e-9
     return TransientConfig(t_stop=steps * dt, dt=dt)
+
+
+def bench_store(suite: str):
+    """A persistent sweep results backend for ``suite``, or ``None``.
+
+    Set ``OPERA_BENCH_STORE`` to a directory to make the sweep-driven
+    benches resumable: each suite streams its completed cases into
+    ``<dir>/<suite>`` (a :class:`repro.sweep.ShardedNpzBackend`) and later
+    runs with the same environment reuse them instead of re-solving --
+    including runs killed half-way.  Reused cases keep their stored wall
+    times, so delete the store before a timing-focused re-run.
+    """
+    root = os.environ.get("OPERA_BENCH_STORE")
+    if not root:
+        return None
+    from repro.sweep import ShardedNpzBackend
+
+    return ShardedNpzBackend(Path(root) / suite)
 
 
 def write_result(path: Path, name: str, text: str) -> Path:

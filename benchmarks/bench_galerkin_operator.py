@@ -50,7 +50,7 @@ from repro.sweep import (
 )
 from repro.sweep.plan import grid_seed_for
 
-from _bench_config import bench_node_counts, bench_transient, bench_workers
+from _bench_config import bench_node_counts, bench_store, bench_transient, bench_workers
 
 #: Base seed of the operator bench plan (fixed for reproducibility).
 BASE_SEED = 31
@@ -217,7 +217,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
 
     plan = solver_ablation_plan(bench_node_counts(), args.order)
-    outcome = SweepRunner(workers=bench_workers()).run(plan)
+    outcome = SweepRunner(workers=bench_workers()).run(plan, store=bench_store("galerkin-operator"))
     record = record_from_outcome(
         outcome,
         config={

@@ -44,6 +44,7 @@ from repro.sweep.plan import grid_seed_for
 from _bench_config import (
     RESULTS_DIR,
     bench_node_counts,
+    bench_store,
     bench_transient,
     bench_workers,
 )
@@ -139,7 +140,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         transient=bench_transient(),
         base_seed=BASE_SEED,
     )
-    outcome = SweepRunner(workers=bench_workers()).run(plan)
+    outcome = SweepRunner(workers=bench_workers()).run(plan, store=bench_store("partition"))
     record = record_from_outcome(outcome, config={"suite": "partition", "raw_solver": raw})
 
     print(f"engine sweep: {len(outcome)} case(s), wall {outcome.wall_time:.2f}s")

@@ -47,6 +47,7 @@ from repro.sweep.plan import grid_seed_for
 from _bench_config import (
     bench_mc_samples,
     bench_node_counts,
+    bench_store,
     bench_transient,
     bench_workers,
 )
@@ -167,7 +168,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
 
     plan = paired_plan(bench_node_counts())
-    outcome = SweepRunner(workers=bench_workers()).run(plan)
+    outcome = SweepRunner(workers=bench_workers()).run(plan, store=bench_store("pce-regression"))
     record = record_from_outcome(
         outcome,
         config={"suite": "pce-regression", "budget_sweep": rows},

@@ -44,6 +44,7 @@ from repro.sweep.plan import corner_spec, grid_seed_for
 from _bench_config import (
     bench_mc_samples,
     bench_node_counts,
+    bench_store,
     bench_transient,
     bench_workers,
     write_result,
@@ -81,7 +82,9 @@ def table1_sweep(results_dir):
         plan, cases=plan.cases + tuple(_matrix_free_case(nodes) for nodes in bench_node_counts())
     )
     runner = SweepRunner(workers=bench_workers(), keep_statistics=True)
-    outcome = runner.run(plan)
+    # With OPERA_BENCH_STORE set, Table-1 rows are resumable: re-runs (or
+    # runs killed half-way) reuse the persisted cases instead of re-solving.
+    outcome = runner.run(plan, store=bench_store("table1"))
     record = record_from_outcome(outcome, config={"suite": "table1"})
     record.write(results_dir / "table1_sweep.json")
     return outcome

@@ -7,6 +7,13 @@ uploads the emitted :class:`~repro.sweep.BenchRecord` JSON as a workflow
 artifact, and gates it against the committed baseline
 ``benchmarks/results/smoke_baseline.json``.
 
+The CI job runs in *store mode*: a first invocation with ``--store DIR
+--interrupt N`` executes only the first ``N`` cases into a sharded on-disk
+results store and exits (a stand-in for a killed campaign), and a second
+invocation with the same ``--store`` resumes -- reusing the persisted
+cases, executing the rest, and gating the record exported from the store
+(:func:`repro.sweep.record_from_store`) against the committed baseline.
+
 Regenerate the baseline after an intentional perf change with the same
 environment the CI job uses::
 
@@ -25,11 +32,13 @@ from typing import Optional, Sequence
 
 from repro.sweep import (
     BenchRecord,
+    ShardedNpzBackend,
     SweepCase,
     SweepPlan,
     SweepRunner,
     compare_records,
     record_from_outcome,
+    record_from_store,
 )
 from repro.sweep.plan import grid_seed_for
 
@@ -43,6 +52,11 @@ from _bench_config import (
 
 #: Base seed of the smoke plan; fixed so baseline and current runs match.
 BASE_SEED = 11
+
+#: Shard size of the smoke store: tiny, so even the interrupted first half
+#: of the CI campaign flushes several shards and the resume genuinely reads
+#: multi-shard state back.
+STORE_SHARD_SIZE = 2
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -76,7 +90,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "because baseline and current run on different hardware "
         "(default %(default)s)",
     )
+    parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="stream completed cases into a sharded .npz results store; "
+        "cases already present are reused instead of re-run",
+    )
+    parser.add_argument(
+        "--interrupt",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run only the first N plan cases into the store and exit "
+        "(simulates a killed campaign; requires --store)",
+    )
     args = parser.parse_args(argv)
+    if args.interrupt is not None and args.store is None:
+        parser.error("--interrupt requires --store")
 
     plan = SweepPlan.grid(
         bench_node_counts(),
@@ -119,11 +151,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for fields in ({"solver": "mean-block-cg"}, {"scheme": "backward-euler"})
     )
     plan = dataclasses.replace(plan, cases=plan.cases + extras)
-    outcome = SweepRunner(workers=bench_workers()).run(plan)
-    record = record_from_outcome(outcome, config={"suite": "smoke"})
+
+    if args.interrupt is not None:
+        # Interrupted campaign: execute only a prefix of the plan into the
+        # store, then stop -- the next (resuming) invocation picks up the
+        # remaining cases from the flushed shards.
+        truncated = dataclasses.replace(plan, cases=plan.cases[: args.interrupt])
+        store = ShardedNpzBackend(args.store, shard_size=STORE_SHARD_SIZE)
+        outcome = SweepRunner(workers=bench_workers()).run(truncated, store=store)
+        print(
+            f"smoke sweep interrupted after {outcome.executed} of "
+            f"{len(plan.cases)} case(s); store at {args.store}"
+        )
+        return 0
+
+    store = None
+    if args.store is not None:
+        store = ShardedNpzBackend(args.store, shard_size=STORE_SHARD_SIZE)
+    outcome = SweepRunner(workers=bench_workers()).run(plan, store=store)
+    if store is not None:
+        # Exercise the store's export view: the artifact the gate consumes
+        # is rebuilt purely from the persisted shards.
+        record = record_from_store(store, plan=plan, config={"suite": "smoke"})
+    else:
+        record = record_from_outcome(outcome, config={"suite": "smoke"})
 
     speedups = outcome.speedups()
-    print(f"smoke sweep: {len(outcome)} case(s), wall {outcome.wall_time:.2f}s")
+    reused = f" ({outcome.reused} from store)" if outcome.reused else ""
+    print(f"smoke sweep: {len(outcome)} case(s), wall {outcome.wall_time:.2f}s{reused}")
     for result in outcome:
         speed = speedups.get(result.name)
         suffix = f"  speedup vs MC {speed:.2f}x" if speed is not None else ""

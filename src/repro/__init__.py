@@ -114,6 +114,7 @@ from .errors import (
     SolverError,
     SpiceFormatError,
     StampingError,
+    StoreError,
     VariationModelError,
 )
 from .grid import (
@@ -137,7 +138,15 @@ from .opera import (
     summarize,
 )
 from .sim import MNASystem, TransientConfig, dc_operating_point, transient_analysis
-from .sweep import BenchRecord, SweepCase, SweepPlan, SweepRunner
+from .sweep import (
+    BenchRecord,
+    MemoryBackend,
+    ShardedNpzBackend,
+    SweepCase,
+    SweepPlan,
+    SweepRunner,
+    record_from_store,
+)
 from .variation import (
     LeakageVariationSpec,
     RegionPartition,
@@ -163,9 +172,12 @@ __all__ = [
     "unregister_engine",
     "unregister_solver",
     "BenchRecord",
+    "MemoryBackend",
+    "ShardedNpzBackend",
     "SweepCase",
     "SweepPlan",
     "SweepRunner",
+    "record_from_store",
     "AccuracyMetrics",
     "Table1Row",
     "ascii_histogram",
@@ -184,6 +196,7 @@ __all__ = [
     "SolverError",
     "SpiceFormatError",
     "StampingError",
+    "StoreError",
     "VariationModelError",
     "GridSpec",
     "PowerGridNetlist",

@@ -19,7 +19,10 @@ Four sub-commands cover the typical flow of the tool:
     Fan a grid of cases (node counts x engines x chaos orders x variation
     corners) out over worker processes, print the per-case wall times and
     speedups, and optionally emit a ``BenchRecord`` JSON artifact and gate
-    it against a baseline artifact (see :mod:`repro.sweep`).
+    it against a baseline artifact (see :mod:`repro.sweep`).  With
+    ``--store DIR`` completed cases stream into an append-only on-disk
+    results store as they finish; ``--resume`` restarts an interrupted
+    campaign from that store, executing only the missing cases.
 
 All analysis work is routed through the :class:`repro.api.Analysis` session
 facade, so the sub-commands are thin argument adapters; unknown engine or
@@ -225,6 +228,27 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help=f"stepping scheme of every case (registered: {', '.join(scheme_names())})",
     )
+    sweep.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="persist completed cases in a sharded .npz results store at DIR "
+        "(append-only; cases already in the store are reused instead of re-run)",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted campaign from an existing --store directory, "
+        "executing only the missing cases",
+    )
+    sweep.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cases per store shard (default: 64); smaller shards flush "
+        "progress to disk more often",
+    )
     sweep.add_argument("--steps", type=int, default=12, help="transient steps of every case")
     sweep.add_argument("--dt", type=float, default=0.2e-9, help="transient step size (s)")
     sweep.add_argument("--base-seed", type=int, default=0, help="plan base seed")
@@ -344,7 +368,11 @@ def _command_compare(args: argparse.Namespace) -> int:
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .errors import StoreError
     from .sweep import (
+        ShardedNpzBackend,
         SweepPlan,
         SweepRunner,
         BenchRecord,
@@ -357,6 +385,19 @@ def _command_sweep(args: argparse.Namespace) -> int:
         get_engine(engine)  # fail fast with the registry's listing
     if args.scheme is not None:
         resolve_scheme(args.scheme)  # fail fast with the registry's listing
+    if args.resume and args.store is None:
+        raise StoreError("--resume needs --store DIR (the interrupted campaign's store)")
+    if args.shard_size is not None and args.store is None:
+        raise StoreError("--shard-size only applies together with --store DIR")
+    store = None
+    if args.store is not None:
+        if args.resume and not Path(args.store).exists():
+            raise StoreError(
+                f"store {args.store} does not exist; drop --resume to start "
+                "a fresh campaign there"
+            )
+        store_options = {} if args.shard_size is None else {"shard_size": args.shard_size}
+        store = ShardedNpzBackend(args.store, **store_options)
     transient = TransientConfig(t_stop=args.steps * args.dt, dt=args.dt)
     plan = SweepPlan.grid(
         args.nodes,
@@ -371,13 +412,14 @@ def _command_sweep(args: argparse.Namespace) -> int:
         base_seed=args.base_seed,
     )
     runner = SweepRunner(workers=args.workers)
-    outcome = runner.run(plan)
+    outcome = runner.resume(plan, store) if args.resume else runner.run(plan, store=store)
     record = record_from_outcome(outcome)
 
     speedups = outcome.speedups()
+    reused = f", {outcome.reused} from store" if outcome.reused else ""
     print(
         f"sweep: {len(outcome)} case(s), workers={args.workers}, "
-        f"wall {outcome.wall_time:.2f}s"
+        f"wall {outcome.wall_time:.2f}s ({outcome.executed} executed{reused})"
     )
     for result in outcome:
         speed = speedups.get(result.name)

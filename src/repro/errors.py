@@ -55,3 +55,10 @@ class AnalysisError(ReproError):
 class RegressionError(AnalysisError):
     """Raised for invalid non-intrusive regression setups (design matrices,
     fitter configuration, cross-validation settings)."""
+
+
+class StoreError(AnalysisError):
+    """Raised for invalid sweep results-store usage: a backend opened against
+    an incompatible plan, a duplicate or missing case, a corrupt shard, or a
+    result the backend cannot hold (e.g. raw engine payloads in an on-disk
+    store)."""

@@ -7,10 +7,17 @@ outcome as a versioned benchmark artifact:
 * :mod:`repro.sweep.plan` -- :class:`SweepCase` / :class:`SweepPlan`, the
   declarative, picklable description of what to run, with deterministic
   per-case seeds;
+* :mod:`repro.sweep.store` -- :class:`ResultsBackend` and its two
+  implementations: the default in-memory :class:`MemoryBackend` and the
+  chunked, append-only :class:`ShardedNpzBackend` for resumable on-disk
+  campaigns;
 * :mod:`repro.sweep.runner` -- :class:`SweepRunner`, fanning cases out over
   a :class:`concurrent.futures.ProcessPoolExecutor` with a per-worker
-  session cache (results are identical for any worker count);
-* :mod:`repro.sweep.record` -- :class:`BenchRecord`, the JSON artifact;
+  session cache and streaming completed cases into the backend (results
+  are identical for any worker count and any interrupt/resume split);
+  :class:`SweepOutcome` is a lazy read-view over the backend;
+* :mod:`repro.sweep.record` -- :class:`BenchRecord`, the JSON artifact
+  (export views :func:`record_from_outcome` / :func:`record_from_store`);
 * :mod:`repro.sweep.regress` -- the wall-time regression gate used by CI
   (``python -m repro.sweep baseline.json current.json``).
 
@@ -23,7 +30,17 @@ Quick start::
     outcome = SweepRunner(workers=4).run(plan)
     record_from_outcome(outcome).write("benchmarks/results/sweep.json")
 
-The same flow is available from the command line as ``opera-run sweep``.
+Resumable campaigns persist every completed case as it finishes and skip
+the stored ones on the next run::
+
+    from repro.sweep import ShardedNpzBackend
+
+    store = ShardedNpzBackend("campaign-store/")
+    outcome = SweepRunner(workers=4).resume(plan, store)   # re-runs only
+    record_from_store(store, plan=plan).write("sweep.json")  # missing cases
+
+The same flows are available from the command line as ``opera-run sweep``
+(``--store DIR`` / ``--resume``).
 
 Artifact schema (``repro.sweep/bench-record/v1``)
 -------------------------------------------------
@@ -81,13 +98,20 @@ from .plan import (
     case_seed_for,
     grid_seed_for,
 )
-from .record import SCHEMA, BenchRecord, record_from_outcome
+from .record import SCHEMA, BenchRecord, record_from_outcome, record_from_store
 from .regress import (
     CaseDelta,
     RegressionReport,
     compare_records,
 )
 from .runner import SweepCaseResult, SweepOutcome, SweepRunner
+from .store import (
+    STORE_SCHEMA,
+    MemoryBackend,
+    ResultsBackend,
+    ShardedNpzBackend,
+    plan_fingerprint,
+)
 
 __all__ = [
     "SweepCase",
@@ -100,9 +124,15 @@ __all__ = [
     "SweepRunner",
     "SweepOutcome",
     "SweepCaseResult",
+    "ResultsBackend",
+    "MemoryBackend",
+    "ShardedNpzBackend",
+    "STORE_SCHEMA",
+    "plan_fingerprint",
     "BenchRecord",
     "SCHEMA",
     "record_from_outcome",
+    "record_from_store",
     "CaseDelta",
     "RegressionReport",
     "compare_records",

@@ -213,6 +213,29 @@ class SweepCase:
             identity = identity + (self.scheme,)
         return identity
 
+    def store_key(self) -> str:
+        """The case's results-store key (see :mod:`repro.sweep.store`).
+
+        Extends the append-only :meth:`seed_identity` with every remaining
+        field that can change the case's *numbers* -- the grid generator
+        seed, the derived case seed, and (for the sampled engines) the
+        chunking settings the statistics depend on.  ``workers`` is the one
+        deliberate exclusion: sampled engines chunk identically for every
+        worker count, so re-running a stored case with more processes is a
+        cache hit, not a different result.  Optional fields follow the same
+        append-only convention as :meth:`seed_identity`, so keys of cases
+        that predate a field survive its introduction.
+        """
+        parts = [str(part) for part in self.seed_identity()]
+        parts.append(f"grid={self.grid_seed}")
+        if self.engine in _SAMPLED_ENGINES:
+            parts.append(f"antithetic={int(self.antithetic)}")
+            parts.append(f"chunk={self.chunk_size}")
+            if self.store_nodes:
+                parts.append("stored=" + ",".join(str(node) for node in self.store_nodes))
+        parts.append(f"seed={self.seed}")
+        return "|".join(parts)
+
     def with_derived_seed(self, base_seed: int) -> "SweepCase":
         """A copy whose seed is derived from ``base_seed`` and the identity.
 

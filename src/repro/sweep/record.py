@@ -18,9 +18,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
-from ..errors import AnalysisError
+from ..errors import AnalysisError, StoreError
 
-__all__ = ["SCHEMA", "BenchRecord", "record_from_outcome"]
+__all__ = ["SCHEMA", "BenchRecord", "record_from_outcome", "record_from_store"]
 
 #: Schema identifier of the artifact format this module reads and writes.
 SCHEMA = "repro.sweep/bench-record/v1"
@@ -159,23 +159,35 @@ class BenchRecord:
         return cls.from_json(path.read_text(encoding="utf-8"))
 
 
-def record_from_outcome(outcome, config: Optional[Dict] = None) -> BenchRecord:
-    """Build the artifact of a :class:`~repro.sweep.runner.SweepOutcome`.
+def _case_entries(results) -> List[Dict]:
+    """Artifact case entries (with ``speedup_vs_mc``) for an outcome/store scan."""
+    from .runner import speedups_for  # deferred: runner imports this module's peers
 
-    Every non-Monte-Carlo case gets its wall-time ``speedup_vs_mc`` against
-    the ``montecarlo`` case of the same grid and corner (``None`` when the
-    plan has no such baseline).
-    """
-    speedups = outcome.speedups()
+    results = list(results)
+    speedups = speedups_for(results)
     cases: List[Dict] = []
-    for result in outcome.results:
+    for result in results:
         entry = result.to_record()
         entry["speedup_vs_mc"] = speedups.get(result.name)
         cases.append(entry)
+    return cases
+
+
+def record_from_outcome(outcome, config: Optional[Dict] = None) -> BenchRecord:
+    """Build the artifact of a :class:`~repro.sweep.runner.SweepOutcome`.
+
+    One plan-order pass over the outcome's results backend; every
+    non-Monte-Carlo case gets its wall-time ``speedup_vs_mc`` against the
+    ``montecarlo`` case of the same grid and corner (``None`` when the plan
+    has no such baseline).
+    """
+    cases = _case_entries(outcome)
     merged_config = {
         "workers": outcome.workers,
         "base_seed": outcome.plan.base_seed,
-        "num_cases": len(outcome.results),
+        "num_cases": len(cases),
+        "cases_executed": int(outcome.executed),
+        "cases_reused": int(outcome.reused),
         "sweep_wall_time_s": float(outcome.wall_time),
         "transient": {
             "t_stop": outcome.plan.transient.t_stop,
@@ -183,6 +195,39 @@ def record_from_outcome(outcome, config: Optional[Dict] = None) -> BenchRecord:
             "steps": outcome.plan.transient.num_steps,
         },
     }
+    merged_config.update(config or {})
+    return BenchRecord(
+        cases=tuple(cases),
+        config=merged_config,
+        environment=_environment(),
+        created_unix=time.time(),
+    )
+
+
+def record_from_store(store, plan=None, config: Optional[Dict] = None) -> BenchRecord:
+    """Export a results backend as a v1 :class:`BenchRecord` artifact.
+
+    The export view of the streaming store redesign: the committed smoke
+    baselines and the :mod:`repro.sweep.regress` gate keep consuming the
+    unchanged v1 JSON schema no matter which backend held the results.
+    With ``plan`` given, cases are exported in plan order (and every plan
+    case must be present in the store); without it, in the store's
+    insertion order.  The transient configuration and base seed come from
+    the fingerprint the store was opened with, so two store exports gate
+    against each other exactly like two live sweeps.
+    """
+    if plan is not None:
+        results = (store.get(case) for case in plan.cases)
+    else:
+        results = store.iter_results()
+    cases = _case_entries(results)
+    if not cases:
+        raise StoreError("cannot export an empty results store as a BenchRecord")
+    merged_config: Dict = {"num_cases": len(cases)}
+    fingerprint = getattr(store, "fingerprint", None)
+    if fingerprint:
+        merged_config["base_seed"] = fingerprint["base_seed"]
+        merged_config["transient"] = dict(fingerprint["transient"])
     merged_config.update(config or {})
     return BenchRecord(
         cases=tuple(cases),

@@ -1,4 +1,4 @@
-"""Parallel execution of sweep plans.
+"""Parallel execution of sweep plans over a streaming results backend.
 
 :class:`SweepRunner` fans the cases of a :class:`~repro.sweep.plan.SweepPlan`
 out over a :class:`concurrent.futures.ProcessPoolExecutor`.  Cases -- not
@@ -8,26 +8,37 @@ worker process keeps a session cache keyed by ``(nodes, grid_seed, corner,
 transient)``, so the cases that share a grid reuse the session's chaos
 bases, factorisations and Galerkin assemblies exactly as a serial run would.
 
+Completed cases stream into a :class:`~repro.sweep.store.ResultsBackend` as
+workers return them (no driver-side result list), and the returned
+:class:`SweepOutcome` is a lazy read-view over that backend in plan order.
+Cases whose store key is already present are served from the backend
+instead of a solver, which is both the result cache and the resume path:
+:meth:`SweepRunner.resume` re-runs a plan against the store of a killed
+campaign and executes only the missing cases.
+
 Because every case carries its own deterministic seed (see
 :mod:`repro.sweep.plan`), the *numbers* a sweep produces are identical for
-any ``workers`` count; only the wall times change.  Results come back in
-plan order regardless of completion order.
+any ``workers`` count -- and for any interrupt/resume split of the
+campaign; only the wall times change.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import AnalysisError
+from ..errors import AnalysisError, StoreError
+from ..montecarlo.statistics import RunningMoments
 from ..sim.transient import TransientConfig
 from .plan import SweepCase, SweepPlan, corner_spec
+from .store import MemoryBackend, ResultsBackend
 
-__all__ = ["SweepRunner", "SweepCaseResult", "SweepOutcome"]
+__all__ = ["SweepRunner", "SweepCaseResult", "SweepOutcome", "speedups_for"]
 
 
 @dataclass(frozen=True)
@@ -185,55 +196,148 @@ def _execute_case(args) -> SweepCaseResult:
 # --------------------------------------------------------------------------
 # Driver side
 # --------------------------------------------------------------------------
+def speedups_for(results: Iterable[SweepCaseResult]) -> Dict[str, float]:
+    """Wall-time speedup of every non-Monte-Carlo case vs its MC baseline.
+
+    The baseline of a case is the ``montecarlo`` case on the same grid and
+    corner; grids without an MC case contribute nothing.  One pass for the
+    baselines, one for the ratios -- callers may hand in any result
+    iterable (a materialised list or a backend scan).
+    """
+    results = list(results)
+    baselines = {
+        (result.nodes, result.corner): result.wall_time
+        for result in results
+        if result.engine == "montecarlo"
+    }
+    speedups: Dict[str, float] = {}
+    for result in results:
+        if result.engine == "montecarlo":
+            continue
+        baseline = baselines.get((result.nodes, result.corner))
+        if baseline is None or result.wall_time <= 0:
+            continue
+        speedups[result.name] = baseline / result.wall_time
+    return speedups
+
+
 @dataclass(frozen=True)
 class SweepOutcome:
-    """All case results of one executed plan, in plan order."""
+    """Lazy read-view over the results backend of one executed plan.
 
-    results: Tuple[SweepCaseResult, ...]
+    Iteration and :meth:`case` walk ``plan.cases`` in plan order and fetch
+    each result from the backend on demand -- nothing is materialised until
+    asked for.  ``executed``/``reused`` split the plan into cases this run
+    actually solved and cases served from the store.
+    """
+
+    store: ResultsBackend
     plan: SweepPlan
     workers: int
     wall_time: float
+    executed: int = 0
+    reused: int = 0
 
     def __len__(self) -> int:
-        return len(self.results)
+        return len(self.plan.cases)
 
     def __iter__(self) -> Iterator[SweepCaseResult]:
-        return iter(self.results)
+        for case in self.plan.cases:
+            yield self.store.get(case)
+
+    @property
+    def results(self) -> Tuple[SweepCaseResult, ...]:
+        """All results, materialised in plan order (backward-compatible)."""
+        return tuple(self)
 
     def case(self, **criteria) -> SweepCaseResult:
-        """The unique result matching the given attribute values."""
+        """The unique result matching the given attribute values.
+
+        Criteria are :class:`SweepCaseResult` field names; unknown names
+        fail fast with the valid list, and a no-match error names the
+        nearest stored cases so typos are obvious.
+        """
+        if not criteria:
+            raise AnalysisError(
+                "case() needs at least one criterion, e.g. case(engine='opera', nodes=600)"
+            )
+        valid = {f.name for f in dataclasses.fields(SweepCaseResult)}
+        unknown = sorted(set(criteria) - valid)
+        if unknown:
+            raise AnalysisError(
+                f"unknown case criterion(s): {', '.join(unknown)}; "
+                f"valid fields: {', '.join(sorted(valid))}"
+            )
+        results = list(self)
         matches = [
             result
-            for result in self.results
+            for result in results
             if all(getattr(result, key) == value for key, value in criteria.items())
         ]
         if not matches:
-            raise AnalysisError(f"no sweep case matches {criteria!r}")
+            scored = sorted(
+                results,
+                key=lambda result: sum(
+                    getattr(result, key) == value for key, value in criteria.items()
+                ),
+                reverse=True,
+            )
+            nearest = ", ".join(result.name for result in scored[:5])
+            raise AnalysisError(
+                f"no sweep case matches {criteria!r}; nearest of the "
+                f"{len(results)} case(s): {nearest}"
+            )
         if len(matches) > 1:
             names = ", ".join(result.name for result in matches)
             raise AnalysisError(f"criteria {criteria!r} are ambiguous: {names}")
         return matches[0]
 
     def speedups(self) -> Dict[str, float]:
-        """Wall-time speedup of every non-Monte-Carlo case vs its MC baseline.
+        """Wall-time speedups vs the per-grid Monte Carlo baselines."""
+        return speedups_for(self)
 
-        The baseline of a case is the ``montecarlo`` case on the same grid
-        and corner; grids without an MC case contribute nothing.
+    def moments(self) -> Dict[str, RunningMoments]:
+        """Per-engine running moments over ``(wall_time, worst_drop, max_std)``.
+
+        One incremental plan-order pass over the backend -- constant memory
+        beyond the accumulators, no per-case lists -- so the values are
+        deterministic for any worker count and any interrupt/resume split.
         """
-        baselines = {
-            (result.nodes, result.corner): result.wall_time
-            for result in self.results
-            if result.engine == "montecarlo"
-        }
-        speedups: Dict[str, float] = {}
-        for result in self.results:
-            if result.engine == "montecarlo":
-                continue
-            baseline = baselines.get((result.nodes, result.corner))
-            if baseline is None or result.wall_time <= 0:
-                continue
-            speedups[result.name] = baseline / result.wall_time
-        return speedups
+        per_engine: Dict[str, RunningMoments] = {}
+        for result in self:
+            accumulator = per_engine.setdefault(result.engine, RunningMoments())
+            accumulator.update(np.array([result.wall_time, result.worst_drop, result.max_std]))
+        return per_engine
+
+    def aggregates(self) -> Dict[str, Dict[str, float]]:
+        """Summary statistics per engine plus an ``overall`` entry.
+
+        The per-engine accumulators of :meth:`moments` are folded into the
+        overall one with :meth:`RunningMoments.merge` in sorted engine
+        order, so the combine is deterministic.
+        """
+        per_engine = self.moments()
+        overall = RunningMoments()
+        summaries: Dict[str, Dict[str, float]] = {}
+        for engine in sorted(per_engine):
+            summaries[engine] = _moments_summary(per_engine[engine])
+            overall.merge(per_engine[engine])
+        summaries["overall"] = _moments_summary(overall)
+        return summaries
+
+
+def _moments_summary(moments: RunningMoments) -> Dict[str, float]:
+    mean = moments.mean
+    std = moments.std()
+    return {
+        "cases": int(moments.count),
+        "wall_time_total_s": float(mean[0] * moments.count),
+        "wall_time_mean_s": float(mean[0]),
+        "wall_time_std_s": float(std[0]),
+        "worst_drop_mean_v": float(mean[1]),
+        "worst_drop_std_v": float(std[1]),
+        "max_std_mean_v": float(mean[2]),
+    }
 
 
 class SweepRunner:
@@ -250,7 +354,9 @@ class SweepRunner:
     keep_raw:
         Ship the engine-native raw result back with every case (chaos
         coefficients, recorded Monte Carlo waveforms, ...); the heaviest
-        option, used by the Figure-1/2 distribution benches.
+        option, used by the Figure-1/2 distribution benches.  Only backends
+        with ``supports_raw`` (the default :class:`MemoryBackend`) accept
+        it.
     retain_sessions:
         Keep driver-side sessions cached across :meth:`run` calls.  By
         default the cache is cleared after every run so long-lived driver
@@ -273,8 +379,16 @@ class SweepRunner:
         self.keep_raw = bool(keep_raw)
         self.retain_sessions = bool(retain_sessions)
 
-    def run(self, plan: SweepPlan) -> SweepOutcome:
-        """Execute every case of ``plan``; results come back in plan order.
+    def run(self, plan: SweepPlan, store: Optional[ResultsBackend] = None) -> SweepOutcome:
+        """Execute the cases of ``plan`` that ``store`` does not already hold.
+
+        With the default ``store=None`` a fresh in-memory
+        :class:`~repro.sweep.store.MemoryBackend` is used and every case
+        executes -- the historical behaviour, signature-compatible with all
+        pre-store call sites.  With an explicit backend, cases whose store
+        key is present are served from the backend (zero solver calls);
+        everything else executes and streams into the backend as it
+        completes.
 
         Scheduling: sampled cases (Monte Carlo, regression PCE) that chunk
         over their own worker pool (``case.workers > 1``) execute in the
@@ -285,42 +399,78 @@ class SweepRunner:
         machine -- and the sweep's critical path (usually its largest MC
         case) still gets split across processes.
         """
-        jobs = [(case, plan.transient, self.keep_statistics, self.keep_raw) for case in plan.cases]
+        backend = store if store is not None else MemoryBackend()
+        backend.open(plan)
+        if self.keep_raw and not backend.supports_raw:
+            raise StoreError(
+                f"{type(backend).__name__} cannot hold raw engine payloads; "
+                "run with keep_raw=False or the in-memory backend"
+            )
+        pending = [case for case in plan.cases if not backend.contains(case)]
+        reused = len(plan.cases) - len(pending)
         started = time.perf_counter()
-        driver_indices = [
-            index
-            for index, case in enumerate(plan.cases)
+        driver_cases = [
+            case
+            for case in pending
             if case.engine in ("montecarlo", "pce-regression") and case.workers > 1
         ]
-        pooled_indices = [index for index in range(len(jobs)) if index not in set(driver_indices)]
-        results: List[Optional[SweepCaseResult]] = [None] * len(jobs)
+        driver_set = set(driver_cases)
+        pooled_cases = [case for case in pending if case not in driver_set]
+
+        def job(case: SweepCase) -> Tuple:
+            return (case, plan.transient, self.keep_statistics, self.keep_raw)
+
         try:
-            if self.workers > 1 and len(pooled_indices) > 1:
+            if self.workers > 1 and len(pooled_cases) > 1:
                 with ProcessPoolExecutor(
-                    max_workers=min(self.workers, len(pooled_indices))
+                    max_workers=min(self.workers, len(pooled_cases))
                 ) as pool:
-                    futures = {
-                        index: pool.submit(_execute_case, jobs[index])
-                        for index in pooled_indices
-                    }
+                    futures = {pool.submit(_execute_case, job(case)): case for case in pooled_cases}
                     # Driver-side MC cases overlap with the pool's work.
-                    for index in driver_indices:
-                        results[index] = _execute_case(jobs[index])
-                    for index, future in futures.items():
-                        results[index] = future.result()
+                    for case in driver_cases:
+                        backend.append(case, _execute_case(job(case)))
+                    # Stream pooled results into the backend as they finish,
+                    # not in submission order: the backend owns ordering (the
+                    # outcome view reads in plan order) and an interrupt
+                    # loses only the unflushed tail, not everything after
+                    # the first straggler.
+                    for future in as_completed(futures):
+                        backend.append(futures[future], future.result())
             else:
-                for index in range(len(jobs)):
-                    results[index] = _execute_case(jobs[index])
+                for case in pending:
+                    backend.append(case, _execute_case(job(case)))
         finally:
             # Cases executed in this process cached their sessions in the
             # module-global; drop them so long-lived drivers do not leak
-            # factorisations and Galerkin assemblies across sweeps.
+            # factorisations and Galerkin assemblies across sweeps.  Flush
+            # the backend even on failure: every already-streamed case is
+            # progress a resume can build on.
             if not self.retain_sessions:
                 _WORKER_SESSIONS.clear()
+            backend.finalize()
         elapsed = time.perf_counter() - started
         return SweepOutcome(
-            results=tuple(results),
+            store=backend,
             plan=plan,
             workers=self.workers,
             wall_time=elapsed,
+            executed=len(pending),
+            reused=reused,
         )
+
+    def resume(self, plan: SweepPlan, store: ResultsBackend) -> SweepOutcome:
+        """Continue an interrupted campaign from ``store``.
+
+        Cases already in the store are skipped (their persisted results are
+        served as-is); only the missing ones execute.  Because every case
+        is independently seeded, the combined statistics -- and the
+        exported :class:`~repro.sweep.record.BenchRecord` cases -- are
+        bit-identical to an uninterrupted run for any worker count.  A
+        fully-populated store resumes with zero solver calls.
+        """
+        if store is None:
+            raise StoreError(
+                "resume needs the results store of the interrupted campaign, "
+                "e.g. ShardedNpzBackend('campaign-store/')"
+            )
+        return self.run(plan, store=store)

@@ -1,18 +1,21 @@
-"""Tests for the repro.sweep subsystem: plans, runner, artifacts, regress gate."""
+"""Tests for the repro.sweep subsystem: plans, runner, store, artifacts, regress gate."""
 
 from __future__ import annotations
 
+import dataclasses
 import json
 
 import numpy as np
 import pytest
 
 from repro.cli import main as cli_main
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, StoreError
 from repro.sim import TransientConfig
 from repro.sweep import (
     SCHEMA,
     BenchRecord,
+    MemoryBackend,
+    ShardedNpzBackend,
     SweepCase,
     SweepPlan,
     SweepRunner,
@@ -20,7 +23,9 @@ from repro.sweep import (
     corner_names,
     corner_spec,
     grid_seed_for,
+    plan_fingerprint,
     record_from_outcome,
+    record_from_store,
 )
 
 FAST_TRANSIENT = TransientConfig(t_stop=1.2e-9, dt=0.2e-9)
@@ -196,6 +201,35 @@ class TestSweepRunner:
         with pytest.raises(AnalysisError, match="ambiguous"):
             small_outcome.case(engine="opera")
 
+    def test_case_rejects_unknown_criteria_with_field_listing(self, small_outcome):
+        with pytest.raises(AnalysisError, match="valid fields.*engine"):
+            small_outcome.case(engin="opera")
+        with pytest.raises(AnalysisError, match="engin, nodez"):
+            small_outcome.case(engin="opera", nodez=60)
+
+    def test_case_no_match_lists_nearest_cases(self, small_outcome):
+        # engine matches two cases, nodes matches none: the near-misses
+        # (the opera cases) must lead the listing.
+        with pytest.raises(AnalysisError, match="nearest.*opera-n60-o1-paper"):
+            small_outcome.case(engine="opera", nodes=999)
+
+    def test_case_requires_criteria(self, small_outcome):
+        with pytest.raises(AnalysisError, match="at least one criterion"):
+            small_outcome.case()
+
+    def test_aggregates(self, small_outcome):
+        aggregates = small_outcome.aggregates()
+        assert set(aggregates) == {"opera", "montecarlo", "overall"}
+        assert aggregates["opera"]["cases"] == 2
+        assert aggregates["overall"]["cases"] == 4
+        assert aggregates["overall"]["wall_time_total_s"] > 0
+        # The overall entry is the RunningMoments.merge of the engines.
+        merged_mean = (
+            aggregates["opera"]["worst_drop_mean_v"] * 2
+            + aggregates["montecarlo"]["worst_drop_mean_v"] * 2
+        ) / 4
+        assert aggregates["overall"]["worst_drop_mean_v"] == pytest.approx(merged_mean)
+
     def test_keep_raw_ships_native_result(self):
         plan = SweepPlan(
             cases=(SweepCase(engine="opera", nodes=60, order=1),),
@@ -282,6 +316,201 @@ class TestBenchRecord:
     def test_load_missing_file(self, tmp_path):
         with pytest.raises(AnalysisError, match="does not exist"):
             BenchRecord.load(tmp_path / "absent.json")
+
+
+def _stable_cases(record: BenchRecord) -> list:
+    """Record case entries with the timing-dependent fields stripped.
+
+    Wall times (and the speedups derived from them) are the only fields a
+    resume legitimately changes; everything else must be bit-identical.
+    """
+    cases = []
+    for case in record.cases:
+        entry = dict(case)
+        entry.pop("wall_time_s")
+        entry.pop("speedup_vs_mc")
+        cases.append(entry)
+    return cases
+
+
+def _assert_same_results(expected_outcome, actual_outcome):
+    """Every case of both outcomes agrees bit-for-bit (timing excluded)."""
+    for expected, actual in zip(expected_outcome, actual_outcome):
+        assert actual.name == expected.name
+        assert actual.seed == expected.seed
+        assert actual.worst_drop == expected.worst_drop
+        assert actual.max_std == expected.max_std
+        np.testing.assert_array_equal(actual.times, expected.times)
+        np.testing.assert_array_equal(actual.mean, expected.mean)
+        np.testing.assert_array_equal(actual.std, expected.std)
+
+
+class TestStoreBackends:
+    def test_memory_backend_roundtrip(self, small_outcome):
+        store = small_outcome.store
+        assert isinstance(store, MemoryBackend)
+        assert len(store) == len(small_outcome.plan.cases)
+        for case in small_outcome.plan.cases:
+            assert store.contains(case)
+            assert store.get(case).name == case.name
+        assert [r.name for r in store.iter_results()] != []
+        assert store.keys() == frozenset(c.store_key() for c in small_outcome.plan.cases)
+
+    def test_store_key_excludes_workers(self):
+        serial = SweepCase(engine="montecarlo", nodes=60, samples=16, workers=1)
+        chunked = dataclasses.replace(serial, workers=4)
+        assert serial.store_key() == chunked.store_key()
+
+    def test_store_key_includes_sampling_knobs(self):
+        base = SweepCase(engine="montecarlo", nodes=60, samples=16)
+        assert base.store_key() != dataclasses.replace(base, chunk_size=8).store_key()
+        assert base.store_key() != dataclasses.replace(base, antithetic=True).store_key()
+        assert base.store_key() != dataclasses.replace(base, grid_seed=123).store_key()
+
+    def test_plan_fingerprint_pins_transient_and_base_seed(self, small_outcome):
+        fingerprint = plan_fingerprint(small_outcome.plan)
+        assert fingerprint["base_seed"] == 5
+        assert fingerprint["transient"]["steps"] == FAST_TRANSIENT.num_steps
+        assert small_outcome.store.fingerprint == fingerprint
+
+    def test_duplicate_append_rejected(self, small_outcome):
+        store = small_outcome.store
+        case = small_outcome.plan.cases[0]
+        with pytest.raises(StoreError, match="append-only"):
+            store.append(case, store.get(case))
+
+    def test_missing_case_error_names_case(self):
+        store = MemoryBackend()
+        case = SweepCase(engine="opera", nodes=60, order=1)
+        with pytest.raises(StoreError, match="not in this results store"):
+            store.get(case)
+
+    def test_npz_store_persists_across_reopen(self, small_outcome, tmp_path):
+        plan = small_outcome.plan
+        store = ShardedNpzBackend(tmp_path / "store", shard_size=2)
+        SweepRunner(workers=1, keep_statistics=True).run(plan, store=store)
+        shards = sorted((tmp_path / "store").glob("shard-*.npz"))
+        assert len(shards) == 2  # 4 cases, 2 per shard
+        assert (tmp_path / "store" / "manifest.json").exists()
+
+        reopened = ShardedNpzBackend(tmp_path / "store")
+        reopened.open(plan)
+        assert len(reopened) == len(plan.cases)
+        for case in plan.cases:
+            stored = reopened.get(case)
+            expected = small_outcome.store.get(case)
+            np.testing.assert_array_equal(stored.mean, expected.mean)
+            np.testing.assert_array_equal(stored.std, expected.std)
+            assert stored.worst_drop == expected.worst_drop
+
+    def test_npz_store_rejects_mismatched_fingerprint(self, small_outcome, tmp_path):
+        plan = small_outcome.plan
+        ShardedNpzBackend(tmp_path / "store").open(plan)
+        other = dataclasses.replace(plan, transient=TransientConfig(t_stop=2.4e-9, dt=0.2e-9))
+        with pytest.raises(StoreError, match="different plan"):
+            ShardedNpzBackend(tmp_path / "store").open(other)
+
+    def test_npz_store_refuses_raw_payloads(self, small_outcome, tmp_path):
+        plan = small_outcome.plan
+        runner = SweepRunner(workers=1, keep_raw=True)
+        with pytest.raises(StoreError, match="raw engine payloads"):
+            runner.run(plan, store=ShardedNpzBackend(tmp_path / "store"))
+
+    def test_shard_size_validated(self, tmp_path):
+        with pytest.raises(StoreError, match="shard_size"):
+            ShardedNpzBackend(tmp_path / "store", shard_size=0)
+
+    def test_record_from_empty_store_rejected(self):
+        with pytest.raises(StoreError, match="empty results store"):
+            record_from_store(MemoryBackend())
+
+
+class TestResume:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_interrupted_resume_is_bit_identical(self, small_outcome, tmp_path, workers):
+        """Kill a campaign half-way, resume it, and get the uninterrupted numbers."""
+        plan = small_outcome.plan
+        store_dir = tmp_path / "store"
+        truncated = dataclasses.replace(plan, cases=plan.cases[: len(plan.cases) // 2])
+        SweepRunner(workers=1, keep_statistics=True).run(
+            truncated, store=ShardedNpzBackend(store_dir, shard_size=1)
+        )
+
+        store = ShardedNpzBackend(store_dir, shard_size=1)
+        outcome = SweepRunner(workers=workers, keep_statistics=True).resume(plan, store)
+        assert outcome.executed == len(plan.cases) - len(truncated.cases)
+        assert outcome.reused == len(truncated.cases)
+        _assert_same_results(small_outcome, outcome)
+
+        exported = record_from_store(store, plan=plan)
+        baseline = record_from_outcome(small_outcome)
+        assert _stable_cases(exported) == _stable_cases(baseline)
+        assert exported.config["base_seed"] == baseline.config["base_seed"]
+        assert exported.config["transient"] == baseline.config["transient"]
+
+    def test_resume_after_dropping_shards(self, small_outcome, tmp_path):
+        """Losing shards (a harsher kill) only re-runs the lost cases."""
+        plan = small_outcome.plan
+        store_dir = tmp_path / "store"
+        SweepRunner(workers=1, keep_statistics=True).run(
+            plan, store=ShardedNpzBackend(store_dir, shard_size=1)
+        )
+        shards = sorted(store_dir.glob("shard-*.npz"))
+        assert len(shards) == len(plan.cases)
+        for shard in shards[1::2]:
+            shard.unlink()
+
+        store = ShardedNpzBackend(store_dir, shard_size=1)
+        outcome = SweepRunner(workers=2, keep_statistics=True).resume(plan, store)
+        assert outcome.executed == len(shards[1::2])
+        assert outcome.reused == len(plan.cases) - len(shards[1::2])
+        _assert_same_results(small_outcome, outcome)
+        assert _stable_cases(record_from_store(store, plan=plan)) == _stable_cases(
+            record_from_outcome(small_outcome)
+        )
+
+    def test_fully_cached_resume_makes_zero_solver_calls(
+        self, small_outcome, tmp_path, monkeypatch
+    ):
+        plan = small_outcome.plan
+        store_dir = tmp_path / "store"
+        SweepRunner(workers=1, keep_statistics=True).run(plan, store=ShardedNpzBackend(store_dir))
+
+        import repro.sweep.runner as runner_module
+
+        def boom(args):
+            raise AssertionError("a fully-cached resume must not execute cases")
+
+        monkeypatch.setattr(runner_module, "_execute_case", boom)
+        store = ShardedNpzBackend(store_dir)
+        outcome = SweepRunner(workers=1, keep_statistics=True).resume(plan, store)
+        assert outcome.executed == 0
+        assert outcome.reused == len(plan.cases)
+        _assert_same_results(small_outcome, outcome)
+
+    def test_memory_store_acts_as_cache_within_process(self, small_outcome, monkeypatch):
+        """Re-running a plan against a populated in-memory store re-solves nothing."""
+        import repro.sweep.runner as runner_module
+
+        monkeypatch.setattr(
+            runner_module,
+            "_execute_case",
+            lambda args: (_ for _ in ()).throw(AssertionError("cache miss")),
+        )
+        outcome = SweepRunner(workers=1, keep_statistics=True).resume(
+            small_outcome.plan, small_outcome.store
+        )
+        assert outcome.executed == 0
+        assert outcome.reused == len(small_outcome.plan.cases)
+
+    def test_resume_requires_store(self, small_outcome):
+        with pytest.raises(StoreError, match="results store"):
+            SweepRunner(workers=1).resume(small_outcome.plan, None)
+
+    def test_record_from_store_insertion_order_without_plan(self, small_outcome):
+        record = record_from_store(small_outcome.store)
+        assert len(record.cases) == len(small_outcome.plan.cases)
+        assert {c["name"] for c in record.cases} == {c.name for c in small_outcome.plan.cases}
 
 
 def _record_with_wall_times(small_outcome, scale: float) -> BenchRecord:
@@ -384,6 +613,52 @@ class TestSweepCli:
         # gate against itself: passes
         assert cli_main(args + ["--baseline", str(output)]) == 0
         capsys.readouterr()
+
+    def test_sweep_store_mode_persists_and_reuses(self, tmp_path, capsys):
+        store_dir = tmp_path / "campaign"
+        args = [
+            "sweep",
+            "--nodes",
+            "60",
+            "--engines",
+            "opera",
+            "--samples",
+            "8",
+            "--steps",
+            "5",
+            "--output",
+            str(tmp_path / "sweep.json"),
+            "--store",
+            str(store_dir),
+            "--shard-size",
+            "1",
+        ]
+        assert cli_main(args) == 0
+        assert (store_dir / "manifest.json").exists()
+        assert list(store_dir.glob("shard-*.npz"))
+        capsys.readouterr()
+
+        # Same campaign again: everything is served from the store.
+        assert cli_main(args + ["--resume"]) == 0
+        assert "from store" in capsys.readouterr().out
+
+    def test_sweep_resume_requires_store(self, capsys):
+        assert cli_main(["sweep", "--nodes", "60", "--samples", "8", "--resume"]) == 2
+        assert "--store" in capsys.readouterr().err
+
+    def test_sweep_resume_rejects_missing_store_dir(self, tmp_path, capsys):
+        args = [
+            "sweep",
+            "--nodes",
+            "60",
+            "--samples",
+            "8",
+            "--store",
+            str(tmp_path / "absent"),
+            "--resume",
+        ]
+        assert cli_main(args) == 2
+        assert "does not exist" in capsys.readouterr().err
 
     def test_sweep_rejects_unknown_engine(self, capsys):
         assert cli_main(["sweep", "--nodes", "60", "--engines", "bogus"]) == 2
