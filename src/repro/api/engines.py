@@ -47,6 +47,7 @@ from ..registry import Registry
 from ..sim.dc import dc_operating_point
 from ..sim.randomwalk import RandomWalkSolver
 from ..sim.transient import TransientConfig
+from ..telemetry import current_telemetry
 from .result import (
     DeterministicResultView,
     MonteCarloResultView,
@@ -129,7 +130,14 @@ def _check_mode(engine: str, mode: str, supported: tuple) -> None:
 
 #: Cumulative counters of :meth:`Analysis.solver_stats`; everything else is
 #: a "latest value" field reported as-is.
-_SOLVER_COUNTERS = ("instances", "solves", "total_iterations", "factor_time_s")
+_SOLVER_COUNTERS = (
+    "instances",
+    "solves",
+    "total_iterations",
+    "warm_starts",
+    "cold_starts",
+    "factor_time_s",
+)
 
 
 def _solver_stats_delta(before: dict, after: dict):
@@ -206,7 +214,8 @@ def _run_opera_engine(session, mode: Optional[str] = None, **options):
     _reject_unknown(options, "opera", mode)
     galerkin = None
     if system.has_matrix_variation or config.force_coupled:
-        galerkin = session.galerkin(order)
+        with current_telemetry().span("opera.assemble", phase="assemble", order=order):
+            galerkin = session.galerkin(order)
     result = run_opera_transient(
         system, config, basis=basis, solver_factory=session.solver, galerkin=galerkin
     )

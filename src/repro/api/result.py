@@ -28,6 +28,18 @@ __all__ = [
 ]
 
 
+def _sorted_stats(value):
+    """Recursively key-sorted copy of a stats mapping.
+
+    ``to_dict()`` output is compared and serialised across engines and
+    processes, so the ``solver_stats`` block must not depend on insertion
+    order (which differs between backends and telemetry on/off).
+    """
+    if isinstance(value, dict):
+        return {key: _sorted_stats(value[key]) for key in sorted(value)}
+    return value
+
+
 @runtime_checkable
 class AnalysisResult(Protocol):
     """What every engine run returns, regardless of the backend.
@@ -78,7 +90,10 @@ class EngineResult:
         self.wall_time = wall_time
         #: Linear-solver diagnostics of the run (iteration counts, final
         #: residuals, factorisation times), attached by engines whose solver
-        #: backends expose them; ``None`` when unavailable.
+        #: backends expose them; ``None`` when unavailable.  While telemetry
+        #: is enabled, :meth:`Analysis.run` additionally attaches the
+        #: per-step aggregate of the shared integration loop under the
+        #: ``"steps"`` key (see the ``repro.api`` docstring for the schema).
         self.solver_stats: Optional[Dict[str, Any]] = None
 
     def mean(self) -> np.ndarray:
@@ -102,7 +117,7 @@ class EngineResult:
             "max_std": float(np.max(std)) if std.size else 0.0,
         }
         if self.solver_stats:
-            summary["solver_stats"] = dict(self.solver_stats)
+            summary["solver_stats"] = _sorted_stats(self.solver_stats)
         partition_stats = getattr(self, "partition_stats", None)
         if partition_stats:
             summary["partition"] = dict(partition_stats)

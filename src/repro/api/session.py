@@ -37,6 +37,7 @@ from ..opera.report import summarize as _summarize_report
 from ..sim.linear import LinearSolver, make_solver, matrix_fingerprint
 from ..sim.results import TransientResult
 from ..sim.transient import TransientConfig, transient_analysis
+from ..telemetry import current_telemetry
 from ..variation.model import StochasticSystem, VariationSpec, build_stochastic_system
 from .engines import get_engine
 from .result import AnalysisResult
@@ -275,7 +276,13 @@ class Analysis:
             method = key[1]
             entry = aggregated.setdefault(method, {"instances": 0})
             entry["instances"] += 1
-            for name in ("solves", "total_iterations", "factor_time_s"):
+            for name in (
+                "solves",
+                "total_iterations",
+                "warm_starts",
+                "cold_starts",
+                "factor_time_s",
+            ):
                 if stats.get(name) is not None:
                     entry[name] = entry.get(name, 0) + stats[name]
             for name in (
@@ -323,9 +330,33 @@ class Analysis:
         AnalysisResult
             A uniform result view; the engine-native result stays available
             as ``result.raw``.
+
+        Notes
+        -----
+        While telemetry is enabled (:func:`repro.telemetry.profile` /
+        :func:`repro.telemetry.enable_telemetry`), the run is wrapped in an
+        ``engine.<name>`` span (phase ``run``) and the per-step solver
+        aggregate recorded by the shared step loop is attached to the
+        result as ``view.solver_stats["steps"]`` -- for *every* transient
+        engine, since they all integrate through
+        :class:`~repro.stepping.loop.StepLoop`.  Instrumentation only reads
+        solver state, so results are bit-identical with telemetry on or off.
         """
         runner = get_engine(engine)
-        return runner(self, mode=mode, **options)
+        telemetry = current_telemetry()
+        if not telemetry.enabled:
+            return runner(self, mode=mode, **options)
+        # Claim only this run's step loops: discard anything recorded by
+        # earlier, unrelated loops, then drain what the engine produced.
+        telemetry.pop_step_stats()
+        with telemetry.span(f"engine.{engine}", phase="run", engine=engine):
+            view = runner(self, mode=mode, **options)
+        steps = telemetry.pop_step_stats()
+        if steps is not None and hasattr(view, "solver_stats"):
+            stats = dict(view.solver_stats or {})
+            stats["steps"] = steps.to_dict()
+            view.solver_stats = stats
+        return view
 
     def compare(self, **kwargs):
         """OPERA-vs-baseline accuracy/speed-up row; see :func:`repro.api.compare`."""

@@ -1,6 +1,6 @@
 """Command-line interface of the OPERA reproduction.
 
-Four sub-commands cover the typical flow of the tool:
+Five sub-commands cover the typical flow of the tool:
 
 ``opera-run generate``
     Synthesise a power grid and write it as a SPICE-subset deck.
@@ -22,7 +22,13 @@ Four sub-commands cover the typical flow of the tool:
     it against a baseline artifact (see :mod:`repro.sweep`).  With
     ``--store DIR`` completed cases stream into an append-only on-disk
     results store as they finish; ``--resume`` restarts an interrupted
-    campaign from that store, executing only the missing cases.
+    campaign from that store, executing only the missing cases.  With
+    ``--telemetry`` every case is profiled in its worker process and the
+    merged campaign summary lands in the artifact.
+
+``opera-run trace-report``
+    Summarise a telemetry trace written by ``analyze --profile PATH``:
+    per-phase wall-time totals, per-solver spans, step-loop statistics.
 
 All analysis work is routed through the :class:`repro.api.Analysis` session
 facade, so the sub-commands are thin argument adapters; unknown engine or
@@ -166,6 +172,14 @@ def build_parser() -> argparse.ArgumentParser:
         f"{', '.join(scheme_names())}; parametrised specs like theta:0.75 "
         "are accepted)",
     )
+    analyze.add_argument(
+        "--profile",
+        default=None,
+        metavar="PATH",
+        help="profile the run with repro.telemetry and write the JSON-lines "
+        "trace (schema repro.telemetry/trace/v1) to PATH; inspect it with "
+        "'opera-run trace-report PATH'",
+    )
 
     compare = subparsers.add_parser("compare", help="compare OPERA against Monte Carlo")
     add_analysis_arguments(compare)
@@ -271,6 +285,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PCT",
         help="allowed wall-time growth vs the baseline, percent (default: 75)",
     )
+    sweep.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="profile every case in its worker process; per-case summaries "
+        "persist with the results and the merged campaign summary lands in "
+        "the BenchRecord artifact",
+    )
+
+    trace_report = subparsers.add_parser(
+        "trace-report",
+        help="summarise a telemetry trace written by analyze --profile",
+    )
+    trace_report.add_argument(
+        "trace",
+        help="JSON-lines trace file (schema repro.telemetry/trace/v1)",
+    )
 
     return parser
 
@@ -338,7 +368,15 @@ def _command_analyze(args: argparse.Namespace) -> int:
         options["scheme"] = args.scheme
     if getattr(args, "fit", None) is not None:
         options["fit"] = args.fit
-    result = session.run(args.engine, **options)
+    trace_path = None
+    if getattr(args, "profile", None):
+        from .telemetry import profile, write_trace
+
+        with profile() as tele:
+            result = session.run(args.engine, **options)
+        trace_path = write_trace(tele, args.profile)
+    else:
+        result = session.run(args.engine, **options)
 
     if hasattr(result.raw, "basis"):
         # Chaos-expansion engines get the full designer-facing report.
@@ -350,6 +388,8 @@ def _command_analyze(args: argparse.Namespace) -> int:
             if key in ("engine", "mode"):
                 continue
             print(f"  {key:12s}: {value}")
+    if trace_path is not None:
+        print(f"wrote telemetry trace to {trace_path}")
     return 0
 
 
@@ -411,7 +451,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         transient=transient,
         base_seed=args.base_seed,
     )
-    runner = SweepRunner(workers=args.workers)
+    runner = SweepRunner(workers=args.workers, telemetry=args.telemetry)
     outcome = runner.resume(plan, store) if args.resume else runner.run(plan, store=store)
     record = record_from_outcome(outcome)
 
@@ -428,6 +468,15 @@ def _command_sweep(args: argparse.Namespace) -> int:
             f"  {result.name:40s} {result.num_nodes:6d} nodes  "
             f"{result.wall_time:8.3f}s  worst drop {result.worst_drop:.4f}V{suffix}"
         )
+
+    if args.telemetry:
+        merged = outcome.telemetry_summary()
+        if merged is not None:
+            phases = merged.get("phases", {})
+            breakdown = ", ".join(
+                f"{phase} {phases[phase]['total_s']:.3f}s" for phase in sorted(phases)
+            )
+            print(f"telemetry: {merged['cases']} case(s) profiled; {breakdown}")
 
     if args.output:
         path = record.write(args.output)
@@ -449,6 +498,21 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_trace_report(args: argparse.Namespace) -> int:
+    from .telemetry import read_trace, render_report
+
+    try:
+        events = read_trace(args.trace)
+    except OSError as exc:
+        print(f"opera-run: error: cannot read trace {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"opera-run: error: {exc}", file=sys.stderr)
+        return 2
+    print(render_report(events))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point used by the ``opera-run`` console script."""
     parser = build_parser()
@@ -458,6 +522,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "analyze": _command_analyze,
         "compare": _command_compare,
         "sweep": _command_sweep,
+        "trace-report": _command_trace_report,
     }
     try:
         return handlers[args.command](args)

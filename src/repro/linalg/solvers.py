@@ -40,6 +40,7 @@ import scipy.sparse.linalg as spla
 
 from ..errors import SolverError
 from ..sim.linear import PreconditionedCGSolver, register_solver
+from ..telemetry import current_telemetry
 from .operator import KronSumOperator, is_operator, kron_sum_csr
 
 __all__ = ["MeanBlockCGSolver", "DegreeBlockCGSolver"]
@@ -129,7 +130,10 @@ class MeanBlockCGSolver(PreconditionedCGSolver):
                 f"({self.num_nodes}, {self.num_nodes})"
             )
         try:
-            self._mean_lu = spla.splu(mean_block)
+            with current_telemetry().span(
+                "solver.factor", phase="factor", solver=self.method_name
+            ):
+                self._mean_lu = spla.splu(mean_block)
         except RuntimeError as exc:  # singular mean block
             raise SolverError(f"mean-block LU factorisation failed: {exc}") from exc
         self._configure_cg(
@@ -268,16 +272,19 @@ class DegreeBlockCGSolver(PreconditionedCGSolver):
         self.maxiter = int(maxiter)
 
         self._bands: List[Tuple[int, int, object]] = []
-        for start, stop in _degree_bands(degrees, band_degrees):
-            block = self._band_matrix(start, stop)
-            try:
-                lu = spla.splu(sp.csc_matrix(block))
-            except RuntimeError as exc:  # singular band block
-                raise SolverError(
-                    f"degree-band LU factorisation failed for chaos indices "
-                    f"[{start}, {stop}): {exc}"
-                ) from exc
-            self._bands.append((start * self.num_nodes, stop * self.num_nodes, lu))
+        with current_telemetry().span(
+            "solver.factor", phase="factor", solver=self.method_name
+        ):
+            for start, stop in _degree_bands(degrees, band_degrees):
+                block = self._band_matrix(start, stop)
+                try:
+                    lu = spla.splu(sp.csc_matrix(block))
+                except RuntimeError as exc:  # singular band block
+                    raise SolverError(
+                        f"degree-band LU factorisation failed for chaos indices "
+                        f"[{start}, {stop}): {exc}"
+                    ) from exc
+                self._bands.append((start * self.num_nodes, stop * self.num_nodes, lu))
         self._configure_cg(
             self._apply,
             residual_target=self._operator,

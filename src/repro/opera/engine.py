@@ -37,6 +37,7 @@ from ..chaos.galerkin import (
 from ..chaos.response import StochasticField, StochasticTransientResult
 from ..sim.linear import make_solver, solver_accepts_operator
 from ..stepping import GalerkinSystemAdapter, StepLoop
+from ..telemetry import current_telemetry
 from ..variation.model import StochasticSystem
 from .config import OperaConfig
 from .special_case import run_decoupled_transient
@@ -126,12 +127,13 @@ def run_opera_dc(
         basis, system.g_nominal, system.g_sensitivities
     )
     solver_options = dict(solver_options or {})
-    if assemble == "lazy":
-        augmented_conductance = assemble_augmented_operator(basis, conductance_coefficients)
-    else:
-        augmented_conductance = assemble_augmented_matrix(basis, conductance_coefficients)
-        if solver in ("mean-block-cg", "degree-block-cg"):
-            solver_options.setdefault("num_nodes", system.num_nodes)
+    with current_telemetry().span("opera.assemble", phase="assemble", order=basis.order):
+        if assemble == "lazy":
+            augmented_conductance = assemble_augmented_operator(basis, conductance_coefficients)
+        else:
+            augmented_conductance = assemble_augmented_matrix(basis, conductance_coefficients)
+            if solver in ("mean-block-cg", "degree-block-cg"):
+                solver_options.setdefault("num_nodes", system.num_nodes)
     if solver == "degree-block-cg":
         solver_options.setdefault("degrees", tuple(int(d) for d in basis.degrees))
     rhs = assemble_augmented_rhs(
@@ -165,7 +167,10 @@ def run_opera_transient(
     started = time.perf_counter()
     assemble = config.effective_assemble
     if galerkin is None:
-        galerkin = build_galerkin_system(system, basis, assemble=assemble)
+        with current_telemetry().span(
+            "opera.assemble", phase="assemble", order=basis.order
+        ):
+            galerkin = build_galerkin_system(system, basis, assemble=assemble)
     transient = config.effective_transient
     times = transient.times()
     num_nodes = system.num_nodes

@@ -33,6 +33,7 @@ from scipy.linalg import lu_factor, lu_solve
 
 from ..errors import SolverError
 from ..sim.linear import DirectSolver, LinearSolver, register_solver
+from ..telemetry import current_telemetry
 from .partitioner import GridPartition, partition_matrix
 
 __all__ = [
@@ -156,18 +157,21 @@ class SchurComplement:
 
         # Condense every block onto its ports; the reduction order over
         # blocks is fixed (ascending block id) for bitwise reproducibility.
-        condensed = self._backend.condense(self._atom_ids)
-        self._responses: Dict[int, np.ndarray] = {}
-        self._local_ports: Dict[int, np.ndarray] = {}
-        num_ports = self._boundary.size
-        interface = matrix[self._boundary][:, self._boundary].toarray()
-        for k in self._atom_ids:
-            response, contribution, local = condensed[k]
-            self._responses[k] = response
-            self._local_ports[k] = local
-            if local.size:
-                interface[np.ix_(local, local)] -= contribution
-        self._interface_lu = lu_factor(interface) if num_ports else None
+        with current_telemetry().span(
+            "schur.factor", phase="factor", solver="schur", blocks=len(self._atom_ids)
+        ):
+            condensed = self._backend.condense(self._atom_ids)
+            self._responses: Dict[int, np.ndarray] = {}
+            self._local_ports: Dict[int, np.ndarray] = {}
+            num_ports = self._boundary.size
+            interface = matrix[self._boundary][:, self._boundary].toarray()
+            for k in self._atom_ids:
+                response, contribution, local = condensed[k]
+                self._responses[k] = response
+                self._local_ports[k] = local
+                if local.size:
+                    interface[np.ix_(local, local)] -= contribution
+            self._interface_lu = lu_factor(interface) if num_ports else None
         self.factor_time = time.perf_counter() - started
         self.stats = {
             "method": "schur",

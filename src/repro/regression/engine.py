@@ -40,6 +40,7 @@ from ..montecarlo.engine import _chunk_layout, _chunk_seeds, _run_chunk_jobs
 from ..montecarlo.sampler import GermSampler
 from ..sim.dc import solve_dc
 from ..sim.transient import TransientConfig, run_transient
+from ..telemetry import current_telemetry
 from ..variation.model import StochasticSystem
 from .design import build_design_matrix
 from .fit import fit_coefficients, get_fitter
@@ -175,7 +176,13 @@ def _fit_field(basis, germs, flat_responses, fit, fit_options, normalize):
             f"{design.num_terms}, ideally {2 * design.num_terms}) or switch to "
             "a sparse fitter (omp, lasso)"
         )
-    result = fit_coefficients(design.matrix, flat_responses, method=fit, **fit_options)
+    with current_telemetry().span(
+        "regression.fit",
+        phase="fit",
+        samples=design.num_samples,
+        terms=design.num_terms,
+    ):
+        result = fit_coefficients(design.matrix, flat_responses, method=fit, **fit_options)
     coefficients = design.unscale(result.coefficients)
     diagnostics = {
         "fitter": result.fitter,

@@ -27,6 +27,7 @@ import scipy.sparse.linalg as spla
 
 from ..errors import ConvergenceError, SolverError
 from ..registry import Registry
+from ..telemetry import current_telemetry
 
 __all__ = [
     "LinearSolver",
@@ -92,7 +93,8 @@ class DirectSolver(LinearSolver):
         if matrix.shape[0] != matrix.shape[1]:
             raise SolverError("direct solver requires a square matrix")
         try:
-            self._lu = spla.splu(matrix)
+            with current_telemetry().span("solver.factor", phase="factor", solver="direct"):
+                self._lu = spla.splu(matrix)
         except RuntimeError as exc:  # singular matrix
             raise SolverError(f"LU factorisation failed: {exc}") from exc
         self.shape = matrix.shape
@@ -166,6 +168,8 @@ class PreconditionedCGSolver(LinearSolver):
             "total_iterations": 0,
             "last_iterations": 0,
             "last_relative_residual": None,
+            "warm_starts": 0,
+            "cold_starts": 0,
             **extra_stats,
         }
 
@@ -199,6 +203,7 @@ class PreconditionedCGSolver(LinearSolver):
         rhs_norm = float(np.linalg.norm(rhs))
         residual = float(np.linalg.norm(rhs - self._residual_target @ solution))
         self.stats["solves"] += 1
+        self.stats["warm_starts" if x0 is not None else "cold_starts"] += 1
         self.stats["total_iterations"] += iterations
         self.stats["last_iterations"] = iterations
         self.stats["last_relative_residual"] = residual / rhs_norm if rhs_norm > 0 else residual
@@ -260,9 +265,11 @@ class ConjugateGradientSolver(PreconditionedCGSolver):
         self.shape = self._matrix.shape
         self.rtol = float(rtol)
         self.maxiter = int(maxiter)
-        self._configure_cg(
-            self._matrix, preconditioner=self._build_preconditioner(preconditioner)
-        )
+        with current_telemetry().span(
+            "solver.factor", phase="factor", solver=self.method_name
+        ):
+            built = self._build_preconditioner(preconditioner)
+        self._configure_cg(self._matrix, preconditioner=built)
 
     def _build_preconditioner(self, kind):
         if kind is None:

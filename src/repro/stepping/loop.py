@@ -29,6 +29,7 @@ from typing import Callable, Optional, Union
 import numpy as np
 
 from ..errors import SolverError
+from ..telemetry import StepStats, current_telemetry
 from .schemes import StepForms, SteppingScheme, resolve_scheme
 
 __all__ = [
@@ -114,11 +115,14 @@ class SystemAdapter(abc.ABC):
 @dataclass
 class StepHistory:
     """Result of one :meth:`StepLoop.run`: the time axis, the stored states
-    (``None`` in streaming mode) and the final state."""
+    (``None`` in streaming mode), the final state, and -- when telemetry is
+    enabled -- the :class:`~repro.telemetry.StepStats` aggregate of the
+    run's per-step solves."""
 
     times: np.ndarray
     states: Optional[np.ndarray]
     final: np.ndarray
+    stats: Optional[StepStats] = None
 
 
 class StepLoop:
@@ -171,7 +175,11 @@ class StepLoop:
         adapter = self.adapter
         times = self.times
         n = adapter.size
-        prepared = adapter.prepare(self.scheme, times, self.h)
+        telemetry = current_telemetry()
+        with telemetry.span(
+            "stepping.prepare", phase="factor", adapter=type(adapter).__name__
+        ):
+            prepared = adapter.prepare(self.scheme, times, self.h)
         forms = prepared.forms
         series = prepared.rhs_series
         rhs_function = prepared.rhs_function
@@ -195,7 +203,8 @@ class StepLoop:
 
         # --------------------------------------------------- initial condition
         if x0 is None:
-            x = prepared.dc_solver_factory().solve(rhs_initial)
+            with telemetry.span("stepping.dc", phase="factor"):
+                x = prepared.dc_solver_factory().solve(rhs_initial)
         else:
             x = np.asarray(x0, dtype=float).copy()
             if x.shape != (n,):
@@ -203,6 +212,13 @@ class StepLoop:
 
         solver = prepared.step_solver
         warm_start = supports_warm_start(solver)
+        # Per-step stats are collected only while telemetry is enabled; the
+        # instrumentation merely *reads* the solver's diagnostics after each
+        # solve, so trajectories are bit-identical with telemetry on or off
+        # and the disabled path costs nothing per step.
+        record = telemetry.enabled
+        step_stats = StepStats() if record else None
+        solver_diag = getattr(solver, "stats", None) if record else None
         matrix_free = forms.matrix_free
         two_term = forms.rhs_u_old != 0.0
         rhs_capacitance = forms.rhs_capacitance
@@ -219,69 +235,87 @@ class StepLoop:
 
         rhs_previous = rhs_initial
 
-        for k in range(1, times.size):
-            t = float(times[k])
-            if series is not None:
-                rhs_now = series.fill(k, u_now)
-            else:
-                rhs_now = np.asarray(rhs_function(t), dtype=float)
-
-            # ------------------------------------------------- RHS assembly
-            # The branch structure mirrors the historical per-engine loops
-            # exactly (term order included) so the default schemes keep
-            # their floating-point trajectories bit for bit.
-            if matrix_free:
-                if two_term:
-                    if forms.rhs_u_old == 1.0 and forms.rhs_u_new == 1.0:
-                        np.add(rhs_now, rhs_previous, out=b)
-                    else:
-                        np.multiply(rhs_previous, forms.rhs_u_old, out=b)
-                        if forms.rhs_u_new == 1.0:
-                            b += rhs_now
-                        else:
-                            b += forms.rhs_u_new * rhs_now
-                    if rhs_capacitance is not None:
-                        rhs_capacitance.matvec(x, out=work)
-                        b += work
+        with telemetry.span("stepping.march", phase="step", steps=times.size - 1):
+            for k in range(1, times.size):
+                t = float(times[k])
+                if series is not None:
+                    rhs_now = series.fill(k, u_now)
                 else:
-                    if rhs_capacitance is not None:
-                        rhs_capacitance.matvec(x, out=work)
-                        if forms.rhs_u_new == 1.0:
-                            np.add(rhs_now, work, out=b)
+                    rhs_now = np.asarray(rhs_function(t), dtype=float)
+
+                # --------------------------------------------- RHS assembly
+                # The branch structure mirrors the historical per-engine
+                # loops exactly (term order included) so the default schemes
+                # keep their floating-point trajectories bit for bit.
+                if matrix_free:
+                    if two_term:
+                        if forms.rhs_u_old == 1.0 and forms.rhs_u_new == 1.0:
+                            np.add(rhs_now, rhs_previous, out=b)
                         else:
-                            np.multiply(rhs_now, forms.rhs_u_new, out=b)
+                            np.multiply(rhs_previous, forms.rhs_u_old, out=b)
+                            if forms.rhs_u_new == 1.0:
+                                b += rhs_now
+                            else:
+                                b += forms.rhs_u_new * rhs_now
+                        if rhs_capacitance is not None:
+                            rhs_capacitance.matvec(x, out=work)
                             b += work
                     else:
-                        np.multiply(rhs_now, forms.rhs_u_new, out=b)
-                if rhs_conductance is not None:
-                    rhs_conductance.matvec(x, out=work)
-                    b -= work
-            else:
-                if forms.rhs_u_new == 1.0:
-                    b = rhs_now if two_term else rhs_now.copy()
+                        if rhs_capacitance is not None:
+                            rhs_capacitance.matvec(x, out=work)
+                            if forms.rhs_u_new == 1.0:
+                                np.add(rhs_now, work, out=b)
+                            else:
+                                np.multiply(rhs_now, forms.rhs_u_new, out=b)
+                                b += work
+                        else:
+                            np.multiply(rhs_now, forms.rhs_u_new, out=b)
+                    if rhs_conductance is not None:
+                        rhs_conductance.matvec(x, out=work)
+                        b -= work
                 else:
-                    b = forms.rhs_u_new * rhs_now
-                if two_term:
-                    if forms.rhs_u_old == 1.0:
-                        b = b + rhs_previous
+                    if forms.rhs_u_new == 1.0:
+                        b = rhs_now if two_term else rhs_now.copy()
                     else:
-                        b = b + forms.rhs_u_old * rhs_previous
-                if rhs_capacitance is not None:
-                    b = b + rhs_capacitance @ x
-                if rhs_conductance is not None:
-                    b = b - rhs_conductance @ x
+                        b = forms.rhs_u_new * rhs_now
+                    if two_term:
+                        if forms.rhs_u_old == 1.0:
+                            b = b + rhs_previous
+                        else:
+                            b = b + forms.rhs_u_old * rhs_previous
+                    if rhs_capacitance is not None:
+                        b = b + rhs_capacitance @ x
+                    if rhs_conductance is not None:
+                        b = b - rhs_conductance @ x
 
-            x = solver.solve(b, x0=x) if warm_start else solver.solve(b)
-            if store:
-                history[k] = x
-            if callback is not None:
-                callback(k, t, x)
-            if series is not None:
-                # Swap buffers: the one holding U(t_k) becomes "previous",
-                # the stale one is overwritten by the next fill.
-                u_now, u_previous = u_previous, u_now
-                rhs_previous = u_previous
-            else:
-                rhs_previous = rhs_now
+                x = solver.solve(b, x0=x) if warm_start else solver.solve(b)
+                if record:
+                    if solver_diag is None:
+                        step_stats.record_solve(warm_start)
+                    else:
+                        step_stats.record_solve(
+                            warm_start,
+                            solver_diag.get("last_iterations"),
+                            solver_diag.get("last_relative_residual"),
+                        )
+                if store:
+                    history[k] = x
+                if callback is not None:
+                    callback(k, t, x)
+                if series is not None:
+                    # Swap buffers: the one holding U(t_k) becomes
+                    # "previous", the stale one is overwritten next fill.
+                    u_now, u_previous = u_previous, u_now
+                    rhs_previous = u_previous
+                else:
+                    rhs_previous = rhs_now
 
-        return StepHistory(times=times, states=history, final=x)
+        if record:
+            step_stats.steps = times.size - 1
+            # One hoisted LHS serves the whole run: every solve after the
+            # first reuses the factorisation/operator built in prepare().
+            step_stats.lhs_hoists = 1
+            step_stats.lhs_reused_solves = max(0, step_stats.solves - 1)
+            telemetry.record_step_stats(step_stats)
+
+        return StepHistory(times=times, states=history, final=x, stats=step_stats)

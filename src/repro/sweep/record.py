@@ -19,6 +19,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 from ..errors import AnalysisError, StoreError
+from ..telemetry import merge_summaries
 
 __all__ = ["SCHEMA", "BenchRecord", "record_from_outcome", "record_from_store"]
 
@@ -57,12 +58,19 @@ def _environment() -> Dict[str, str]:
 
 @dataclass(frozen=True)
 class BenchRecord:
-    """One sweep run's benchmark artifact (schema ``repro.sweep/bench-record/v1``)."""
+    """One sweep run's benchmark artifact (schema ``repro.sweep/bench-record/v1``).
+
+    ``telemetry`` is the optional campaign-wide merged telemetry summary
+    (see :func:`repro.telemetry.merge_summaries`); it is carried only when
+    the producing sweep profiled its cases, and readers of artifacts
+    written before the field existed see ``None``.
+    """
 
     cases: Tuple[Dict, ...]
     config: Dict = field(default_factory=dict)
     environment: Dict = field(default_factory=dict)
     created_unix: Optional[float] = None
+    telemetry: Optional[Dict] = None
     schema: str = SCHEMA
 
     def __post_init__(self):
@@ -111,13 +119,16 @@ class BenchRecord:
 
     # ------------------------------------------------------------- round trip
     def to_dict(self) -> Dict:
-        return {
+        payload = {
             "schema": self.schema,
             "created_unix": self.created_unix,
             "config": dict(self.config),
             "environment": dict(self.environment),
             "cases": [dict(case) for case in self.cases],
         }
+        if self.telemetry is not None:
+            payload["telemetry"] = dict(self.telemetry)
+        return payload
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True) + "\n"
@@ -133,6 +144,7 @@ class BenchRecord:
             config=dict(payload.get("config", {})),
             environment=dict(payload.get("environment", {})),
             created_unix=payload.get("created_unix"),
+            telemetry=payload.get("telemetry"),
             schema=payload.get("schema", "<missing>"),
         )
 
@@ -173,6 +185,18 @@ def _case_entries(results) -> List[Dict]:
     return cases
 
 
+def _merged_telemetry(cases: List[Dict]) -> Optional[Dict]:
+    """Campaign-wide telemetry folded from the case entries, in entry order.
+
+    ``_case_entries`` walks outcomes in plan order and stores in insertion
+    order, so the merge is deterministic either way; sweeps that ran
+    without profiling contribute nothing and the artifact omits the field.
+    """
+    return merge_summaries(
+        case["telemetry"] for case in cases if case.get("telemetry") is not None
+    )
+
+
 def record_from_outcome(outcome, config: Optional[Dict] = None) -> BenchRecord:
     """Build the artifact of a :class:`~repro.sweep.runner.SweepOutcome`.
 
@@ -201,6 +225,7 @@ def record_from_outcome(outcome, config: Optional[Dict] = None) -> BenchRecord:
         config=merged_config,
         environment=_environment(),
         created_unix=time.time(),
+        telemetry=_merged_telemetry(cases),
     )
 
 
@@ -234,4 +259,5 @@ def record_from_store(store, plan=None, config: Optional[Dict] = None) -> BenchR
         config=merged_config,
         environment=_environment(),
         created_unix=time.time(),
+        telemetry=_merged_telemetry(cases),
     )

@@ -35,6 +35,7 @@ import numpy as np
 from ..errors import AnalysisError, StoreError
 from ..montecarlo.statistics import RunningMoments
 from ..sim.transient import TransientConfig
+from ..telemetry import merge_summaries, profile
 from .plan import SweepCase, SweepPlan, corner_spec
 from .store import MemoryBackend, ResultsBackend
 
@@ -48,6 +49,10 @@ class SweepCaseResult:
     ``times`` / ``mean`` / ``std`` are populated only when the runner was
     built with ``keep_statistics=True``; they allow accuracy comparisons
     (e.g. Table-1 error metrics) between cases without re-running anything.
+    ``telemetry`` carries the case's :meth:`repro.telemetry.Telemetry.summary`
+    (phase timings, solver counters, per-step stats) when the runner was
+    built with ``telemetry=True``; it is JSON-safe and travels through every
+    results backend.
     """
 
     engine: str
@@ -65,6 +70,7 @@ class SweepCaseResult:
     partitions: Optional[int] = None
     solver: Optional[str] = None
     scheme: Optional[str] = None
+    telemetry: Optional[Dict] = field(default=None, repr=False)
     times: Optional[np.ndarray] = field(default=None, repr=False)
     mean: Optional[np.ndarray] = field(default=None, repr=False)
     std: Optional[np.ndarray] = field(default=None, repr=False)
@@ -115,7 +121,7 @@ class SweepCaseResult:
 
     def to_record(self) -> Dict:
         """The case's :mod:`repro.sweep.record` artifact entry."""
-        return {
+        record = {
             "name": self.name,
             "engine": self.engine,
             "nodes": int(self.nodes),
@@ -131,6 +137,9 @@ class SweepCaseResult:
             "worst_drop_v": float(self.worst_drop),
             "max_std_v": float(self.max_std),
         }
+        if self.telemetry is not None:
+            record["telemetry"] = dict(self.telemetry)
+        return record
 
 
 # --------------------------------------------------------------------------
@@ -160,10 +169,19 @@ def _session_for(case: SweepCase, transient: TransientConfig):
 
 def _execute_case(args) -> SweepCaseResult:
     """Run one case (module-level so process pools can pickle it)."""
-    case, transient, keep_statistics, keep_raw = args
+    case, transient, keep_statistics, keep_raw, profile_case = args
     session = _session_for(case, transient)
     started = time.perf_counter()
-    view = session.run(case.engine, mode="transient", **case.run_options())
+    tele_summary = None
+    if profile_case:
+        # A fresh per-case telemetry context, activated *inside* the worker
+        # process: the summary is plain JSON-safe data, so it pickles back
+        # to the driver with the result no matter the workers count.
+        with profile() as tele:
+            view = session.run(case.engine, mode="transient", **case.run_options())
+        tele_summary = tele.summary()
+    else:
+        view = session.run(case.engine, mode="transient", **case.run_options())
     elapsed = time.perf_counter() - started
     mean = view.mean()
     std = view.std()
@@ -177,6 +195,7 @@ def _execute_case(args) -> SweepCaseResult:
         partitions=case.partitions,
         solver=case.solver,
         scheme=case.scheme,
+        telemetry=tele_summary,
         seed=case.seed,
         name=case.name,
         num_nodes=int(mean.shape[-1]),
@@ -325,6 +344,19 @@ class SweepOutcome:
         summaries["overall"] = _moments_summary(overall)
         return summaries
 
+    def telemetry_summary(self) -> Optional[Dict]:
+        """The campaign's merged per-case telemetry summary.
+
+        One plan-order pass over the backend, folding every case's
+        telemetry block with :func:`repro.telemetry.merge_summaries`; the
+        merge order is the plan order, so the result is deterministic for
+        any worker count and any interrupt/resume split.  ``None`` when the
+        sweep ran without ``SweepRunner(telemetry=True)``.
+        """
+        return merge_summaries(
+            result.telemetry for result in self if result.telemetry is not None
+        )
+
 
 def _moments_summary(moments: RunningMoments) -> Dict[str, float]:
     mean = moments.mean
@@ -363,6 +395,13 @@ class SweepRunner:
         processes do not accumulate factorisations; staged sweeps that run
         several plans on the same grids (e.g. the Figure-1/2 bench) opt in
         to reuse the grid setup.
+    telemetry:
+        Profile every executed case: each case runs inside its own
+        :func:`repro.telemetry.profile` context (in the worker process that
+        executes it) and ships the JSON-safe summary back on
+        :attr:`SweepCaseResult.telemetry`.  The summaries persist through
+        every results backend and merge deterministically via
+        :meth:`SweepOutcome.telemetry_summary`.
     """
 
     def __init__(
@@ -371,6 +410,7 @@ class SweepRunner:
         keep_statistics: bool = False,
         keep_raw: bool = False,
         retain_sessions: bool = False,
+        telemetry: bool = False,
     ):
         if workers < 1:
             raise AnalysisError(f"workers must be at least 1, got {workers}")
@@ -378,6 +418,7 @@ class SweepRunner:
         self.keep_statistics = bool(keep_statistics)
         self.keep_raw = bool(keep_raw)
         self.retain_sessions = bool(retain_sessions)
+        self.telemetry = bool(telemetry)
 
     def run(self, plan: SweepPlan, store: Optional[ResultsBackend] = None) -> SweepOutcome:
         """Execute the cases of ``plan`` that ``store`` does not already hold.
@@ -418,7 +459,7 @@ class SweepRunner:
         pooled_cases = [case for case in pending if case not in driver_set]
 
         def job(case: SweepCase) -> Tuple:
-            return (case, plan.transient, self.keep_statistics, self.keep_raw)
+            return (case, plan.transient, self.keep_statistics, self.keep_raw, self.telemetry)
 
         try:
             if self.workers > 1 and len(pooled_cases) > 1:

@@ -247,6 +247,7 @@ def _result_from_entry(entry: Dict, times, mean, std):
         partitions=None if entry["partitions"] is None else int(entry["partitions"]),
         solver=None if entry["solver"] is None else str(entry["solver"]),
         scheme=None if entry["scheme"] is None else str(entry["scheme"]),
+        telemetry=entry.get("telemetry"),
         times=times,
         mean=mean,
         std=std,

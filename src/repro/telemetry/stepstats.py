@@ -1,0 +1,156 @@
+"""Per-step solver statistics aggregated by the shared integration loop.
+
+:class:`StepStats` is the aggregate the ROADMAP's stepping item asks for:
+while telemetry is enabled, :class:`~repro.stepping.loop.StepLoop` records
+every per-step linear solve -- iteration counts and final relative residuals
+when the solver exposes them, warm-start versus cold-start usage, and how
+many solves reused the single hoisted LHS factorisation -- and the engines
+surface the merged aggregate through ``AnalysisResult.solver_stats()`` under
+the ``"steps"`` key.
+
+The aggregate is additive: :meth:`StepStats.merge` folds the stats of many
+runs (e.g. the per-sample loops of a Monte Carlo sweep) into one, and
+:meth:`StepStats.to_dict` / :meth:`StepStats.from_dict` round-trip it
+through JSON for sweep-store persistence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["StepStats"]
+
+
+@dataclass
+class StepStats:
+    """Aggregate of the per-step linear solves of one or more step loops.
+
+    Attributes
+    ----------
+    steps:
+        Accepted time steps (excluding the initial condition).
+    solves:
+        Step-matrix solves; equals ``steps`` for a single run.
+    total_iterations:
+        Summed iteration counts of solvers that report them (CG backends);
+        ``0`` when every solve was direct.
+    warm_starts / cold_starts:
+        Solves that did / did not receive the previous state as an initial
+        guess; ``warm_starts + cold_starts == solves``.
+    lhs_hoists:
+        Step-matrix factorisations (one per run: the loop hoists the LHS).
+    lhs_reused_solves:
+        Solves served by an already-hoisted LHS (``solves - lhs_hoists``
+        when every run takes at least one step).
+    last_iterations / last_relative_residual:
+        Diagnostics of the most recent iterative solve, when any.
+    max_relative_residual:
+        Worst final relative residual observed across all solves.
+    """
+
+    steps: int = 0
+    solves: int = 0
+    total_iterations: int = 0
+    warm_starts: int = 0
+    cold_starts: int = 0
+    lhs_hoists: int = 0
+    lhs_reused_solves: int = 0
+    last_iterations: int = 0
+    last_relative_residual: Optional[float] = None
+    max_relative_residual: Optional[float] = None
+
+    # ------------------------------------------------------------- recording
+    def record_solve(
+        self,
+        warm: bool,
+        iterations: Optional[int] = None,
+        residual: Optional[float] = None,
+    ) -> None:
+        """Record one step solve (called by the loop while telemetry is on)."""
+        self.solves += 1
+        if warm:
+            self.warm_starts += 1
+        else:
+            self.cold_starts += 1
+        if iterations is not None:
+            count = int(iterations)
+            self.total_iterations += count
+            self.last_iterations = count
+        if residual is not None:
+            value = float(residual)
+            self.last_relative_residual = value
+            if self.max_relative_residual is None or value > self.max_relative_residual:
+                self.max_relative_residual = value
+
+    def merge(self, other: "StepStats") -> "StepStats":
+        """Fold another aggregate into this one (in place; returns self)."""
+        self.steps += other.steps
+        self.solves += other.solves
+        self.total_iterations += other.total_iterations
+        self.warm_starts += other.warm_starts
+        self.cold_starts += other.cold_starts
+        self.lhs_hoists += other.lhs_hoists
+        self.lhs_reused_solves += other.lhs_reused_solves
+        if other.solves:
+            self.last_iterations = other.last_iterations
+            if other.last_relative_residual is not None:
+                self.last_relative_residual = other.last_relative_residual
+        if other.max_relative_residual is not None:
+            if (
+                self.max_relative_residual is None
+                or other.max_relative_residual > self.max_relative_residual
+            ):
+                self.max_relative_residual = other.max_relative_residual
+        return self
+
+    # ------------------------------------------------------------- derived
+    @property
+    def warm_start_hit_rate(self) -> Optional[float]:
+        """Fraction of solves that received an initial guess (None when idle)."""
+        return self.warm_starts / self.solves if self.solves else None
+
+    @property
+    def mean_iterations(self) -> Optional[float]:
+        """Mean iterations per solve, for solvers that report iterations."""
+        return self.total_iterations / self.solves if self.solves else None
+
+    # --------------------------------------------------------- serialisation
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe summary with derived rates, keys sorted for determinism."""
+        payload = {
+            "steps": self.steps,
+            "solves": self.solves,
+            "total_iterations": self.total_iterations,
+            "warm_starts": self.warm_starts,
+            "cold_starts": self.cold_starts,
+            "warm_start_hit_rate": self.warm_start_hit_rate,
+            "lhs_hoists": self.lhs_hoists,
+            "lhs_reused_solves": self.lhs_reused_solves,
+            "last_iterations": self.last_iterations,
+            "last_relative_residual": self.last_relative_residual,
+            "max_relative_residual": self.max_relative_residual,
+            "mean_iterations": self.mean_iterations,
+        }
+        return dict(sorted(payload.items()))
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "StepStats":
+        """Rebuild an aggregate from :meth:`to_dict` output (derived keys ignored)."""
+        stats = cls()
+        for field in (
+            "steps",
+            "solves",
+            "total_iterations",
+            "warm_starts",
+            "cold_starts",
+            "lhs_hoists",
+            "lhs_reused_solves",
+            "last_iterations",
+        ):
+            if payload.get(field) is not None:
+                setattr(stats, field, int(payload[field]))
+        for field in ("last_relative_residual", "max_relative_residual"):
+            if payload.get(field) is not None:
+                setattr(stats, field, float(payload[field]))
+        return stats

@@ -1,0 +1,127 @@
+"""Versioned JSON-lines trace export (schema ``repro.telemetry/trace/v1``).
+
+A trace is one JSON object per line.  Every event carries the v1 required
+fields -- ``schema``, ``seq``, ``type``, ``name``, ``t_s`` -- plus
+type-specific payloads:
+
+``meta``
+    First line of the file; ``attrs`` holds the producing context's elapsed
+    wall time (``elapsed_s``) and span count.
+``span``
+    A closed timed section: ``duration_s``, ``depth`` and the optional
+    ``phase`` (``assemble`` / ``factor`` / ``step`` / ``fit`` / ``run``)
+    plus free-form ``attrs`` (e.g. ``solver``).
+``counter`` / ``gauge``
+    Final metric snapshots: ``value``.
+``step_stats``
+    The merged per-step solver aggregate: ``stats`` is
+    :meth:`~repro.telemetry.stepstats.StepStats.to_dict` output.
+
+``t_s`` offsets are monotonic seconds relative to the context epoch.  The
+schema string is versioned; readers reject other versions rather than guess.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from .core import Telemetry
+
+__all__ = ["TRACE_SCHEMA", "REQUIRED_FIELDS", "trace_events", "write_trace", "read_trace"]
+
+#: Schema identifier stamped on every event line.
+TRACE_SCHEMA = "repro.telemetry/trace/v1"
+
+#: Fields every v1 event must carry.
+REQUIRED_FIELDS = ("schema", "seq", "type", "name", "t_s")
+
+
+def trace_events(telemetry: Telemetry) -> List[dict]:
+    """All v1 events of a context: meta, spans, metric and step snapshots."""
+    elapsed = telemetry.elapsed()
+    spans = [dict(event, schema=TRACE_SCHEMA) for event in telemetry.events]
+    seq = max((event["seq"] for event in telemetry.events), default=0)
+    events: List[dict] = [
+        {
+            "schema": TRACE_SCHEMA,
+            "seq": 0,
+            "type": "meta",
+            "name": "trace",
+            "t_s": 0.0,
+            "attrs": {"elapsed_s": elapsed, "spans": len(spans)},
+        }
+    ]
+    events.extend(sorted(spans, key=lambda event: event["seq"]))
+    for name in sorted(telemetry.counters):
+        seq += 1
+        events.append(
+            {
+                "schema": TRACE_SCHEMA,
+                "seq": seq,
+                "type": "counter",
+                "name": name,
+                "t_s": elapsed,
+                "value": telemetry.counters[name].value,
+            }
+        )
+    for name in sorted(telemetry.gauges):
+        seq += 1
+        events.append(
+            {
+                "schema": TRACE_SCHEMA,
+                "seq": seq,
+                "type": "gauge",
+                "name": name,
+                "t_s": elapsed,
+                "value": telemetry.gauges[name].value,
+            }
+        )
+    if telemetry.step_stats.solves or telemetry.step_stats.steps:
+        seq += 1
+        events.append(
+            {
+                "schema": TRACE_SCHEMA,
+                "seq": seq,
+                "type": "step_stats",
+                "name": "steps",
+                "t_s": elapsed,
+                "stats": telemetry.step_stats.to_dict(),
+            }
+        )
+    return events
+
+
+def write_trace(telemetry: Telemetry, path: Union[str, Path]) -> Path:
+    """Write the context's events as JSON lines; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for event in trace_events(telemetry):
+            handle.write(json.dumps(event, sort_keys=True) + "\n")
+    return path
+
+
+def read_trace(path: Union[str, Path]) -> List[dict]:
+    """Read a v1 trace back as a list of event dicts.
+
+    Raises :class:`ValueError` on malformed lines or foreign schemas; use
+    :mod:`repro.telemetry.validate` for a diagnostic pass that reports every
+    problem instead of stopping at the first.
+    """
+    events: List[dict] = []
+    for line_number, line in enumerate(Path(path).read_text(encoding="utf-8").splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            event: Dict[str, object] = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{line_number}: not valid JSON: {exc}") from exc
+        schema = event.get("schema")
+        if schema != TRACE_SCHEMA:
+            raise ValueError(
+                f"{path}:{line_number}: schema {schema!r}, expected {TRACE_SCHEMA!r}"
+            )
+        events.append(event)
+    return events

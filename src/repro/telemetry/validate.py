@@ -1,0 +1,109 @@
+"""Schema validation of ``repro.telemetry/trace/v1`` files.
+
+Runnable as a module -- this is the CI gate of the bench-smoke job::
+
+    python -m repro.telemetry.validate trace.jsonl
+
+Exit status 0 means every line is valid JSON, carries the v1 schema string
+and every required field with a sane type; any problem is reported with its
+line number and the exit status is 1.  Unlike :func:`repro.telemetry.trace.read_trace`
+(which raises at the first problem) the validator scans the whole file and
+lists everything wrong.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from .trace import REQUIRED_FIELDS, TRACE_SCHEMA
+
+__all__ = ["validate_trace", "main"]
+
+#: Event types the v1 schema defines, with their type-specific required fields.
+_TYPE_FIELDS = {
+    "meta": (),
+    "span": ("duration_s", "depth"),
+    "counter": ("value",),
+    "gauge": ("value",),
+    "step_stats": ("stats",),
+}
+
+
+def _check_event(event: object, where: str) -> List[str]:
+    problems: List[str] = []
+    if not isinstance(event, dict):
+        return [f"{where}: event is {type(event).__name__}, expected an object"]
+    for field in REQUIRED_FIELDS:
+        if field not in event:
+            problems.append(f"{where}: missing required field {field!r}")
+    if problems:
+        return problems
+    if event["schema"] != TRACE_SCHEMA:
+        problems.append(f"{where}: schema {event['schema']!r}, expected {TRACE_SCHEMA!r}")
+    if not isinstance(event["seq"], int) or event["seq"] < 0:
+        problems.append(f"{where}: seq must be a non-negative integer")
+    if not isinstance(event["name"], str) or not event["name"]:
+        problems.append(f"{where}: name must be a non-empty string")
+    if not isinstance(event["t_s"], (int, float)):
+        problems.append(f"{where}: t_s must be a number")
+    kind = event["type"]
+    if kind not in _TYPE_FIELDS:
+        problems.append(f"{where}: unknown event type {kind!r}")
+        return problems
+    for field in _TYPE_FIELDS[kind]:
+        if field not in event:
+            problems.append(f"{where}: {kind} event missing field {field!r}")
+    if kind == "span" and isinstance(event.get("duration_s"), (int, float)):
+        if event["duration_s"] < 0:
+            problems.append(f"{where}: span duration_s must be non-negative")
+    return problems
+
+
+def validate_trace(path: Union[str, Path]) -> List[str]:
+    """All schema problems of a trace file (empty list == valid)."""
+    path = Path(path)
+    if not path.exists():
+        return [f"{path}: no such file"]
+    problems: List[str] = []
+    events = 0
+    for line_number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if not line.strip():
+            continue
+        where = f"{path}:{line_number}"
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"{where}: not valid JSON: {exc}")
+            continue
+        events += 1
+        problems.extend(_check_event(event, where))
+    if events == 0:
+        problems.append(f"{path}: trace contains no events")
+    return problems
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.validate",
+        description="validate a repro.telemetry/trace/v1 JSON-lines trace",
+    )
+    parser.add_argument("trace", type=Path, nargs="+", help="trace file(s) to check")
+    args = parser.parse_args(argv)
+    failed = False
+    for path in args.trace:
+        problems = validate_trace(path)
+        if problems:
+            failed = True
+            for problem in problems:
+                print(problem, file=sys.stderr)
+        else:
+            print(f"{path}: OK ({TRACE_SCHEMA})")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

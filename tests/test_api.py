@@ -502,3 +502,94 @@ class TestSolverStats:
         total = session.solver_stats()["cg"]["solves"]
         assert total == first_solves + second_solves
 
+
+class TestTelemetryStepStats:
+    """Per-step solver metrics attached under ``solver_stats["steps"]``.
+
+    While :func:`repro.telemetry.profile` is active, :meth:`Analysis.run`
+    claims the step-loop aggregate of its own run for every registered
+    transient engine; without telemetry nothing is attached and the
+    waveforms are bit-identical either way.
+    """
+
+    ENGINE_OPTIONS = {
+        "opera": {"order": 1},
+        "decoupled": {"order": 1},
+        "montecarlo": {"samples": 4, "seed": 1, "workers": 1},
+        "deterministic": {},
+        "hierarchical": {"partitions": 2},
+        "pce-regression": {"order": 1, "samples": 12, "seed": 1},
+    }
+
+    @pytest.fixture()
+    def fresh_rhs_session(self, small_netlist):
+        """A fresh rhs-only session per test: cached results never ran a
+        step loop, so they (correctly) carry no per-step stats."""
+        s = Analysis.from_netlist(
+            small_netlist,
+            variation=VariationSpec(vary_conductance=False, vary_capacitance=False),
+        )
+        return s.with_transient(t_stop=1.0e-9, dt=0.25e-9)
+
+    @pytest.mark.parametrize("engine", sorted(ENGINE_OPTIONS))
+    def test_steps_block_for_every_transient_engine(self, fresh_rhs_session, engine):
+        import math
+
+        from repro import telemetry
+
+        with telemetry.profile():
+            view = fresh_rhs_session.run(
+                engine, mode="transient", **self.ENGINE_OPTIONS[engine]
+            )
+        steps = view.solver_stats["steps"]
+        assert steps["steps"] > 0
+        assert steps["solves"] >= steps["steps"]
+        assert steps["warm_starts"] + steps["cold_starts"] == steps["solves"]
+        assert steps["lhs_hoists"] >= 1
+        assert steps["lhs_reused_solves"] == steps["solves"] - steps["lhs_hoists"]
+        assert steps["total_iterations"] >= 0
+        for key in ("last_relative_residual", "max_relative_residual"):
+            assert steps[key] is None or math.isfinite(steps[key])
+        # The block survives (sorted) in the JSON summary.
+        summary = view.to_dict()["solver_stats"]["steps"]
+        assert list(summary) == sorted(summary)
+
+    def test_cg_iteration_counts_and_warm_starts(self, small_netlist):
+        import math
+
+        from repro import telemetry
+
+        session = Analysis.from_netlist(small_netlist).with_transient(
+            t_stop=1.0e-9, dt=0.25e-9
+        )
+        with telemetry.profile():
+            view = session.run("opera", order=1, solver="cg")
+        steps = view.solver_stats["steps"]
+        # Every CG solve iterates at least once and reports its residual.
+        assert steps["total_iterations"] >= steps["solves"] > 0
+        assert math.isfinite(steps["last_relative_residual"])
+        assert steps["max_relative_residual"] >= steps["last_relative_residual"] >= 0.0
+        # The step loop feeds the previous state to warm-start-capable solvers.
+        assert steps["warm_starts"] == steps["solves"]
+        assert steps["warm_start_hit_rate"] == 1.0
+
+    def test_no_steps_block_without_telemetry(self, rhs_only_session):
+        view = rhs_only_session.run("deterministic", mode="transient")
+        assert "steps" not in (view.solver_stats or {})
+
+    def test_waveforms_bit_identical_with_telemetry(self, small_netlist):
+        from repro import telemetry
+
+        session = Analysis.from_netlist(small_netlist).with_transient(
+            t_stop=1.0e-9, dt=0.25e-9
+        )
+        for engine, options in (
+            ("opera", {"order": 1}),
+            ("montecarlo", {"samples": 6, "seed": 3}),
+        ):
+            baseline = session.run(engine, **options)
+            with telemetry.profile():
+                profiled = session.run(engine, **options)
+            assert np.array_equal(baseline.mean(), profiled.mean())
+            assert np.array_equal(baseline.std(), profiled.std())
+
