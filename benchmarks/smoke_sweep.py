@@ -36,6 +36,7 @@ from repro.sweep import (
     SweepCase,
     SweepPlan,
     SweepRunner,
+    check_throughput,
     compare_records,
     record_from_outcome,
     record_from_store,
@@ -89,6 +90,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="clamp wall times up to this floor before comparing; generous "
         "because baseline and current run on different hardware "
         "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--batch",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="run the sweep through the topology-batched scheduler "
+        "(results are bit-identical to the unbatched path)",
+    )
+    parser.add_argument(
+        "--min-throughput",
+        type=float,
+        default=None,
+        metavar="CPS",
+        help="require the run to sustain this many cases/second "
+        "(clamped: runs at most --throughput-min-seconds long always pass)",
+    )
+    parser.add_argument(
+        "--throughput-min-seconds",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="total wall time below which the throughput floor is waived "
+        "(default %(default)s; CI smoke grids are tiny and noisy)",
     )
     parser.add_argument(
         "--store",
@@ -158,7 +182,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # remaining cases from the flushed shards.
         truncated = dataclasses.replace(plan, cases=plan.cases[: args.interrupt])
         store = ShardedNpzBackend(args.store, shard_size=STORE_SHARD_SIZE)
-        outcome = SweepRunner(workers=bench_workers()).run(truncated, store=store)
+        outcome = SweepRunner(workers=bench_workers(), batch=args.batch).run(
+            truncated, store=store
+        )
         print(
             f"smoke sweep interrupted after {outcome.executed} of "
             f"{len(plan.cases)} case(s); store at {args.store}"
@@ -168,7 +194,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     store = None
     if args.store is not None:
         store = ShardedNpzBackend(args.store, shard_size=STORE_SHARD_SIZE)
-    outcome = SweepRunner(workers=bench_workers()).run(plan, store=store)
+    outcome = SweepRunner(workers=bench_workers(), batch=args.batch).run(plan, store=store)
     if store is not None:
         # Exercise the store's export view: the artifact the gate consumes
         # is rebuilt purely from the persisted shards.
@@ -186,6 +212,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     path = record.write(args.output)
     print(f"wrote {path}")
+
+    if args.min_throughput is not None:
+        # Gate throughput on the live outcome (store exports have no sweep
+        # wall time), with the clamped floor: tiny CI runs pass vacuously.
+        live = record_from_outcome(outcome)
+        throughput = check_throughput(
+            live, args.min_throughput, min_seconds=args.throughput_min_seconds
+        )
+        print(throughput.format())
+        if not throughput.ok:
+            return 1
 
     if args.baseline is not None:
         report = compare_records(

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import abc
 import hashlib
+from collections import OrderedDict
 from typing import Optional
 
 import numpy as np
@@ -41,6 +42,11 @@ __all__ = [
     "solver_factory",
     "solver_accepts_operator",
     "matrix_fingerprint",
+    "sparsity_fingerprint",
+    "canonical_csc",
+    "factorization_counters",
+    "reset_factorization_counters",
+    "clear_pattern_cache",
 ]
 
 
@@ -53,6 +59,130 @@ def _is_lazy_operator(obj) -> bool:
     the explicit-assembly escape hatch ``to_csr``.
     """
     return callable(getattr(obj, "matvec", None)) and callable(getattr(obj, "to_csr", None))
+
+
+# ---------------------------------------------------------------------------
+# Symbolic / numeric factorisation split
+# ---------------------------------------------------------------------------
+#
+# Corner sweeps factorise many matrices that share one sparsity pattern (the
+# same grid topology stamped with different parameter values).  The symbolic
+# part of the CSR -> CSC canonicalisation -- where each nonzero lands in the
+# column-ordered layout SuperLU consumes -- depends only on the pattern, so it
+# is cached process-wide, keyed by a values-free pattern fingerprint.  The
+# numeric "refactorisation" for a new corner is then a single value gather
+# plus the usual ``splu`` call on the *identical* canonical structure, which
+# keeps the factors (and every downstream trajectory) bit-for-bit equal to
+# the uncached path.
+
+_FACTOR_COUNTERS = {"symbolic_analysis": 0, "symbolic_reuse": 0, "numeric_refactor": 0}
+
+
+def factorization_counters() -> dict:
+    """Snapshot of the process-wide factorisation counters.
+
+    ``symbolic_analysis`` counts first-time sparsity-pattern analyses,
+    ``symbolic_reuse`` counts factorisations that reused a cached pattern,
+    and ``numeric_refactor`` counts :meth:`DirectSolver.refactor` calls
+    (value-only refactorisations).  The same names are emitted as telemetry
+    counters when tracing is enabled.
+    """
+    return dict(_FACTOR_COUNTERS)
+
+
+def reset_factorization_counters() -> None:
+    """Zero the factorisation counters (test/bench isolation)."""
+    for name in _FACTOR_COUNTERS:
+        _FACTOR_COUNTERS[name] = 0
+
+
+def clear_pattern_cache() -> None:
+    """Drop all cached sparsity patterns (test/bench isolation)."""
+    _PATTERN_CACHE.clear()
+
+
+def sparsity_fingerprint(matrix) -> str:
+    """Values-free pattern hash: shape + CSR structure, no data.
+
+    Two matrices get the same fingerprint exactly when they have identical
+    shape and an identical nonzero layout (same ``indptr``/``indices`` in CSR
+    form), i.e. when a factorisation of one can reuse the symbolic analysis
+    of the other.  Lazy operators with their own content ``fingerprint``
+    delegate to it (their pattern is implied by their content identity).
+    """
+    own = getattr(matrix, "fingerprint", None)
+    if callable(own):
+        return own()
+    matrix = sp.csr_matrix(matrix)
+    digest = hashlib.sha1()
+    digest.update(repr(matrix.shape).encode())
+    digest.update(matrix.indptr.tobytes())
+    digest.update(matrix.indices.tobytes())
+    return digest.hexdigest()
+
+
+class _SparsityPattern:
+    """Cached symbolic analysis of one CSR sparsity pattern.
+
+    Holds the canonical CSC structure and the CSR-data -> CSC-data gather
+    permutation, computed once by converting an index-tagged structural
+    clone.  ``csc_from`` then rebuilds ``sp.csc_matrix(csr)`` for any
+    same-pattern matrix without re-running the structural conversion, with
+    bitwise-identical data layout (the conversion's placement depends only
+    on the structure, never on the values).
+    """
+
+    __slots__ = ("shape", "csc_indices", "csc_indptr", "gather")
+
+    def __init__(self, csr: sp.csr_matrix):
+        tagged = sp.csr_matrix(
+            (np.arange(csr.nnz, dtype=np.intp), csr.indices, csr.indptr), shape=csr.shape
+        )
+        csc = tagged.tocsc()
+        self.shape = csr.shape
+        self.csc_indices = csc.indices
+        self.csc_indptr = csc.indptr
+        self.gather = csc.data
+
+    def csc_from(self, csr: sp.csr_matrix) -> sp.csc_matrix:
+        return sp.csc_matrix(
+            (csr.data[self.gather], self.csc_indices, self.csc_indptr), shape=self.shape
+        )
+
+
+_PATTERN_CACHE: "OrderedDict[str, _SparsityPattern]" = OrderedDict()
+_PATTERN_CACHE_SIZE = 32
+
+
+def _pattern_for(csr: sp.csr_matrix) -> _SparsityPattern:
+    key = sparsity_fingerprint(csr)
+    pattern = _PATTERN_CACHE.get(key)
+    if pattern is not None:
+        _PATTERN_CACHE.move_to_end(key)
+        _FACTOR_COUNTERS["symbolic_reuse"] += 1
+        current_telemetry().count("symbolic_reuse")
+        return pattern
+    pattern = _SparsityPattern(csr)
+    _PATTERN_CACHE[key] = pattern
+    while len(_PATTERN_CACHE) > _PATTERN_CACHE_SIZE:
+        _PATTERN_CACHE.popitem(last=False)
+    _FACTOR_COUNTERS["symbolic_analysis"] += 1
+    return pattern
+
+
+def canonical_csc(matrix) -> sp.csc_matrix:
+    """``sp.csc_matrix(matrix)``, with symbolic-analysis reuse for CSR input.
+
+    The returned matrix is bitwise identical (structure and data ordering)
+    to a plain ``sp.csc_matrix(matrix)`` conversion; CSR inputs whose
+    sparsity pattern was seen before skip the structural analysis and pay
+    only a value gather.  This is the single funnel every LU build in the
+    library goes through (:class:`DirectSolver` and the block-preconditioner
+    factorisations of :mod:`repro.linalg.solvers`).
+    """
+    if sp.issparse(matrix) and matrix.format == "csr":
+        return _pattern_for(matrix).csc_from(matrix)
+    return sp.csc_matrix(matrix)
 
 
 class LinearSolver(abc.ABC):
@@ -89,7 +219,7 @@ class DirectSolver(LinearSolver):
         return solution
 
     def __init__(self, matrix: sp.spmatrix):
-        matrix = sp.csc_matrix(matrix)
+        matrix = canonical_csc(matrix)
         if matrix.shape[0] != matrix.shape[1]:
             raise SolverError("direct solver requires a square matrix")
         try:
@@ -98,6 +228,23 @@ class DirectSolver(LinearSolver):
         except RuntimeError as exc:  # singular matrix
             raise SolverError(f"LU factorisation failed: {exc}") from exc
         self.shape = matrix.shape
+
+    def refactor(self, matrix: sp.spmatrix) -> "DirectSolver":
+        """A new solver for a same-pattern matrix with different values.
+
+        Numeric refactorisation: the symbolic CSR -> CSC analysis is served
+        from the process-wide pattern cache, so only the value gather and
+        the LU factorisation itself are paid.  The result is bitwise
+        identical to ``DirectSolver(matrix)`` (a pattern that happens not to
+        match simply falls back to a fresh symbolic analysis).
+        """
+        if sp.issparse(matrix) and matrix.shape != self.shape:
+            raise SolverError(
+                f"refactor expects a matrix of shape {self.shape}, got {matrix.shape}"
+            )
+        _FACTOR_COUNTERS["numeric_refactor"] += 1
+        current_telemetry().count("numeric_refactor")
+        return DirectSolver(matrix)
 
     def solve(self, rhs: np.ndarray) -> np.ndarray:
         rhs = np.asarray(rhs, dtype=float)

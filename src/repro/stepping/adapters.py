@@ -292,14 +292,28 @@ class BlockDiagonalSolver:
     ``solve`` reshapes the stacked right-hand side into per-track columns
     and delegates to the inner solver's ``solve_many`` -- for the direct
     backend that is a single multi-RHS back-substitution over all tracks.
+
+    ``spans`` optionally partitions the tracks into consecutive groups that
+    are solved with *separate* ``solve_many`` calls.  SuperLU's multi-RHS
+    back-substitution is not bitwise invariant to the number of columns
+    (its internal blocking depends on ``nrhs``), so a march that stacks
+    several cases' tracks into one state vector passes their per-case track
+    counts here: each group's solve call then has exactly the shape and
+    layout of that case's own unbatched solve, making the stacked results
+    bit-identical by construction.
     """
 
-    def __init__(self, inner, tracks: int, num_nodes: int):
+    def __init__(self, inner, tracks: int, num_nodes: int, spans: Optional[Sequence[int]] = None):
         self.inner = inner
         self.tracks = int(tracks)
         self.num_nodes = int(num_nodes)
         size = self.tracks * self.num_nodes
         self.shape = (size, size)
+        self.spans = None if spans is None else tuple(int(count) for count in spans)
+        if self.spans is not None and sum(self.spans) != self.tracks:
+            raise SolverError(
+                f"track spans {self.spans} do not cover {self.tracks} track(s)"
+            )
 
     def solve(self, rhs: np.ndarray) -> np.ndarray:
         rhs = np.asarray(rhs, dtype=float)
@@ -307,9 +321,17 @@ class BlockDiagonalSolver:
             raise SolverError(
                 f"right-hand side has shape {rhs.shape}, expected ({self.shape[0]},)"
             )
-        columns = rhs.reshape(self.tracks, self.num_nodes).T
-        solution = self.inner.solve_many(columns)
-        return np.ascontiguousarray(solution.T).reshape(-1)
+        blocks = rhs.reshape(self.tracks, self.num_nodes)
+        if self.spans is None:
+            solution = self.inner.solve_many(blocks.T)
+            return np.ascontiguousarray(solution.T).reshape(-1)
+        out = np.empty_like(blocks)
+        offset = 0
+        for count in self.spans:
+            solution = self.inner.solve_many(blocks[offset : offset + count].T)
+            out[offset : offset + count] = solution.T
+            offset += count
+        return out.reshape(-1)
 
 
 class DecoupledSystemAdapter(SystemAdapter):
@@ -334,6 +356,7 @@ class DecoupledSystemAdapter(SystemAdapter):
         solver: str = "direct",
         solver_factory: Optional[Callable] = None,
         solver_options: Optional[Mapping] = None,
+        track_spans: Optional[Sequence[int]] = None,
     ):
         self._conductance = sp.csr_matrix(conductance)
         self._capacitance = sp.csr_matrix(capacitance)
@@ -346,6 +369,9 @@ class DecoupledSystemAdapter(SystemAdapter):
         self.solver = str(solver)
         self._factory = solver_factory
         self._options = dict(solver_options or {})
+        #: Per-case track counts of a stacked multi-case march; solves are
+        #: split along these groups (see :class:`BlockDiagonalSolver`).
+        self._track_spans = track_spans
 
     @property
     def num_nodes(self) -> int:
@@ -358,7 +384,7 @@ class DecoupledSystemAdapter(SystemAdapter):
     def _block_solver(self, matrix) -> BlockDiagonalSolver:
         factory = self._factory if self._factory is not None else _default_factory()
         inner = factory(matrix, method=self.solver, **self._options)
-        return BlockDiagonalSolver(inner, self._tracks, self.num_nodes)
+        return BlockDiagonalSolver(inner, self._tracks, self.num_nodes, spans=self._track_spans)
 
     def prepare(self, scheme: SteppingScheme, times: np.ndarray, h: float) -> PreparedSystem:
         inner = step_forms(

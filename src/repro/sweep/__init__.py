@@ -89,6 +89,7 @@ any backwards-incompatible change, and readers reject artifacts with an
 unknown schema.
 """
 
+from .batch import BatchedCaseRunner, group_cases, topology_key
 from .plan import (
     DEFAULT_SWEEP_TRANSIENT,
     SweepCase,
@@ -102,6 +103,8 @@ from .record import SCHEMA, BenchRecord, record_from_outcome, record_from_store
 from .regress import (
     CaseDelta,
     RegressionReport,
+    ThroughputReport,
+    check_throughput,
     compare_records,
 )
 from .runner import SweepCaseResult, SweepOutcome, SweepRunner
@@ -135,5 +138,10 @@ __all__ = [
     "record_from_store",
     "CaseDelta",
     "RegressionReport",
+    "ThroughputReport",
+    "check_throughput",
     "compare_records",
+    "BatchedCaseRunner",
+    "group_cases",
+    "topology_key",
 ]

@@ -48,13 +48,29 @@ _CHAOS_ENGINES = ("opera", "decoupled", "hierarchical", "pce-regression")
 _SAMPLED_ENGINES = ("montecarlo", "pce-regression")
 
 # Named variation corners.  "paper" is the experiment setting of Section 6;
-# "wide"/"tight" bracket it; "rhs-only" disables matrix variation so the
-# decoupled special case applies.
+# "wide"/"tight" bracket it; the "rhs-only" family disables matrix variation
+# so the decoupled special case applies ("rhs-wide"/"rhs-tight" bracket the
+# excitation sigmas the same way "wide"/"tight" bracket the paper corner --
+# they give batched corner sweeps several stackable scenarios per topology).
 _CORNERS: Dict[str, Dict] = {
     "paper": {},
     "wide": {"w": 30.0, "t": 20.0, "l": 30.0},
     "tight": {"w": 10.0, "t": 8.0, "l": 10.0},
     "rhs-only": {"vary_conductance": False, "vary_capacitance": False},
+    "rhs-wide": {
+        "w": 30.0,
+        "t": 20.0,
+        "l": 30.0,
+        "vary_conductance": False,
+        "vary_capacitance": False,
+    },
+    "rhs-tight": {
+        "w": 10.0,
+        "t": 8.0,
+        "l": 10.0,
+        "vary_conductance": False,
+        "vary_capacitance": False,
+    },
 }
 
 

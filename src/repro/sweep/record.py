@@ -213,6 +213,10 @@ def record_from_outcome(outcome, config: Optional[Dict] = None) -> BenchRecord:
         "cases_executed": int(outcome.executed),
         "cases_reused": int(outcome.reused),
         "sweep_wall_time_s": float(outcome.wall_time),
+        "batched": bool(outcome.batched),
+        "cases_per_second": (
+            len(cases) / float(outcome.wall_time) if outcome.wall_time > 0 else None
+        ),
         "transient": {
             "t_stop": outcome.plan.transient.t_stop,
             "dt": outcome.plan.transient.dt,

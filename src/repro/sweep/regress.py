@@ -28,7 +28,14 @@ from typing import List, Optional, Sequence, Tuple
 from ..errors import AnalysisError
 from .record import BenchRecord
 
-__all__ = ["CaseDelta", "RegressionReport", "compare_records", "main"]
+__all__ = [
+    "CaseDelta",
+    "RegressionReport",
+    "ThroughputReport",
+    "compare_records",
+    "check_throughput",
+    "main",
+]
 
 #: Default allowed wall-time growth, percent.  Generous on purpose: CI
 #: runners are shared and the smoke grids are tiny.
@@ -165,6 +172,64 @@ def compare_records(
     )
 
 
+@dataclass(frozen=True)
+class ThroughputReport:
+    """Outcome of gating one artifact's sweep throughput against a floor."""
+
+    cases: int
+    wall_time_s: Optional[float]
+    cases_per_second: Optional[float]
+    min_cases_per_second: float
+    min_seconds: float
+    ok: bool
+
+    def format(self) -> str:
+        cps = "n/a" if self.cases_per_second is None else f"{self.cases_per_second:.2f}"
+        wall = "n/a" if self.wall_time_s is None else f"{self.wall_time_s:.3f}s"
+        verdict = "OK" if self.ok else "FAIL"
+        return (
+            f"throughput check: {self.cases} case(s) in {wall} "
+            f"({cps} cases/s, floor {self.min_cases_per_second:.2f} cases/s, "
+            f"clamp below {self.min_seconds:.2f}s total)  {verdict}"
+        )
+
+
+def check_throughput(
+    record: BenchRecord,
+    min_cases_per_second: float,
+    min_seconds: float = 1.0,
+) -> ThroughputReport:
+    """Gate an artifact's sweep throughput against a cases/second floor.
+
+    The floor is *clamped*: a run whose total wall time is at most
+    ``min_seconds`` always passes, because cases/second computed from a
+    handful of milliseconds on a shared CI runner is noise, not signal.
+    Records written before ``cases_per_second``/``sweep_wall_time_s``
+    existed (or store exports, which have no sweep wall time) pass
+    vacuously -- there is nothing to gate.
+    """
+    if min_cases_per_second < 0:
+        raise ValueError("min_cases_per_second must be non-negative")
+    wall = record.config.get("sweep_wall_time_s")
+    cps = record.config.get("cases_per_second")
+    if cps is None and wall and wall > 0:
+        cps = len(record.cases) / float(wall)
+    ok = (
+        wall is None
+        or cps is None
+        or float(wall) <= min_seconds
+        or float(cps) >= min_cases_per_second
+    )
+    return ThroughputReport(
+        cases=len(record.cases),
+        wall_time_s=None if wall is None else float(wall),
+        cases_per_second=None if cps is None else float(cps),
+        min_cases_per_second=float(min_cases_per_second),
+        min_seconds=float(min_seconds),
+        ok=ok,
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point: compare two artifact files, exit 1 on regression."""
     parser = argparse.ArgumentParser(
@@ -187,12 +252,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="S",
         help="clamp wall times up to this floor before comparing (default: %(default)s)",
     )
+    parser.add_argument(
+        "--min-throughput",
+        type=float,
+        default=None,
+        metavar="CPS",
+        help="also require the current artifact to sustain this many cases/second "
+        "(clamped: runs at most --throughput-min-seconds long always pass)",
+    )
+    parser.add_argument(
+        "--throughput-min-seconds",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="total wall time below which the throughput floor is waived "
+        "(default: %(default)s)",
+    )
     args = parser.parse_args(argv)
 
     try:
+        current = BenchRecord.load(args.current)
         report = compare_records(
             BenchRecord.load(args.baseline),
-            BenchRecord.load(args.current),
+            current,
             max_regression_percent=args.max_regression,
             min_seconds=args.min_seconds,
         )
@@ -200,7 +282,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(report.format())
-    return 0 if report.ok else 1
+    ok = report.ok
+    if args.min_throughput is not None:
+        throughput = check_throughput(
+            current, args.min_throughput, min_seconds=args.throughput_min_seconds
+        )
+        print(throughput.format())
+        ok = ok and throughput.ok
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
@@ -37,6 +38,7 @@ from ..montecarlo.statistics import RunningMoments
 from ..sim.transient import TransientConfig
 from ..telemetry import merge_summaries, profile
 from .plan import SweepCase, SweepPlan, corner_spec
+from .shm import pack_result, release_unconsumed, shm_supported, unpack_result
 from .store import MemoryBackend, ResultsBackend
 
 __all__ = ["SweepRunner", "SweepCaseResult", "SweepOutcome", "speedups_for"]
@@ -70,6 +72,7 @@ class SweepCaseResult:
     partitions: Optional[int] = None
     solver: Optional[str] = None
     scheme: Optional[str] = None
+    reused_factorization: Optional[bool] = None
     telemetry: Optional[Dict] = field(default=None, repr=False)
     times: Optional[np.ndarray] = field(default=None, repr=False)
     mean: Optional[np.ndarray] = field(default=None, repr=False)
@@ -137,6 +140,8 @@ class SweepCaseResult:
             "worst_drop_v": float(self.worst_drop),
             "max_std_v": float(self.max_std),
         }
+        if self.reused_factorization is not None:
+            record["reused_factorization"] = bool(self.reused_factorization)
         if self.telemetry is not None:
             record["telemetry"] = dict(self.telemetry)
         return record
@@ -145,32 +150,91 @@ class SweepCaseResult:
 # --------------------------------------------------------------------------
 # Worker side
 # --------------------------------------------------------------------------
-#: Per-process cache of Analysis sessions, keyed by grid identity.  Worker
-#: processes are long-lived within one sweep, so cases sharing a grid reuse
-#: chaos bases, LU factorisations and Galerkin assemblies.
-_WORKER_SESSIONS: Dict[Tuple, object] = {}
+class _SessionCache:
+    """Bounded per-process cache of Analysis sessions.
+
+    An LRU over *grid identities* ``(nodes, grid_seed)``: a multi-grid
+    campaign touches each grid's cases in bursts, so only the most recent
+    grids are worth holding, and evicting a whole grid drops every corner
+    session (bases, factorisations, Galerkin assemblies) it accumulated.
+    Corner sessions within one grid share the generated netlist and the
+    stamped MNA system -- both are deterministic functions of the grid
+    identity, so the sharing is value-free.
+    """
+
+    def __init__(self, max_grids: int = 4):
+        self.max_grids = int(max_grids)
+        self._grids: "OrderedDict[Tuple, Dict]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._grids)
+
+    def grid_keys(self) -> Tuple:
+        return tuple(self._grids)
+
+    def clear(self) -> None:
+        self._grids.clear()
+
+    def session_for(self, case: SweepCase, transient: TransientConfig):
+        from ..api import Analysis  # deferred: workers import lazily
+
+        grid_key = (case.nodes, case.grid_seed)
+        grid = self._grids.get(grid_key)
+        if grid is None:
+            grid = {}
+            self._grids[grid_key] = grid
+            while len(self._grids) > self.max_grids:
+                self._grids.popitem(last=False)
+        else:
+            self._grids.move_to_end(grid_key)
+        key = (case.corner, transient)
+        session = grid.get(key)
+        if session is None:
+            sibling = next(iter(grid.values()), None)
+            if sibling is None:
+                session = Analysis.from_spec(
+                    case.nodes,
+                    seed=case.grid_seed,
+                    variation=corner_spec(case.corner),
+                    transient=transient,
+                )
+            else:
+                # Same grid, new corner: reuse the sibling's netlist and
+                # stamped system instead of regenerating them (bit-identical
+                # -- grid generation and stamping are deterministic).
+                session = Analysis(
+                    sibling.netlist,
+                    stamped=sibling.stamped,
+                    variation=corner_spec(case.corner),
+                    transient=transient,
+                )
+            # Every corner session and every run on this grid asks for the
+            # same fixed time grid; memoise the drain-current sums (the
+            # cached values are identical to uncached evaluation).
+            session.stamped.enable_drain_cache()
+            grid[key] = session
+        return session
+
+
+#: Per-process cache of Analysis sessions.  Worker processes are long-lived
+#: within one sweep, so cases sharing a grid reuse the session's chaos bases,
+#: LU factorisations and Galerkin assemblies; the LRU bound keeps multi-grid
+#: campaigns from accumulating one session set per grid ever visited.
+_WORKER_SESSIONS = _SessionCache()
 
 
 def _session_for(case: SweepCase, transient: TransientConfig):
-    from ..api import Analysis  # deferred: workers import lazily
-
-    key = (case.nodes, case.grid_seed, case.corner, transient)
-    session = _WORKER_SESSIONS.get(key)
-    if session is None:
-        session = Analysis.from_spec(
-            case.nodes,
-            seed=case.grid_seed,
-            variation=corner_spec(case.corner),
-            transient=transient,
-        )
-        _WORKER_SESSIONS[key] = session
-    return session
+    return _WORKER_SESSIONS.session_for(case, transient)
 
 
-def _execute_case(args) -> SweepCaseResult:
-    """Run one case (module-level so process pools can pickle it)."""
-    case, transient, keep_statistics, keep_raw, profile_case = args
-    session = _session_for(case, transient)
+def _run_case(
+    case: SweepCase,
+    session,
+    keep_statistics: bool,
+    keep_raw: bool,
+    profile_case: bool,
+) -> SweepCaseResult:
+    """Run one case on an already-built session."""
     started = time.perf_counter()
     tele_summary = None
     if profile_case:
@@ -183,6 +247,35 @@ def _execute_case(args) -> SweepCaseResult:
     else:
         view = session.run(case.engine, mode="transient", **case.run_options())
     elapsed = time.perf_counter() - started
+    # ``reused_factorization`` stays unset here: the per-case path flags
+    # nothing, only the batched scheduler marks its replicas, where the
+    # flag is a deterministic property of the schedule.  (A counter-delta
+    # heuristic would depend on process history and make exported records
+    # differ between an interrupted-and-resumed campaign and a straight
+    # run.)
+    return result_from_view(
+        case,
+        view,
+        vdd=float(session.vdd),
+        elapsed=elapsed,
+        keep_statistics=keep_statistics,
+        keep_raw=keep_raw,
+        telemetry=tele_summary,
+    )
+
+
+def result_from_view(
+    case: SweepCase,
+    view,
+    *,
+    vdd: float,
+    elapsed: float,
+    keep_statistics: bool,
+    keep_raw: bool,
+    telemetry: Optional[Dict] = None,
+    reused_factorization: Optional[bool] = None,
+) -> SweepCaseResult:
+    """Fold an engine result view into a :class:`SweepCaseResult`."""
     mean = view.mean()
     std = view.std()
     wall = view.wall_time if view.wall_time is not None else elapsed
@@ -195,14 +288,15 @@ def _execute_case(args) -> SweepCaseResult:
         partitions=case.partitions,
         solver=case.solver,
         scheme=case.scheme,
-        telemetry=tele_summary,
+        reused_factorization=reused_factorization,
+        telemetry=telemetry,
         seed=case.seed,
         name=case.name,
         num_nodes=int(mean.shape[-1]),
         wall_time=float(wall),
         worst_drop=float(view.worst_drop()),
         max_std=float(np.max(std)) if std.size else 0.0,
-        vdd=float(session.vdd),
+        vdd=vdd,
         times=np.asarray(view.raw.times, dtype=float)
         if keep_statistics and hasattr(view.raw, "times")
         else None,
@@ -210,6 +304,33 @@ def _execute_case(args) -> SweepCaseResult:
         std=np.asarray(std, dtype=float) if keep_statistics else None,
         raw=view.raw if keep_raw else None,
     )
+
+
+def _execute_case(args) -> SweepCaseResult:
+    """Run one case (module-level so process pools can pickle it)."""
+    case, transient, keep_statistics, keep_raw, profile_case, use_shm = args
+    session = _session_for(case, transient)
+    result = _run_case(case, session, keep_statistics, keep_raw, profile_case)
+    if use_shm:
+        result = pack_result(result)
+    return result
+
+
+def _execute_group(args) -> List[Tuple[SweepCase, object]]:
+    """Run one topology group of cases through the batched runner."""
+    from .batch import BatchedCaseRunner  # deferred: avoids an import cycle
+
+    cases, transient, keep_statistics, keep_raw, profile_case, use_shm = args
+    runner = BatchedCaseRunner(
+        transient,
+        keep_statistics=keep_statistics,
+        keep_raw=keep_raw,
+        profile_case=profile_case,
+    )
+    executed = runner.run_group(cases)
+    if use_shm:
+        executed = [(case, pack_result(result)) for case, result in executed]
+    return executed
 
 
 # --------------------------------------------------------------------------
@@ -256,6 +377,7 @@ class SweepOutcome:
     wall_time: float
     executed: int = 0
     reused: int = 0
+    batched: bool = False
 
     def __len__(self) -> int:
         return len(self.plan.cases)
@@ -333,15 +455,28 @@ class SweepOutcome:
 
         The per-engine accumulators of :meth:`moments` are folded into the
         overall one with :meth:`RunningMoments.merge` in sorted engine
-        order, so the combine is deterministic.
+        order, so the combine is deterministic.  When the batched scheduler
+        flagged cases (``reused_factorization``), each summary also counts
+        them under ``cases_reusing_factorization``.
         """
         per_engine = self.moments()
+        reused: Dict[str, int] = {}
+        flagged = False
+        for result in self:
+            if result.reused_factorization is not None:
+                flagged = True
+                if result.reused_factorization:
+                    reused[result.engine] = reused.get(result.engine, 0) + 1
         overall = RunningMoments()
         summaries: Dict[str, Dict[str, float]] = {}
         for engine in sorted(per_engine):
             summaries[engine] = _moments_summary(per_engine[engine])
+            if flagged:
+                summaries[engine]["cases_reusing_factorization"] = reused.get(engine, 0)
             overall.merge(per_engine[engine])
         summaries["overall"] = _moments_summary(overall)
+        if flagged:
+            summaries["overall"]["cases_reusing_factorization"] = sum(reused.values())
         return summaries
 
     def telemetry_summary(self) -> Optional[Dict]:
@@ -361,14 +496,16 @@ class SweepOutcome:
 def _moments_summary(moments: RunningMoments) -> Dict[str, float]:
     mean = moments.mean
     std = moments.std()
+    total = float(mean[0] * moments.count)
     return {
         "cases": int(moments.count),
-        "wall_time_total_s": float(mean[0] * moments.count),
+        "wall_time_total_s": total,
         "wall_time_mean_s": float(mean[0]),
         "wall_time_std_s": float(std[0]),
         "worst_drop_mean_v": float(mean[1]),
         "worst_drop_std_v": float(std[1]),
         "max_std_mean_v": float(mean[2]),
+        "cases_per_second": float(moments.count) / total if total > 0 else None,
     }
 
 
@@ -411,6 +548,8 @@ class SweepRunner:
         keep_raw: bool = False,
         retain_sessions: bool = False,
         telemetry: bool = False,
+        batch: bool = False,
+        shared_memory: Optional[bool] = None,
     ):
         if workers < 1:
             raise AnalysisError(f"workers must be at least 1, got {workers}")
@@ -419,6 +558,15 @@ class SweepRunner:
         self.keep_raw = bool(keep_raw)
         self.retain_sessions = bool(retain_sessions)
         self.telemetry = bool(telemetry)
+        #: Batched mode: pooled cases are scheduled as topology groups
+        #: (see :mod:`repro.sweep.batch`) instead of one case per task.
+        #: Per-case statistics are bit-identical either way.
+        self.batch = bool(batch)
+        #: Ship statistics arrays through shared memory instead of pickling
+        #: them back from pool workers; ``None`` auto-enables where POSIX
+        #: shared memory exists.  Only used on the pooled path with
+        #: ``keep_statistics=True``.
+        self.shared_memory = shm_supported() if shared_memory is None else bool(shared_memory)
 
     def run(self, plan: SweepPlan, store: Optional[ResultsBackend] = None) -> SweepOutcome:
         """Execute the cases of ``plan`` that ``store`` does not already hold.
@@ -458,28 +606,52 @@ class SweepRunner:
         driver_set = set(driver_cases)
         pooled_cases = [case for case in pending if case not in driver_set]
 
-        def job(case: SweepCase) -> Tuple:
-            return (case, plan.transient, self.keep_statistics, self.keep_raw, self.telemetry)
+        pooled = self.workers > 1 and len(pooled_cases) > 1
+        use_shm = pooled and self.shared_memory and self.keep_statistics and not self.keep_raw
+
+        def job(payload) -> Tuple:
+            return (
+                payload,
+                plan.transient,
+                self.keep_statistics,
+                self.keep_raw,
+                self.telemetry,
+                use_shm,
+            )
 
         try:
-            if self.workers > 1 and len(pooled_cases) > 1:
+            if self.batch:
+                self._run_batched(backend, plan, pooled_cases, driver_cases, job, pooled)
+            elif pooled:
                 with ProcessPoolExecutor(
                     max_workers=min(self.workers, len(pooled_cases))
                 ) as pool:
                     futures = {pool.submit(_execute_case, job(case)): case for case in pooled_cases}
-                    # Driver-side MC cases overlap with the pool's work.
-                    for case in driver_cases:
-                        backend.append(case, _execute_case(job(case)))
-                    # Stream pooled results into the backend as they finish,
-                    # not in submission order: the backend owns ordering (the
-                    # outcome view reads in plan order) and an interrupt
-                    # loses only the unflushed tail, not everything after
-                    # the first straggler.
-                    for future in as_completed(futures):
-                        backend.append(futures[future], future.result())
+                    consumed = set()
+                    try:
+                        # Driver-side MC cases overlap with the pool's work.
+                        for case in driver_cases:
+                            backend.append(case, _execute_case(job(case)[:-1] + (False,)))
+                        # Stream pooled results into the backend as they
+                        # finish, not in submission order: the backend owns
+                        # ordering (the outcome view reads in plan order) and
+                        # an interrupt loses only the unflushed tail, not
+                        # everything after the first straggler.
+                        for future in as_completed(futures):
+                            result = unpack_result(future.result())
+                            consumed.add(future)
+                            backend.append(futures[future], result)
+                    except BaseException:
+                        # Abort: stop feeding the pool, let in-flight cases
+                        # finish, then unlink any shared-memory segments of
+                        # results the driver will never consume.
+                        pool.shutdown(wait=True, cancel_futures=True)
+                        raise
+                    finally:
+                        release_unconsumed(futures, consumed)
             else:
                 for case in pending:
-                    backend.append(case, _execute_case(job(case)))
+                    backend.append(case, _execute_case(job(case)[:-1] + (False,)))
         finally:
             # Cases executed in this process cached their sessions in the
             # module-global; drop them so long-lived drivers do not leak
@@ -497,7 +669,45 @@ class SweepRunner:
             wall_time=elapsed,
             executed=len(pending),
             reused=reused,
+            batched=self.batch,
         )
+
+    def _run_batched(self, backend, plan, pooled_cases, driver_cases, job, pooled) -> None:
+        """Batched scheduling: pooled cases fan out as topology groups."""
+        from .batch import BatchedCaseRunner, group_cases
+
+        groups = group_cases(pooled_cases)
+        if pooled and len(groups) > 1:
+            with ProcessPoolExecutor(max_workers=min(self.workers, len(groups))) as pool:
+                futures = {
+                    pool.submit(_execute_group, job(tuple(group))): group for group in groups
+                }
+                consumed = set()
+                try:
+                    for case in driver_cases:
+                        backend.append(case, _execute_case(job(case)[:-1] + (False,)))
+                    for future in as_completed(futures):
+                        executed = future.result()
+                        consumed.add(future)
+                        for case, result in executed:
+                            backend.append(case, unpack_result(result))
+                except BaseException:
+                    pool.shutdown(wait=True, cancel_futures=True)
+                    raise
+                finally:
+                    release_unconsumed(futures, consumed)
+        else:
+            runner = BatchedCaseRunner(
+                plan.transient,
+                keep_statistics=self.keep_statistics,
+                keep_raw=self.keep_raw,
+                profile_case=self.telemetry,
+            )
+            for group in groups:
+                for case, result in runner.run_group(group):
+                    backend.append(case, result)
+            for case in driver_cases:
+                backend.append(case, _execute_case(job(case)[:-1] + (False,)))
 
     def resume(self, plan: SweepPlan, store: ResultsBackend) -> SweepOutcome:
         """Continue an interrupted campaign from ``store``.

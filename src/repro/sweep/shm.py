@@ -1,0 +1,195 @@
+"""Shared-memory transfer of sweep-case statistics arrays.
+
+Pooled sweep workers used to pickle every case's ``times``/``mean``/``std``
+arrays through the result queue.  For statistics-heavy campaigns on large
+grids that serialisation is pure overhead: the arrays are written once and
+read once.  This module moves them through ``multiprocessing.shared_memory``
+instead -- the worker packs the arrays into one segment per case and ships a
+small :class:`ShmPayload` descriptor; the driver attaches, copies the arrays
+out, closes and unlinks.
+
+Ownership protocol (no leaked ``/dev/shm`` segments):
+
+* the worker creates the segment, copies the arrays in, *unregisters* it
+  from its resource tracker (ownership moves to the driver) and closes its
+  mapping; if packing fails mid-copy the segment is unlinked in the
+  ``except`` path before the error propagates;
+* the driver re-registers the segment on attach (so a crashed driver still
+  cleans up at interpreter exit) and unlinks it after copying out -- either
+  in the happy path or in the pool-teardown drain
+  (:func:`release_unconsumed`) that covers results completed after an
+  interrupt.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ShmPayload",
+    "ShmCaseResult",
+    "shm_supported",
+    "pack_result",
+    "unpack_result",
+    "discard_result",
+]
+
+#: The statistics arrays a :class:`~repro.sweep.runner.SweepCaseResult`
+#: carries; everything else in the result pickles cheaply.
+_ARRAY_FIELDS = ("times", "mean", "std")
+
+
+def shm_supported() -> bool:
+    """True when POSIX shared memory is available (``/dev/shm`` transfer)."""
+    return getattr(shared_memory, "_USE_POSIX", False)
+
+
+@dataclass(frozen=True)
+class ShmPayload:
+    """Descriptor of one packed segment: name, layout, total bytes."""
+
+    name: str
+    #: ``(field, shape, offset)`` per packed array, all float64.
+    fields: Tuple[Tuple[str, Tuple[int, ...], int], ...]
+    total_bytes: int
+
+
+@dataclass(frozen=True)
+class ShmCaseResult:
+    """A case result whose statistics arrays travel in shared memory.
+
+    ``result`` is the :class:`~repro.sweep.runner.SweepCaseResult` with the
+    packed array fields set to ``None``; :func:`unpack_result` restores
+    them on the driver side.
+    """
+
+    result: object
+    payload: ShmPayload
+
+
+def pack_result(result):
+    """Move ``result``'s statistics arrays into one shared-memory segment.
+
+    Returns the input unchanged when there is nothing to pack (no
+    statistics kept, empty arrays) or shared memory is unsupported.  When
+    the result carries a telemetry summary, its ``shm_bytes`` counter is
+    bumped in place so the transfer shows up in ``trace-report``.
+    """
+    if not shm_supported():
+        return result
+    arrays = []
+    for name in _ARRAY_FIELDS:
+        value = getattr(result, name, None)
+        if value is not None:
+            arrays.append((name, np.ascontiguousarray(value, dtype=np.float64)))
+    total = sum(array.nbytes for _, array in arrays)
+    if not total:
+        return result
+    segment = shared_memory.SharedMemory(create=True, size=total)
+    try:
+        offset = 0
+        fields = []
+        for name, array in arrays:
+            view = np.ndarray(array.shape, dtype=np.float64, buffer=segment.buf, offset=offset)
+            view[...] = array
+            del view
+            fields.append((name, tuple(array.shape), offset))
+            offset += array.nbytes
+        payload = ShmPayload(name=segment.name, fields=tuple(fields), total_bytes=total)
+    except BaseException:
+        # Mid-pack failure: this process still owns the segment; unlink it
+        # here so a crashing worker never leaks /dev/shm entries.
+        segment.close()
+        segment.unlink()
+        raise
+    # Hand ownership to the driver: drop this process's resource-tracker
+    # registration (the driver re-registers on attach) and its mapping.
+    try:
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker variants
+        pass
+    segment.close()
+    summary = getattr(result, "telemetry", None)
+    if summary is not None:
+        counters = summary.setdefault("counters", {})
+        counters["shm_bytes"] = counters.get("shm_bytes", 0) + total
+    stripped = dataclasses.replace(result, **{name: None for name, _ in arrays})
+    return ShmCaseResult(result=stripped, payload=payload)
+
+
+def _open_segment(payload: ShmPayload) -> Optional[shared_memory.SharedMemory]:
+    try:
+        segment = shared_memory.SharedMemory(name=payload.name)
+    except FileNotFoundError:
+        return None
+    # Adopt ownership: registering here means a driver that dies before the
+    # unlink below still has its resource tracker clean the segment up.
+    try:
+        resource_tracker.register(segment._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker variants
+        pass
+    return segment
+
+
+def unpack_result(obj):
+    """Driver side: copy the arrays out of the segment and unlink it."""
+    if not isinstance(obj, ShmCaseResult):
+        return obj
+    segment = _open_segment(obj.payload)
+    if segment is None:  # already torn down (e.g. drained after interrupt)
+        return obj.result
+    try:
+        restored = {
+            name: np.array(
+                np.ndarray(shape, dtype=np.float64, buffer=segment.buf, offset=offset)
+            )
+            for name, shape, offset in obj.payload.fields
+        }
+    finally:
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - racing teardown
+            pass
+    return dataclasses.replace(obj.result, **restored)
+
+
+def discard_result(obj) -> None:
+    """Unlink a packed result's segment without reading it (teardown path)."""
+    if not isinstance(obj, ShmCaseResult):
+        return
+    segment = _open_segment(obj.payload)
+    if segment is None:
+        return
+    segment.close()
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - racing teardown
+        pass
+
+
+def release_unconsumed(futures, consumed) -> None:
+    """Unlink segments of completed-but-unconsumed futures (interrupt path).
+
+    After a pool shutdown (normal or aborted), any future that finished
+    successfully but whose result the driver never consumed still owns a
+    shared-memory segment; walk them and unlink.  Cancelled or failed
+    futures never shipped a segment (the worker's own ``except`` path
+    already unlinked on mid-pack failure).
+    """
+    for future in futures:
+        if future in consumed or not future.done() or future.cancelled():
+            continue
+        if future.exception() is not None:
+            continue
+        outcome = future.result()
+        if isinstance(outcome, list):
+            for item in outcome:
+                discard_result(item[1] if isinstance(item, tuple) else item)
+        else:
+            discard_result(outcome)
