@@ -198,6 +198,15 @@ class AugmentedRhsSeries:
         """Basis indices with a non-trivial excitation waveform."""
         return tuple(index for index, _ in self._waveforms)
 
+    @property
+    def waveforms(self) -> Tuple[Tuple[int, np.ndarray], ...]:
+        """The ``(basis index, (num_times, n) table)`` pairs, sorted by index.
+
+        Consumers (e.g. the macromodel reduction of :mod:`repro.mor`) must
+        treat the tables as read-only.
+        """
+        return self._waveforms
+
     def fill(self, step: int, out: np.ndarray) -> np.ndarray:
         """Write ``U~(times[step])`` into ``out`` (shape ``(P * n,)``).
 
@@ -311,6 +320,16 @@ class GalerkinSystem:
             operator = assemble_augmented_operator(self.basis, coefficients)
             self._operators[which] = operator
         return operator
+
+    @property
+    def conductance_coefficients(self) -> Mapping[int, sp.spmatrix]:
+        """The parameter expansion of ``G`` (basis index -> matrix)."""
+        return self._conductance_coefficients
+
+    @property
+    def capacitance_coefficients(self) -> Mapping[int, sp.spmatrix]:
+        """The parameter expansion of ``C`` (basis index -> matrix)."""
+        return self._capacitance_coefficients
 
     @property
     def conductance(self) -> sp.csr_matrix:

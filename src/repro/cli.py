@@ -157,6 +157,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="schedule group count for the hierarchical engine",
     )
     analyze.add_argument(
+        "--mor-order",
+        type=int,
+        default=None,
+        metavar="Q",
+        help="PRIMA reduction order for the mor engine (matched block "
+        "moments per macromodel; default: 2)",
+    )
+    analyze.add_argument(
         "--assemble",
         choices=("auto", "explicit", "lazy"),
         default=None,
@@ -249,6 +257,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="NAME",
         help=f"stepping scheme of every case (registered: {', '.join(scheme_names())})",
+    )
+    sweep.add_argument(
+        "--mor-order",
+        type=int,
+        default=None,
+        metavar="Q",
+        help="PRIMA reduction order for mor-engine cases (default: engine default)",
     )
     sweep.add_argument(
         "--store",
@@ -370,6 +385,8 @@ def _command_analyze(args: argparse.Namespace) -> int:
         options["workers"] = args.workers
     if args.partitions is not None:
         options["partitions"] = args.partitions
+    if getattr(args, "mor_order", None) is not None:
+        options["mor_order"] = args.mor_order
     if getattr(args, "assemble", None) is not None:
         options["assemble"] = args.assemble
     if getattr(args, "scheme", None) is not None:
@@ -456,6 +473,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         mc_workers=args.mc_workers if args.mc_workers is not None else args.workers,
         partitions=args.partitions,
         scheme=args.scheme,
+        mor_order=args.mor_order,
         transient=transient,
         base_seed=args.base_seed,
     )

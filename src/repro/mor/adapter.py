@@ -1,0 +1,58 @@
+"""Stepping adapter for the reduced (macromodel) augmented system.
+
+:class:`MorSystemAdapter` plugs the reduced block system into the shared
+:class:`repro.stepping.StepLoop`: scheme forms are composed with the
+generic :func:`repro.stepping.schemes.step_forms` over the
+:class:`~repro.mor.reduced.ReducedBlockOperator` algebra (so every
+registered scheme works unchanged), and both the step matrix and the DC
+system are factored by dense block elimination
+(:class:`~repro.mor.reduced.ReducedBlockSolver`).  The solver is direct,
+so the loop's warm-start detection treats it like any factorisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SolverError
+from ..stepping.loop import PreparedSystem, SystemAdapter
+from ..stepping.schemes import SteppingScheme, step_forms
+from .reduced import ReducedBlockOperator, ReducedBlockSolver, ReducedRhsSeries
+
+__all__ = ["MorSystemAdapter"]
+
+
+class MorSystemAdapter(SystemAdapter):
+    """March the reduced interface system through the shared step loop."""
+
+    def __init__(
+        self,
+        conductance: ReducedBlockOperator,
+        capacitance: ReducedBlockOperator,
+        rhs_series: ReducedRhsSeries,
+    ):
+        if conductance.shape != capacitance.shape:
+            raise SolverError("reduced G and C operators must share a shape")
+        if rhs_series.size != conductance.size:
+            raise SolverError(
+                f"reduced RHS width {rhs_series.size} does not match the "
+                f"reduced system size {conductance.size}"
+            )
+        self._conductance = conductance
+        self._capacitance = capacitance
+        self._rhs_series = rhs_series
+
+    @property
+    def size(self) -> int:
+        return self._conductance.size
+
+    def prepare(self, scheme: SteppingScheme, times: np.ndarray, h: float) -> PreparedSystem:
+        if not np.allclose(self._rhs_series.times, times, atol=1e-18):
+            raise SolverError("reduced RHS series was built for a different time axis")
+        forms = step_forms(scheme, self._conductance, self._capacitance, h, matrix_free=True)
+        return PreparedSystem(
+            forms=forms,
+            step_solver=ReducedBlockSolver(forms.lhs),
+            dc_solver_factory=lambda: ReducedBlockSolver(self._conductance),
+            rhs_series=self._rhs_series,
+        )

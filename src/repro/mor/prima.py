@@ -98,8 +98,19 @@ def prima_reduce(
     solver:
         Linear solver used for the repeated ``G``-solves.
     deflation_tolerance:
-        Columns whose norm falls below this value after orthogonalisation are
-        dropped (deflation of converged directions).
+        Columns whose *relative* norm falls below this value after
+        orthogonalisation are dropped (deflation of converged directions).
+        Every raw Krylov column is normalised before Gram-Schmidt, so the
+        test is scale-invariant: stiff systems whose higher moment blocks
+        carry tiny absolute magnitudes (``G``-dominated grids with
+        femtosecond time constants) still contribute their directions.
+
+    Notes
+    -----
+    When the requested Krylov space can already span the full state space
+    (``num_moments * m >= n``) the reduction falls back to the exact
+    identity projection: the "reduced" model is the original system and
+    ``expand`` is a no-op reshape.
     """
     conductance = sp.csr_matrix(conductance)
     capacitance = sp.csr_matrix(capacitance)
@@ -121,17 +132,37 @@ def prima_reduce(
     else:
         raise SolverError("ports must be node indices or an (n, m) input matrix")
 
+    if num_moments * input_matrix.shape[1] >= n:
+        # The block Krylov space can span the whole state space: reducing
+        # would only add projection noise, so fall back to the exact model.
+        projection = np.eye(n)
+        return ReducedModel(
+            conductance=np.asarray(conductance.todense(), dtype=float),
+            capacitance=np.asarray(capacitance.todense(), dtype=float),
+            input_map=input_matrix.copy(),
+            projection=projection,
+        )
+
     g_solver = make_solver(conductance, method=solver)
 
     def orthonormalize(block: np.ndarray, basis_columns: list) -> np.ndarray:
-        """Modified Gram-Schmidt of ``block`` against existing columns."""
+        """Modified Gram-Schmidt of ``block`` against existing columns.
+
+        Columns are normalised *before* orthogonalisation so the deflation
+        test compares the orthogonal residual against the column's own
+        scale rather than an absolute threshold.
+        """
         kept = []
         for column in block.T:
-            vector = column.copy()
-            for existing in basis_columns:
-                vector -= existing * (existing @ vector)
-            for existing in kept:
-                vector -= existing * (existing @ vector)
+            norm = np.linalg.norm(column)
+            if norm == 0.0:
+                continue
+            vector = column / norm
+            for _ in range(2):  # MGS with one re-orthogonalisation pass
+                for existing in basis_columns:
+                    vector -= existing * (existing @ vector)
+                for existing in kept:
+                    vector -= existing * (existing @ vector)
             norm = np.linalg.norm(vector)
             if norm > deflation_tolerance:
                 kept.append(vector / norm)

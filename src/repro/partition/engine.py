@@ -166,12 +166,10 @@ def run_hierarchical_transient(
             if basis.size > 1:
                 variance[step] = np.sum(blocks[1:] ** 2, axis=0)
 
-    try:
+    with adapter:
         StepLoop(adapter, transient.scheme, times, transient.dt).run(
             callback=collect, store=False
         )
-    finally:
-        adapter.close()
 
     elapsed = time.perf_counter() - started
     if store_coefficients:

@@ -47,6 +47,7 @@ __all__ = [
     "factorization_counters",
     "reset_factorization_counters",
     "clear_pattern_cache",
+    "set_pattern_cache_limit",
 ]
 
 
@@ -85,9 +86,15 @@ def factorization_counters() -> dict:
     ``symbolic_reuse`` counts factorisations that reused a cached pattern,
     and ``numeric_refactor`` counts :meth:`DirectSolver.refactor` calls
     (value-only refactorisations).  The same names are emitted as telemetry
-    counters when tracing is enabled.
+    counters when tracing is enabled.  ``pattern_cache_entries`` /
+    ``pattern_cache_limit`` report the occupancy and LRU bound of the
+    process-wide sparsity-pattern cache those counters describe (see
+    :func:`set_pattern_cache_limit`).
     """
-    return dict(_FACTOR_COUNTERS)
+    snapshot = dict(_FACTOR_COUNTERS)
+    snapshot["pattern_cache_entries"] = len(_PATTERN_CACHE)
+    snapshot["pattern_cache_limit"] = _PATTERN_CACHE_SIZE
+    return snapshot
 
 
 def reset_factorization_counters() -> None:
@@ -99,6 +106,25 @@ def reset_factorization_counters() -> None:
 def clear_pattern_cache() -> None:
     """Drop all cached sparsity patterns (test/bench isolation)."""
     _PATTERN_CACHE.clear()
+
+
+def set_pattern_cache_limit(limit: int) -> int:
+    """Set the LRU bound of the process-wide sparsity-pattern cache.
+
+    Mirrors the session cache's ``max_grids`` knob: long multi-topology
+    campaigns can widen (or tighten) the bound to match how many distinct
+    patterns are live at once.  Evicts immediately if the new limit is
+    below the current occupancy; returns the previous limit.
+    """
+    global _PATTERN_CACHE_SIZE
+    limit = int(limit)
+    if limit < 1:
+        raise SolverError(f"pattern cache limit must be at least 1, got {limit}")
+    previous = _PATTERN_CACHE_SIZE
+    _PATTERN_CACHE_SIZE = limit
+    while len(_PATTERN_CACHE) > _PATTERN_CACHE_SIZE:
+        _PATTERN_CACHE.popitem(last=False)
+    return previous
 
 
 def sparsity_fingerprint(matrix) -> str:

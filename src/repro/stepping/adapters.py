@@ -502,42 +502,48 @@ class SchurSystemAdapter(SystemAdapter):
                 partition=self._partition,
                 groups=self._groups,
             )
-        dc_backend = self._pool.backend("dc") if self._pool is not None else None
-        self.schur_dc = SchurComplement(conductance, self._partition, backend=dc_backend)
-        if use_schur_step:
-            step_backend = self._pool.backend("step") if self._pool is not None else None
-            self.step_solver = SchurComplement(
-                stepping, self._partition, backend=step_backend
+        try:
+            dc_backend = self._pool.backend("dc") if self._pool is not None else None
+            self.schur_dc = SchurComplement(conductance, self._partition, backend=dc_backend)
+            if use_schur_step:
+                step_backend = self._pool.backend("step") if self._pool is not None else None
+                self.step_solver = SchurComplement(
+                    stepping, self._partition, backend=step_backend
+                )
+                self.schur_step = self.step_solver
+            else:
+                from ..sim.linear import solver_factory
+
+                # Partition-aware backends (schur, schwarz-cg) opt in via
+                # `accepts_partition` on their factory and receive the augmented
+                # partition for their block structure; every other backend
+                # (cg, mean-block-cg, ...) just solves the stepping operator.
+                options = dict(self._options)
+                if getattr(solver_factory(self.solver), "accepts_partition", False):
+                    options.setdefault("partition", self._partition)
+                self.step_solver = _default_factory()(stepping, method=self.solver, **options)
+
+            forms = StepForms(
+                scheme=operator_forms.scheme,
+                lhs=stepping,
+                rhs_capacitance=operator_forms.rhs_capacitance,
+                rhs_conductance=operator_forms.rhs_conductance,
+                rhs_u_new=operator_forms.rhs_u_new,
+                rhs_u_old=operator_forms.rhs_u_old,
+                matrix_free=True,
             )
-            self.schur_step = self.step_solver
-        else:
-            from ..sim.linear import solver_factory
-
-            # Partition-aware backends (schur, schwarz-cg) opt in via
-            # `accepts_partition` on their factory and receive the augmented
-            # partition for their block structure; every other backend
-            # (cg, mean-block-cg, ...) just solves the stepping operator.
-            options = dict(self._options)
-            if getattr(solver_factory(self.solver), "accepts_partition", False):
-                options.setdefault("partition", self._partition)
-            self.step_solver = _default_factory()(stepping, method=self.solver, **options)
-
-        forms = StepForms(
-            scheme=operator_forms.scheme,
-            lhs=stepping,
-            rhs_capacitance=operator_forms.rhs_capacitance,
-            rhs_conductance=operator_forms.rhs_conductance,
-            rhs_u_new=operator_forms.rhs_u_new,
-            rhs_u_old=operator_forms.rhs_u_old,
-            matrix_free=True,
-        )
-        schur_dc = self.schur_dc
-        return PreparedSystem(
-            forms=forms,
-            step_solver=self.step_solver,
-            dc_solver_factory=lambda: schur_dc,
-            rhs_series=galerkin.rhs_series(times),
-        )
+            schur_dc = self.schur_dc
+            return PreparedSystem(
+                forms=forms,
+                step_solver=self.step_solver,
+                dc_solver_factory=lambda: schur_dc,
+                rhs_series=galerkin.rhs_series(times),
+            )
+        except BaseException:
+            # A failing preparation (singular block, bad backend options)
+            # must not orphan the worker pool it just spawned.
+            self.close()
+            raise
 
     def close(self) -> None:
         if self._pool is not None:

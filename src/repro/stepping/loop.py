@@ -111,6 +111,14 @@ class SystemAdapter(abc.ABC):
     def close(self) -> None:
         """Release per-run resources (worker pools); default: nothing."""
 
+    def __enter__(self) -> "SystemAdapter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Context-manager form of the engines' ``try/finally adapter.close()``
+        # pattern: a raising march cannot orphan worker pools.
+        self.close()
+
 
 @dataclass
 class StepHistory:

@@ -41,7 +41,7 @@ __all__ = [
 DEFAULT_SWEEP_TRANSIENT = TransientConfig(t_stop=2.4e-9, dt=0.2e-9)
 
 #: Engines whose options include a chaos expansion order.
-_CHAOS_ENGINES = ("opera", "decoupled", "hierarchical", "pce-regression")
+_CHAOS_ENGINES = ("opera", "decoupled", "hierarchical", "pce-regression", "mor")
 
 #: Engines that consume germ samples (and therefore chunked ``workers`` /
 #: ``chunk_size`` settings plus a sample count in their identity).
@@ -121,6 +121,12 @@ class SweepCase:
     joins the case identity the same append-only way, so a scheme ablation
     (e.g. ``trapezoidal`` vs ``backward-euler``) sweeps exactly this field
     and pre-existing case identities keep their seeds.
+
+    ``mor_order`` applies to the ``mor`` engine only: the PRIMA reduction
+    order ``q`` of every block macromodel.  Like the other optional fields
+    it joins the case identity append-only (only when set), so pre-existing
+    case identities -- and therefore their derived seeds -- are untouched
+    by the field's introduction.
     """
 
     engine: str
@@ -136,6 +142,7 @@ class SweepCase:
     partitions: Optional[int] = None
     solver: Optional[str] = None
     scheme: Optional[str] = None
+    mor_order: Optional[int] = None
     seed: int = 0
 
     def __post_init__(self):
@@ -153,6 +160,14 @@ class SweepCase:
                 raise AnalysisError(f"partitions must be at least 1, got {self.partitions}")
         if self.solver is not None and not str(self.solver).strip():
             raise AnalysisError("solver must be a non-empty backend name or None")
+        if self.mor_order is not None:
+            if self.engine != "mor":
+                raise AnalysisError(
+                    "mor_order only applies to the 'mor' engine; "
+                    f"got engine {self.engine!r}"
+                )
+            if self.mor_order < 1:
+                raise AnalysisError(f"mor_order must be at least 1, got {self.mor_order}")
         if self.scheme is not None:
             from ..stepping import resolve_scheme
 
@@ -186,6 +201,8 @@ class SweepCase:
             parts.append(self.solver)
         if self.scheme is not None:
             parts.append(self.scheme)
+        if self.mor_order is not None:
+            parts.append(f"r{self.mor_order}")
         parts.append(self.corner)
         return "-".join(parts)
 
@@ -208,6 +225,8 @@ class SweepCase:
             identity = identity + (self.solver,)
         if self.scheme is not None:
             identity = identity + (self.scheme,)
+        if self.mor_order is not None:
+            identity = identity + (self.mor_order,)
         return identity
 
     def seed_identity(self) -> Tuple:
@@ -227,6 +246,8 @@ class SweepCase:
             identity = identity + (self.solver,)
         if self.scheme is not None:
             identity = identity + (self.scheme,)
+        if self.mor_order is not None:
+            identity = identity + (self.mor_order,)
         return identity
 
     def store_key(self) -> str:
@@ -274,6 +295,8 @@ class SweepCase:
             options["solver"] = str(self.solver)
         if self.scheme is not None:
             options["scheme"] = str(self.scheme)
+        if self.mor_order is not None:
+            options["mor_order"] = int(self.mor_order)
         if self.engine == "montecarlo":
             options["samples"] = int(self.samples or 200)
             options["seed"] = int(self.seed)
@@ -355,6 +378,7 @@ class SweepPlan:
         mc_chunk_size: int = DEFAULT_CHUNK_SIZE,
         partitions: Optional[int] = None,
         scheme: Optional[str] = None,
+        mor_order: Optional[int] = None,
         transient: Optional[TransientConfig] = None,
         base_seed: int = 0,
     ) -> "SweepPlan":
@@ -382,6 +406,9 @@ class SweepPlan:
         ``scheme`` overrides the stepping scheme of every case (``None``
         keeps the plan transient's method); set it on individual hand-built
         cases for scheme ablations instead.
+
+        ``mor_order`` sets the macromodel reduction order of every ``mor``
+        case (``None`` keeps the engine default); other engines ignore it.
         """
         if not node_counts:
             raise AnalysisError("grid plans need at least one node count")
@@ -402,6 +429,11 @@ class SweepPlan:
                             if engine == "hierarchical" and partitions is not None
                             else None
                         )
+                        case_mor_order = (
+                            int(mor_order)
+                            if engine == "mor" and mor_order is not None
+                            else None
+                        )
                         case = SweepCase(
                             engine=engine,
                             nodes=int(nodes),
@@ -414,6 +446,7 @@ class SweepPlan:
                             chunk_size=int(mc_chunk_size),
                             partitions=case_partitions,
                             scheme=None if scheme is None else str(scheme),
+                            mor_order=case_mor_order,
                         )
                         cases.append(case.with_derived_seed(base_seed))
         return cls(

@@ -84,6 +84,71 @@ class TestPrimaProjection:
         model = prima_reduce(conductance, capacitance, duplicated, num_moments=1)
         assert model.order == 1
 
+    def test_rank_deficient_block_krylov_deflates(self, rc_system):
+        """A rank-deficient input block deflates to fewer basis columns."""
+        conductance, capacitance, ports = rc_system
+        n = conductance.shape[0]
+        block = np.zeros((n, 4))
+        block[ports, np.arange(ports.size)] = 1.0
+        # Fourth column is a linear combination of the first three: the block
+        # Krylov space has at most 3 directions per moment.
+        block[:, 3] = block[:, 0] - 2.0 * block[:, 1] + 0.5 * block[:, 2]
+        model = prima_reduce(conductance, capacitance, block, num_moments=2)
+        full_rank = prima_reduce(conductance, capacitance, ports, num_moments=2)
+        assert model.order <= full_rank.order
+        assert model.order <= 2 * 3
+        gram = model.projection.T @ model.projection
+        assert np.allclose(gram, np.eye(gram.shape[0]), atol=1e-10)
+
+    def test_single_port_block(self, rc_system):
+        """One port gives exactly one basis column per matched moment."""
+        conductance, capacitance, _ = rc_system
+        model = prima_reduce(conductance, capacitance, np.array([0]), num_moments=3)
+        assert model.num_ports == 1
+        assert 0 < model.order <= 3
+        full = block_moments(conductance, capacitance, model.projection @ model.input_map, 1)
+        # DC moment of a single port must match the full model exactly.
+        n = conductance.shape[0]
+        input_matrix = np.zeros((n, 1))
+        input_matrix[0, 0] = 1.0
+        reference = block_moments(conductance, capacitance, input_matrix, 1)
+        reduced = block_moments(model.conductance, model.capacitance, model.input_map, 1)
+        assert np.allclose(reduced[0], reference[0], rtol=1e-8)
+        del full
+
+    def test_order_at_least_block_size_falls_back_to_exact(self):
+        """``q * m >= n`` returns the exact identity-projection model."""
+        rng = np.random.default_rng(7)
+        n = 6
+        raw = rng.standard_normal((n, n))
+        conductance = sp.csr_matrix(raw @ raw.T + n * np.eye(n))
+        capacitance = sp.csr_matrix(np.diag(rng.uniform(0.5, 1.5, size=n)))
+        ports = np.arange(3)
+        model = prima_reduce(conductance, capacitance, ports, num_moments=2)
+        assert model.order == n
+        assert np.allclose(model.projection, np.eye(n))
+        assert np.allclose(model.conductance, conductance.toarray())
+        assert np.allclose(model.capacitance, capacitance.toarray())
+        # expand() is an exact no-op lift on the identity projection.
+        states = rng.standard_normal((4, n))
+        assert np.allclose(model.expand(states), states)
+
+    def test_deflation_is_scale_invariant(self):
+        """Tiny-magnitude higher Krylov blocks still contribute directions.
+
+        Power grids have ``C``-over-``G`` scales around 1e-13, so the raw
+        second Krylov block has column norms near 1e-12; an absolute
+        deflation threshold would silently drop every higher moment.
+        """
+        rng = np.random.default_rng(3)
+        n = 40
+        laplacian = sp.diags([-1.0, 2.0, -1.0], [-1, 0, 1], shape=(n, n)).tocsr()
+        conductance = laplacian * 3.0 + sp.identity(n) * 0.5
+        capacitance = sp.diags(rng.uniform(0.5, 1.5, size=n) * 1e-13).tocsr()
+        one_moment = prima_reduce(conductance, capacitance, np.array([0, n - 1]), num_moments=1)
+        two_moments = prima_reduce(conductance, capacitance, np.array([0, n - 1]), num_moments=2)
+        assert two_moments.order > one_moment.order
+
     def test_dc_port_voltages_match_full_model(self, rc_system):
         """m0 matching implies exact DC port responses of the reduced model."""
         conductance, capacitance, ports = rc_system
